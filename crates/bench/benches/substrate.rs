@@ -1,0 +1,90 @@
+//! Criterion benches for the data-path substrates: spatial indexing (grid
+//! vs k-d tree), synthetic trace generation, and per-slot demand
+//! aggregation — the fixed costs every scheduler pays.
+
+use ccdn_geo::{GridIndex, KdTree, Point, Rect};
+use ccdn_sim::{HotspotGeometry, SlotDemand};
+use ccdn_trace::TraceConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.gen_range(0.0..17.0), rng.gen_range(0.0..11.0))).collect()
+}
+
+fn bench_spatial_index(c: &mut Criterion) {
+    let region = Rect::paper_eval_region();
+    let mut group = c.benchmark_group("spatial_index");
+    for &n in &[310usize, 5_000] {
+        let pts = random_points(n, 7);
+        let queries = random_points(1_000, 8);
+
+        group.bench_with_input(BenchmarkId::new("grid_build", n), &n, |b, _| {
+            b.iter(|| black_box(GridIndex::build(region, 1.0, pts.iter().copied())))
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree_build", n), &n, |b, _| {
+            b.iter(|| black_box(KdTree::build(pts.iter().copied())))
+        });
+
+        let grid = GridIndex::build(region, 1.0, pts.iter().copied());
+        let tree = KdTree::build(pts.iter().copied());
+        group.bench_with_input(BenchmarkId::new("grid_nearest_1k", n), &n, |b, _| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(grid.nearest(q));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree_nearest_1k", n), &n, |b, _| {
+            b.iter(|| {
+                for &q in &queries {
+                    black_box(tree.nearest(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for &requests in &[10_000usize, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(requests),
+            &requests,
+            |b, &requests| {
+                b.iter(|| {
+                    black_box(
+                        TraceConfig::small_test()
+                            .with_hotspot_count(100)
+                            .with_video_count(2_000)
+                            .with_request_count(requests)
+                            .generate(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let trace = TraceConfig::paper_eval()
+        .with_slot_count(1)
+        .with_hotspot_count(310)
+        .with_request_count(212_472)
+        .generate();
+    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(10);
+    group.bench_function("paper_scale_slot", |b| {
+        b.iter(|| black_box(SlotDemand::aggregate(trace.slot_requests(0), &geometry)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spatial_index, bench_trace_generation, bench_aggregation);
+criterion_main!(benches);

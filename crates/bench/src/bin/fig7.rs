@@ -1,0 +1,25 @@
+//! **Fig. 7** — performance vs **cache size** (0.5 %–5 % of the video set,
+//! service capacity fixed at 5 %), single-slot paper-scale evaluation.
+//!
+//! Paper shapes to reproduce: serving ratio rises with cache size and
+//! RBCAer reaches any target with far less cache (0.67 % vs 2–3 % for the
+//! baselines at ratio 0.7); RBCAer's distance stays ≈50 % below the
+//! baselines; replication cost climbs steeply with cache for all schemes;
+//! CDN load is U-shaped (replication eventually outpaces the extra hits),
+//! with RBCAer ≈20 % below the baselines at the sweet spot near 1 %.
+
+use ccdn_bench::evaluation::{print_panels, sweep};
+use ccdn_bench::{announce_csv, write_csv};
+
+fn main() {
+    println!("== Fig. 7: performance vs cache size (capacity fixed at 5%) ==");
+    let fractions = [0.005, 0.007, 0.009, 0.01, 0.03, 0.05];
+    let points = sweep(&fractions, |config, f| {
+        config.with_service_capacity_fraction(0.05).with_cache_capacity_fraction(f)
+    });
+    let csv = print_panels(&points, "cache");
+    let path = write_csv("fig7_cache_sweep", "metric,fraction,scheme,value", &csv);
+    announce_csv("cache sweep", &path);
+    println!("\npaper: RBCAer hits serving ratio 0.7 with ~0.67% cache (vs 2-3%),");
+    println!("halves the access distance, and bottoms the U-shaped CDN load ~20% lower.");
+}

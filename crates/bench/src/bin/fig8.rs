@@ -1,0 +1,62 @@
+//! **Fig. 8** — running-time comparison of the scheduling algorithms on
+//! the paper-scale instance: LP-based ≫ RBCAer > Random > Nearest.
+//!
+//! The paper ran the LP relaxation (GLPK) on a 10 K-request sample and
+//! still measured > 2.4 h, vs ~35 s for RBCAer on the full 212 K-request
+//! instance. We likewise cap the LP's instance (`max_pairs`) — the *gap*
+//! (orders of magnitude) is the result, not the absolute seconds.
+
+use ccdn_bench::table::Table;
+use ccdn_bench::{announce_csv, write_csv};
+use ccdn_core::{LocalRandom, LpBased, LpBasedConfig, Nearest, Rbcaer, RbcaerConfig};
+use ccdn_sim::{Runner, Scheme};
+use ccdn_trace::TraceConfig;
+
+fn main() {
+    println!("== Fig. 8: scheduling running time (single-slot eval preset) ==\n");
+    let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
+    println!(
+        "trace: {} hotspots, {} requests, {} videos\n",
+        trace.hotspots.len(),
+        trace.requests.len(),
+        trace.video_count
+    );
+    let runner = Runner::new(&trace);
+
+    let mut schemes: Vec<(Box<dyn Scheme>, &str)> = vec![
+        (
+            Box::new(LpBased::new(LpBasedConfig {
+                max_pairs: 400,
+                ..LpBasedConfig::default()
+            })),
+            "LP relaxation capped at the 400 highest-demand (hotspot,video) pairs",
+        ),
+        (Box::new(Rbcaer::new(RbcaerConfig::default())), "full instance"),
+        (Box::new(LocalRandom::new(1.5, 42)), "full instance"),
+        (Box::new(Nearest::new()), "full instance"),
+    ];
+
+    let mut table = Table::new(&["scheme", "time", "serving", "cdn-load", "note"]);
+    let mut csv = Vec::new();
+    for (scheme, note) in &mut schemes {
+        let report = runner.run(scheme.as_mut()).expect("scheme validates");
+        table.row(&[
+            report.scheme.clone(),
+            format!("{:?}", report.scheduling_time),
+            format!("{:.3}", report.total.hotspot_serving_ratio()),
+            format!("{:.3}", report.total.cdn_server_load()),
+            note.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{}",
+            report.scheme,
+            report.scheduling_time.as_secs_f64()
+        ));
+    }
+    table.print();
+    let path = write_csv("fig8_running_time", "scheme,seconds", &csv);
+    announce_csv("running times", &path);
+    println!("\npaper: LP-based > 2.4 h (on a 10K-request sample), RBCAer ~35 s,");
+    println!("Random/Nearest sub-second; the ordering and the orders-of-magnitude");
+    println!("gaps are the reproducible result.");
+}

@@ -1,0 +1,114 @@
+//! **Online extension** (beyond the paper's offline evaluation): the
+//! predict → place → route loop of §III made concrete. Caches persist
+//! across the 24 hourly slots, replication is charged as the per-slot
+//! delta, and placements are planned from a popularity forecast instead
+//! of the realized demand.
+//!
+//! Compares each scheduler under a perfect oracle and under realizable
+//! predictors (last-slot, EWMA, 4-slot window mean).
+
+use ccdn_bench::table::{f3, Table};
+use ccdn_bench::{announce_csv, write_csv};
+use ccdn_core::{Nearest, Rbcaer, RbcaerConfig};
+use ccdn_sim::{Ewma, HoltLinear, LastSlot, OnlineReport, OnlineRunner, Scheme, SeasonalNaive, WindowMean};
+use ccdn_trace::TraceConfig;
+
+fn schemes() -> Vec<Box<dyn Scheme>> {
+    vec![Box::new(Rbcaer::new(RbcaerConfig::default())), Box::new(Nearest::new())]
+}
+
+fn main() {
+    println!("== Online simulation: persistent caches + popularity prediction ==\n");
+    // Per-slot scaling: the full-day capacities of the offline evaluation
+    // would leave every hotspot under-loaded within a single hour, so size
+    // service capacity to the *hourly* demand (mean ≈ 28 requests/hotspot/
+    // slot here) and cache to 1 % of the catalog.
+    // Three simulated days (the paper's measurement trace spans two
+    // weeks) so the seasonal predictor has a full period of history.
+    let trace = TraceConfig::paper_eval()
+        .with_hotspot_count(150)
+        .with_request_count(300_000)
+        .with_video_count(8_000)
+        .with_days(3)
+        .with_service_capacity_fraction(0.005)
+        .with_cache_capacity_fraction(0.01)
+        .generate();
+    println!(
+        "trace: {} hotspots, {} requests, {} videos, {} hourly slots ({} days)\n",
+        trace.hotspots.len(),
+        trace.requests.len(),
+        trace.video_count,
+        trace.slot_count,
+        trace.slot_count / trace.slots_per_day
+    );
+    let runner = OnlineRunner::new(&trace);
+
+    let mut table = Table::new(&[
+        "scheme",
+        "predictor",
+        "serving",
+        "distance (km)",
+        "delta replication",
+        "cdn-load",
+        "forecast err",
+    ]);
+    let mut csv = Vec::new();
+    let mut record = |report: &OnlineReport| {
+        let mean_err = report.slots.iter().map(|s| s.forecast_error).sum::<f64>()
+            / report.slots.len().max(1) as f64;
+        table.row(&[
+            report.scheme.clone(),
+            report.predictor.clone(),
+            f3(report.total.hotspot_serving_ratio()),
+            f3(report.total.average_distance_km()),
+            f3(report.total.replication_cost()),
+            f3(report.total.cdn_server_load()),
+            f3(mean_err),
+        ]);
+        csv.push(format!(
+            "{},{},{},{},{},{},{}",
+            report.scheme,
+            report.predictor,
+            report.total.hotspot_serving_ratio(),
+            report.total.average_distance_km(),
+            report.total.replication_cost(),
+            report.total.cdn_server_load(),
+            mean_err,
+        ));
+    };
+
+    for mut scheme in schemes() {
+        record(&runner.run_with_oracle(scheme.as_mut()).expect("oracle run validates"));
+        record(
+            &runner
+                .run(scheme.as_mut(), &mut LastSlot::new())
+                .expect("last-slot run validates"),
+        );
+        record(&runner.run(scheme.as_mut(), &mut Ewma::new(0.3)).expect("ewma run validates"));
+        record(
+            &runner
+                .run(scheme.as_mut(), &mut WindowMean::new(4))
+                .expect("window run validates"),
+        );
+        record(
+            &runner
+                .run(scheme.as_mut(), &mut SeasonalNaive::new(trace.slots_per_day as usize))
+                .expect("seasonal run validates"),
+        );
+        record(
+            &runner
+                .run(scheme.as_mut(), &mut HoltLinear::new(0.4, 0.2))
+                .expect("holt run validates"),
+        );
+    }
+    table.print();
+    let path = write_csv(
+        "online_prediction",
+        "scheme,predictor,serving,distance_km,replication,cdn_load,forecast_error",
+        &csv,
+    );
+    announce_csv("online comparison", &path);
+    println!("\nReading: the oracle bounds what prediction can achieve; EWMA trades a");
+    println!("little serving ratio for stability, and persistent caches cut the");
+    println!("replication charged to the CDN by an order of magnitude vs per-slot refill.");
+}

@@ -1,0 +1,72 @@
+//! **Scalability extension**: flat RBCAer vs the hierarchical
+//! region-partitioned variant (§VI's \[28\] hook) as the deployment grows.
+//!
+//! Flat RBCAer solves one MCMF over all overloaded/under-utilized
+//! hotspots; the hierarchical scheduler solves many small intra-region
+//! instances plus one tiny cross-region instance over virtual hotspots.
+//! The interesting question is how much quality the decomposition gives up
+//! for its runtime headroom.
+
+use ccdn_bench::table::{f3, Table};
+use ccdn_bench::{announce_csv, write_csv};
+use ccdn_core::{HierarchicalRbcaer, Nearest, Rbcaer, RbcaerConfig};
+use ccdn_sim::{Runner, Scheme};
+use ccdn_trace::TraceConfig;
+
+fn main() {
+    println!("== Scalability: flat vs hierarchical RBCAer ==\n");
+    // A wide cooperation radius makes the flat MCMF dense — the regime
+    // where decomposition pays.
+    let config = RbcaerConfig { theta2_km: 6.0, ..RbcaerConfig::default() };
+
+    let mut table = Table::new(&[
+        "hotspots",
+        "scheme",
+        "serving",
+        "distance (km)",
+        "cdn-load",
+        "time",
+    ]);
+    let mut csv = Vec::new();
+    for &(hotspots, requests) in &[(310usize, 212_472usize), (800, 500_000), (1_500, 900_000)] {
+        let trace = TraceConfig::paper_eval()
+            .with_slot_count(1)
+            .with_hotspot_count(hotspots)
+            .with_request_count(requests)
+            .generate();
+        let runner = Runner::new(&trace);
+        let mut schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Rbcaer::new(config)),
+            Box::new(HierarchicalRbcaer::new(config, 3, 4)),
+            Box::new(HierarchicalRbcaer::new(config, 3, 4).without_cross_region()),
+            Box::new(Nearest::new()),
+        ];
+        for scheme in &mut schemes {
+            let report = runner.run(scheme.as_mut()).expect("scheme validates");
+            table.row(&[
+                hotspots.to_string(),
+                report.scheme.clone(),
+                f3(report.total.hotspot_serving_ratio()),
+                f3(report.total.average_distance_km()),
+                f3(report.total.cdn_server_load()),
+                format!("{:?}", report.scheduling_time),
+            ]);
+            csv.push(format!(
+                "{},{},{},{},{},{}",
+                hotspots,
+                report.scheme,
+                report.total.hotspot_serving_ratio(),
+                report.total.average_distance_km(),
+                report.total.cdn_server_load(),
+                report.scheduling_time.as_secs_f64(),
+            ));
+        }
+    }
+    table.print();
+    let path = write_csv(
+        "scalability",
+        "hotspots,scheme,serving,distance_km,cdn_load,seconds",
+        &csv,
+    );
+    announce_csv("scalability sweep", &path);
+}

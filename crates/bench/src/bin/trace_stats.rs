@@ -1,0 +1,73 @@
+//! Diagnostic: statistics of a generated trace that determine the
+//! evaluation shapes — per-hotspot load and distinct-video counts,
+//! overall popularity concentration, and content-similarity spread.
+//!
+//! Usage: `cargo run --release -p ccdn-bench --bin trace_stats [zipf_alpha] [locality]`
+
+use ccdn_bench::measurement::{nearest_routing, top_content_sets};
+use ccdn_bench::table::{f3, Table};
+use ccdn_cluster::jaccard;
+use ccdn_sim::HotspotGeometry;
+use ccdn_stats::{Cdf, Summary};
+use ccdn_trace::TraceConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = TraceConfig::paper_eval().with_slot_count(1);
+    let alpha = args.get(1).and_then(|s| s.parse().ok());
+    let locality = args.get(2).and_then(|s| s.parse().ok());
+    if let Some(a) = alpha {
+        config = config.with_zipf_alpha(a);
+    }
+    if let Some(l) = locality {
+        config = config.with_locality(l);
+    }
+    let trace = config.generate();
+    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+    let loads = nearest_routing(&trace.requests, &geometry);
+
+    println!(
+        "trace: {} hotspots, {} requests, {} videos (alpha={alpha:?}, locality={locality:?})\n",
+        trace.hotspots.len(),
+        trace.requests.len(),
+        trace.video_count
+    );
+
+    let load_summary =
+        Summary::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("loads");
+    let distinct_summary =
+        Summary::from_samples(loads.distinct_videos.iter().map(|&d| d as f64))
+            .expect("distinct");
+    let load_cdf = Cdf::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("loads");
+
+    let mut t = Table::new(&["statistic", "value"]);
+    t.row(&["load mean".into(), f3(load_summary.mean)]);
+    t.row(&["load median".into(), f3(load_summary.median)]);
+    t.row(&["load p99/median".into(),
+        load_cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into())]);
+    t.row(&["distinct videos/hotspot mean".into(), f3(distinct_summary.mean)]);
+    t.row(&["distinct videos/hotspot max".into(), f3(distinct_summary.max)]);
+    t.row(&["total distinct requested".into(), trace.requested_video_count().to_string()]);
+    t.row(&[
+        "replication proxy (x video set)".into(),
+        f3(loads.total_replication() as f64 / trace.video_count as f64),
+    ]);
+    t.print();
+
+    // Content similarity spread among pairs < 5 km (Fig. 3b health check).
+    let sets = top_content_sets(&trace.requests, &geometry, 0.2);
+    let mut sims = Vec::new();
+    for &(a, b) in &geometry.pairs_within(5.0) {
+        if !(sets[a.0].is_empty() && sets[b.0].is_empty()) {
+            sims.push(jaccard(&sets[a.0], &sets[b.0]));
+        }
+    }
+    if let Ok(cdf) = Cdf::from_samples(sims) {
+        println!(
+            "\ncontent similarity (pairs<5km): p10 {} median {} p90 {}",
+            f3(cdf.quantile(0.1)),
+            f3(cdf.median()),
+            f3(cdf.quantile(0.9))
+        );
+    }
+}

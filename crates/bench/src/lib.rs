@@ -1,0 +1,56 @@
+//! Experiment harness for the crowdsourced-CDN reproduction.
+//!
+//! Each paper figure has a binary (`fig2` … `fig9`) that regenerates its
+//! data series and prints it as aligned text tables (and, where a figure
+//! is a scatter/CDF, writes CSV under `figures/`). This library holds the
+//! shared plumbing: table rendering, series collection, CSV emission, and
+//! the measurement-style routing strategies of §II that exist only for
+//! measurement (not as full schemes).
+//!
+//! Reproduce everything with:
+//!
+//! ```sh
+//! for f in fig2 fig3 fig5 fig6 fig7 fig8 fig9; do
+//!     cargo run --release -p ccdn-bench --bin $f
+//! done
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluation;
+pub mod measurement;
+pub mod table;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory figure CSVs are written to (`./figures`).
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from("figures")
+}
+
+/// Writes `rows` of comma-separated values (prefixed by a header) to
+/// `figures/<name>.csv`, creating the directory as needed.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the binaries are experiment scripts where
+/// aborting loudly is the right behaviour.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = figures_dir();
+    fs::create_dir_all(&dir).expect("create figures directory");
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv file");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+    }
+    path
+}
+
+/// Prints a one-line pointer to an emitted CSV.
+pub fn announce_csv(what: &str, path: &Path) {
+    println!("  [csv] {what} -> {}", path.display());
+}

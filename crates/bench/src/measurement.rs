@@ -1,0 +1,174 @@
+//! The §II *measurement* routing strategies.
+//!
+//! The measurement study routes requests without capacity or cache
+//! constraints — it only asks "which hotspot would each request land on,
+//! and what content would each hotspot then need" — so these are free
+//! functions over a trace rather than full [`ccdn_sim::Scheme`]s.
+
+use ccdn_sim::HotspotGeometry;
+use ccdn_trace::{Request, VideoId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Per-hotspot outcome of a measurement routing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingLoads {
+    /// Requests landing on each hotspot.
+    pub loads: Vec<u64>,
+    /// Distinct videos each hotspot would have to cache to serve its
+    /// requests (the §II-A "content replication cost" proxy).
+    pub distinct_videos: Vec<u64>,
+    /// Per-hotspot hourly load matrix (`[hotspot][hour]`), for the
+    /// workload-correlation analysis of Fig. 3a.
+    pub hourly: Vec<[u64; 24]>,
+}
+
+impl RoutingLoads {
+    fn new(n: usize) -> Self {
+        RoutingLoads { loads: vec![0; n], distinct_videos: vec![0; n], hourly: vec![[0; 24]; n] }
+    }
+
+    /// Total replication proxy: Σ distinct videos over hotspots.
+    pub fn total_replication(&self) -> u64 {
+        self.distinct_videos.iter().sum()
+    }
+}
+
+fn tally(
+    n: usize,
+    assignments: impl Iterator<Item = (usize, VideoId, u32)>,
+) -> RoutingLoads {
+    let mut out = RoutingLoads::new(n);
+    let mut seen: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+    for (h, video, hour) in assignments {
+        out.loads[h] += 1;
+        out.hourly[h][(hour % 24) as usize] += 1;
+        seen[h].insert(video);
+    }
+    for (h, set) in seen.into_iter().enumerate() {
+        out.distinct_videos[h] = set.len() as u64;
+    }
+    out
+}
+
+/// §II-A **Nearest Routing Strategy**: every request maps to its nearest
+/// hotspot.
+pub fn nearest_routing(requests: &[Request], geometry: &HotspotGeometry) -> RoutingLoads {
+    tally(
+        geometry.len(),
+        requests.iter().map(|r| {
+            let (h, _) = geometry.nearest(r.location).expect("non-empty geometry");
+            (h.0, r.video, r.timeslot)
+        }),
+    )
+}
+
+/// §II-A **Random Routing Strategy**: every request maps to a uniformly
+/// random hotspot within `radius_km` of the user (falling back to the
+/// nearest hotspot when none is in range). Deterministic per `seed`.
+pub fn random_routing(
+    requests: &[Request],
+    geometry: &HotspotGeometry,
+    radius_km: f64,
+    seed: u64,
+) -> RoutingLoads {
+    let mut rng = StdRng::seed_from_u64(seed);
+    tally(
+        geometry.len(),
+        requests.iter().map(|r| {
+            let in_range = geometry.within_radius_of_point(r.location, radius_km);
+            let h = if in_range.is_empty() {
+                geometry.nearest(r.location).expect("non-empty geometry").0
+            } else {
+                in_range[rng.gen_range(0..in_range.len())]
+            };
+            (h.0, r.video, r.timeslot)
+        }),
+    )
+}
+
+/// The Top-`fraction` content set of each hotspot under nearest routing —
+/// input to the Fig. 3b Jaccard analysis. Sets are sorted video-id lists.
+pub fn top_content_sets(
+    requests: &[Request],
+    geometry: &HotspotGeometry,
+    fraction: f64,
+) -> Vec<Vec<VideoId>> {
+    use std::collections::HashMap;
+    let n = geometry.len();
+    let mut counts: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); n];
+    for r in requests {
+        let (h, _) = geometry.nearest(r.location).expect("non-empty geometry");
+        *counts[h.0].entry(r.video).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|m| {
+            if m.is_empty() {
+                return Vec::new();
+            }
+            let mut by_count: Vec<(VideoId, u64)> = m.into_iter().collect();
+            by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let k = ((by_count.len() as f64 * fraction).ceil() as usize)
+                .clamp(1, by_count.len());
+            let mut top: Vec<VideoId> = by_count[..k].iter().map(|&(v, _)| v).collect();
+            top.sort_unstable();
+            top
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdn_trace::TraceConfig;
+
+    fn setup() -> (ccdn_trace::Trace, HotspotGeometry) {
+        let trace = TraceConfig::small_test().with_request_count(3000).generate();
+        let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
+        (trace, geo)
+    }
+
+    #[test]
+    fn nearest_routing_conserves_requests() {
+        let (trace, geo) = setup();
+        let loads = nearest_routing(&trace.requests, &geo);
+        assert_eq!(loads.loads.iter().sum::<u64>(), trace.requests.len() as u64);
+        let hourly_total: u64 =
+            loads.hourly.iter().flat_map(|h| h.iter()).sum();
+        assert_eq!(hourly_total, trace.requests.len() as u64);
+    }
+
+    #[test]
+    fn random_routing_conserves_and_flattens() {
+        let (trace, geo) = setup();
+        let nearest = nearest_routing(&trace.requests, &geo);
+        let random = random_routing(&trace.requests, &geo, 5.0, 1);
+        assert_eq!(random.loads.iter().sum::<u64>(), trace.requests.len() as u64);
+        // Random spreads load: max load under random ≤ max under nearest.
+        assert!(
+            random.loads.iter().max() <= nearest.loads.iter().max(),
+            "random did not flatten the load"
+        );
+        // ... and needs at least as much replication in total.
+        assert!(random.total_replication() >= nearest.total_replication());
+    }
+
+    #[test]
+    fn random_routing_is_deterministic_per_seed() {
+        let (trace, geo) = setup();
+        let a = random_routing(&trace.requests, &geo, 1.0, 9);
+        let b = random_routing(&trace.requests, &geo, 1.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_sets_are_sorted_and_bounded() {
+        let (trace, geo) = setup();
+        let sets = top_content_sets(&trace.requests, &geo, 0.2);
+        assert_eq!(sets.len(), geo.len());
+        for s in &sets {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "set not sorted+dedup");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+use crate::DistanceMatrix;
+
+/// Inter-cluster distance update rule for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linkage {
+    /// Distance between clusters is the **maximum** pairwise item distance.
+    ///
+    /// The default, and the rule RBCAer uses: with a cut threshold `t`,
+    /// complete linkage guarantees *every* pair inside a cluster is within
+    /// `t` — exactly the paper's "we restrict the distance `Jd(i, j)`
+    /// between any two hotspots in the same cluster lower than 0.5"
+    /// (§IV-B).
+    #[default]
+    Complete,
+    /// Distance between clusters is the **minimum** pairwise item distance
+    /// (chains easily; kept for the ablation bench).
+    Single,
+    /// Unweighted average of pairwise item distances (UPGMA).
+    Average,
+}
+
+/// Agglomerative hierarchical clustering with a distance-threshold cut.
+///
+/// Starts from singleton clusters and repeatedly merges the closest pair
+/// of clusters (under the chosen [`Linkage`]) while their distance is
+/// **at most** `threshold`. Returns the final partition as a list of
+/// clusters, each a sorted list of item indexes; clusters are ordered by
+/// their smallest member.
+///
+/// This is the hotspot-grouping step of RBCAer (§IV-B): items are
+/// hotspots, distance is `Jd = 1 − Jaccard` over Top-20 % content sets,
+/// and the threshold is 0.5.
+///
+/// Complexity is `O(n³)` worst case (`n` = items), which is ample for the
+/// paper's 310-hotspot evaluation region; the Lance–Williams update keeps
+/// the constant small.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_cluster::{hierarchical_cluster, DistanceMatrix, Linkage};
+///
+/// // Two tight pairs far apart.
+/// let pos = [0.0_f64, 0.1, 10.0, 10.1];
+/// let dm = DistanceMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs());
+/// let clusters = hierarchical_cluster(&dm, Linkage::Complete, 1.0);
+/// assert_eq!(clusters, vec![vec![0, 1], vec![2, 3]]);
+/// ```
+#[allow(clippy::needless_range_loop)] // the dense matrix copy reads clearest indexed
+pub fn hierarchical_cluster(
+    distances: &DistanceMatrix,
+    linkage: Linkage,
+    threshold: f64,
+) -> Vec<Vec<usize>> {
+    assert!(threshold >= 0.0 && threshold.is_finite(), "threshold must be finite and >= 0");
+    let n = distances.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Working copy of inter-cluster distances; `active[c]` marks live
+    // clusters, `members[c]` their item lists, `sizes[c]` their sizes.
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            dist[i][j] = distances.get(i, j);
+        }
+    }
+    let mut active = vec![true; n];
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut sizes = vec![1usize; n];
+
+    loop {
+        // Find the closest active pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i][j];
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((a, b, d)) = best else { break };
+        if d > threshold {
+            break;
+        }
+
+        // Merge b into a, updating distances via Lance–Williams.
+        for k in 0..n {
+            if !active[k] || k == a || k == b {
+                continue;
+            }
+            let dak = dist[a][k];
+            let dbk = dist[b][k];
+            let merged = match linkage {
+                Linkage::Complete => dak.max(dbk),
+                Linkage::Single => dak.min(dbk),
+                Linkage::Average => {
+                    let (sa, sb) = (sizes[a] as f64, sizes[b] as f64);
+                    (sa * dak + sb * dbk) / (sa + sb)
+                }
+            };
+            dist[a][k] = merged;
+            dist[k][a] = merged;
+        }
+        let moved = std::mem::take(&mut members[b]);
+        members[a].extend(moved);
+        sizes[a] += sizes[b];
+        active[b] = false;
+    }
+
+    let mut clusters: Vec<Vec<usize>> = members
+        .into_iter()
+        .zip(active)
+        .filter(|(_, live)| *live)
+        .map(|(mut m, _)| {
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_matrix(pos: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(pos.len(), |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        let dm = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(hierarchical_cluster(&dm, Linkage::Complete, 1.0).is_empty());
+    }
+
+    #[test]
+    fn singleton_input() {
+        let dm = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(hierarchical_cluster(&dm, Linkage::Complete, 1.0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn threshold_zero_merges_only_identical() {
+        let dm = line_matrix(&[0.0, 0.0, 5.0]);
+        let clusters = hierarchical_cluster(&dm, Linkage::Complete, 0.0);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let dm = line_matrix(&[0.0, 3.0, 9.0, 27.0]);
+        let clusters = hierarchical_cluster(&dm, Linkage::Complete, 1e9);
+        assert_eq!(clusters, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn complete_linkage_caps_intra_cluster_diameter() {
+        // A chain 0-1-2-3 with spacing 0.4: single linkage would merge it
+        // all at threshold 0.5; complete linkage must keep diameters ≤ 0.5.
+        let pos = [0.0, 0.4, 0.8, 1.2];
+        let dm = line_matrix(&pos);
+        let clusters = hierarchical_cluster(&dm, Linkage::Complete, 0.5);
+        for c in &clusters {
+            for &i in c {
+                for &j in c {
+                    assert!(dm.get(i, j) <= 0.5, "pair ({i},{j}) too far in {clusters:?}");
+                }
+            }
+        }
+        // Single linkage chains the whole line together.
+        let chained = hierarchical_cluster(&dm, Linkage::Single, 0.5);
+        assert_eq!(chained, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn average_linkage_sits_between_single_and_complete() {
+        let pos = [0.0, 1.0, 2.0, 3.0, 10.0];
+        let dm = line_matrix(&pos);
+        let single = hierarchical_cluster(&dm, Linkage::Single, 1.0).len();
+        let average = hierarchical_cluster(&dm, Linkage::Average, 1.0).len();
+        let complete = hierarchical_cluster(&dm, Linkage::Complete, 1.0).len();
+        assert!(single <= average && average <= complete);
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let pos = [0.0, 0.1, 0.2, 8.0, 8.1];
+        let dm = line_matrix(&pos);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let clusters = hierarchical_cluster(&dm, linkage, 1.0);
+            assert_eq!(clusters, vec![vec![0, 1, 2], vec![3, 4]], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_panics() {
+        let dm = line_matrix(&[0.0, 1.0]);
+        let _ = hierarchical_cluster(&dm, Linkage::Complete, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_is_exact(
+            pos in prop::collection::vec(0.0f64..100.0, 0..30),
+            threshold in 0.0f64..50.0,
+        ) {
+            let dm = line_matrix(&pos);
+            let clusters = hierarchical_cluster(&dm, Linkage::Complete, threshold);
+            // Every item appears exactly once.
+            let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..pos.len()).collect();
+            prop_assert_eq!(seen, expected);
+        }
+
+        #[test]
+        fn prop_complete_linkage_diameter_bound(
+            pos in prop::collection::vec(0.0f64..10.0, 1..25),
+            threshold in 0.0f64..5.0,
+        ) {
+            let dm = line_matrix(&pos);
+            let clusters = hierarchical_cluster(&dm, Linkage::Complete, threshold);
+            for c in &clusters {
+                for &i in c {
+                    for &j in c {
+                        prop_assert!(dm.get(i, j) <= threshold + 1e-9);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_single_linkage_merges_all_close_pairs(
+            pos in prop::collection::vec(0.0f64..10.0, 1..20),
+            threshold in 0.01f64..5.0,
+        ) {
+            let dm = line_matrix(&pos);
+            let clusters = hierarchical_cluster(&dm, Linkage::Single, threshold);
+            // Under single linkage, two items closer than the threshold
+            // can never end up in different clusters.
+            let cluster_of = |x: usize| clusters.iter().position(|c| c.contains(&x)).unwrap();
+            for i in 0..pos.len() {
+                for j in (i + 1)..pos.len() {
+                    if dm.get(i, j) <= threshold {
+                        prop_assert_eq!(cluster_of(i), cluster_of(j));
+                    }
+                }
+            }
+        }
+    }
+}

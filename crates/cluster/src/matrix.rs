@@ -1,0 +1,132 @@
+/// A symmetric pairwise distance matrix with zero diagonal, stored as a
+/// packed lower triangle.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_cluster::DistanceMatrix;
+///
+/// let dm = DistanceMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs());
+/// assert_eq!(dm.get(0, 2), 2.0);
+/// assert_eq!(dm.get(2, 0), 2.0);
+/// assert_eq!(dm.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major packed lower triangle: entry `(i, j)` with `j < i` lives
+    /// at `i (i − 1) / 2 + j`.
+    tri: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds an `n × n` matrix by evaluating `f(i, j)` for every pair
+    /// `j < i`. `f` is assumed symmetric; only the lower triangle is
+    /// evaluated. Distances must be finite and non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a negative or non-finite value.
+    pub fn from_fn<F>(n: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut tri = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 1..n {
+            for j in 0..i {
+                let d = f(i, j);
+                assert!(d.is_finite() && d >= 0.0, "distance ({i},{j}) = {d} invalid");
+                tri.push(d);
+            }
+        }
+        DistanceMatrix { n, tri }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between items `i` and `j` (zero when `i == j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.tri[hi * (hi - 1) / 2 + lo]
+    }
+
+    /// Maximum pairwise distance (0 for fewer than two items).
+    pub fn max_distance(&self) -> f64 {
+        self.tri.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrips() {
+        let dm = DistanceMatrix::from_fn(5, |i, j| (10 * i + j) as f64);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i == j {
+                    assert_eq!(dm.get(i, j), 0.0);
+                } else {
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    assert_eq!(dm.get(i, j), (10 * hi + lo) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_access() {
+        let dm = DistanceMatrix::from_fn(4, |i, j| (i + j) as f64);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let dm0 = DistanceMatrix::from_fn(0, |_, _| unreachable!());
+        assert!(dm0.is_empty());
+        assert_eq!(dm0.max_distance(), 0.0);
+        let dm1 = DistanceMatrix::from_fn(1, |_, _| unreachable!());
+        assert_eq!(dm1.len(), 1);
+        assert_eq!(dm1.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn max_distance() {
+        let dm = DistanceMatrix::from_fn(3, |i, j| if (i, j) == (2, 1) { 9.0 } else { 1.0 });
+        assert_eq!(dm.max_distance(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_distance_panics() {
+        let _ = DistanceMatrix::from_fn(2, |_, _| -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let dm = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let _ = dm.get(0, 2);
+    }
+}

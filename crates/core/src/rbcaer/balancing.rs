@@ -1,0 +1,382 @@
+//! The request-balancing stage of RBCAer: `Gd`/`Gc` flow-network
+//! construction and the Algorithm-1 threshold loop (§IV-A/§IV-C).
+
+use crate::config::{GuideCost, RbcaerConfig};
+use ccdn_flow::{EdgeId, FlowNetwork};
+use ccdn_sim::SlotInput;
+use ccdn_trace::HotspotId;
+use std::collections::HashMap;
+
+/// Result of the balancing stage: how many requests each overloaded
+/// hotspot redirects to each under-utilized hotspot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BalanceOutcome {
+    /// `f_ij > 0` entries: requests redirected from hotspot `i` to `j`.
+    pub flows: HashMap<(HotspotId, HotspotId), u64>,
+    /// Total requests moved (`Σ f_ij`).
+    pub moved: u64,
+    /// The upper bound `maxflow = min(Σ_{Hs} φ_i, Σ_{Ht} φ_j)` of
+    /// Algorithm 1 line 4.
+    pub max_movable: u64,
+}
+
+/// Diagnostics of the `Gd` graph at a given threshold `θ` — the data
+/// series of the paper's Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GdStats {
+    /// The threshold the graph was built with, in km.
+    pub theta_km: f64,
+    /// Number of hotspots (`|V|` in the paper's normalization).
+    pub hotspot_count: usize,
+    /// Inter-hotspot edges present under the threshold.
+    pub edges: usize,
+    /// Max flow achievable under the threshold.
+    pub maxflow_at_theta: u64,
+    /// Max flow achievable with every overloaded–under-utilized pair
+    /// connected (the paper's `maxflow` normalizer).
+    pub max_movable: u64,
+}
+
+impl GdStats {
+    /// Edge count normalized by `|V|²` (the paper's y-axis on the left of
+    /// Fig. 9).
+    pub fn edge_fraction(&self) -> f64 {
+        if self.hotspot_count == 0 {
+            0.0
+        } else {
+            self.edges as f64 / (self.hotspot_count * self.hotspot_count) as f64
+        }
+    }
+
+    /// Achieved flow normalized by the unconstrained `maxflow` (right
+    /// y-axis of Fig. 9).
+    pub fn flow_fraction(&self) -> f64 {
+        if self.max_movable == 0 {
+            0.0
+        } else {
+            self.maxflow_at_theta as f64 / self.max_movable as f64
+        }
+    }
+
+    /// Computes the Fig. 9 data point for one slot at threshold
+    /// `theta_km`: build `Gd` over the slot's overloaded/under-utilized
+    /// hotspots and measure its size and max flow.
+    pub fn compute(input: &SlotInput<'_>, theta_km: f64) -> GdStats {
+        let parts = Participants::from_input(input);
+        let mut builder = GraphBuilder::new(&parts);
+        for (si, &(i, phi_i)) in parts.overloaded.iter().enumerate() {
+            for (ti, &(j, phi_j)) in parts.under.iter().enumerate() {
+                let d = input.geometry.distance(HotspotId(i), HotspotId(j));
+                if d < theta_km {
+                    builder.direct_edge(si, ti, phi_i.min(phi_j), d);
+                }
+            }
+        }
+        let edges = builder.pair_edges.len();
+        let mut net = builder.net;
+        let maxflow_at_theta =
+            net.max_flow_dinic(builder.source, builder.sink).expect("valid endpoints") as u64;
+        GdStats {
+            theta_km,
+            hotspot_count: input.hotspot_count(),
+            edges,
+            maxflow_at_theta,
+            max_movable: parts.max_movable(),
+        }
+    }
+}
+
+/// Overloaded / under-utilized hotspot partition with their `φ` slacks
+/// (Algorithm 1 lines 1–4).
+#[derive(Debug, Clone)]
+pub(crate) struct Participants {
+    /// `(hotspot index, φ_i = λ_i − s_i)` for `λ_i > s_i`.
+    pub overloaded: Vec<(usize, u64)>,
+    /// `(hotspot index, φ_j = s_j − λ_j)` for `λ_j < s_j`, restricted to
+    /// hotspots that can actually cache and serve (`c_j > 0`).
+    pub under: Vec<(usize, u64)>,
+}
+
+impl Participants {
+    pub(crate) fn from_input(input: &SlotInput<'_>) -> Self {
+        let mut overloaded = Vec::new();
+        let mut under = Vec::new();
+        for h in 0..input.hotspot_count() {
+            let load = input.demand.load(HotspotId(h));
+            let cap = input.service_capacity[h];
+            if load > cap {
+                overloaded.push((h, load - cap));
+            } else if load < cap && input.cache_capacity[h] > 0 {
+                under.push((h, cap - load));
+            }
+        }
+        Participants { overloaded, under }
+    }
+
+    pub(crate) fn max_movable(&self) -> u64 {
+        let out: u64 = self.overloaded.iter().map(|&(_, p)| p).sum();
+        let cap: u64 = self.under.iter().map(|&(_, p)| p).sum();
+        out.min(cap)
+    }
+}
+
+/// Incremental builder for `Gd`/`Gc`: source → overloaded → (guides) →
+/// under-utilized → sink, with an edge-id map back to hotspot pairs.
+struct GraphBuilder {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
+    /// Node id of overloaded hotspot `overloaded[k]`.
+    s_nodes: Vec<usize>,
+    /// Node id of under-utilized hotspot `under[k]`.
+    t_nodes: Vec<usize>,
+    /// Forward arcs carrying `(i, j)` pair flow (direct or via a guide).
+    pair_edges: Vec<(EdgeId, usize, usize)>,
+}
+
+impl GraphBuilder {
+    fn new(parts: &Participants) -> Self {
+        let mut net = FlowNetwork::new();
+        let source = net.add_node();
+        let sink = net.add_node();
+        let s_nodes: Vec<usize> = parts
+            .overloaded
+            .iter()
+            .map(|&(_, phi)| {
+                let node = net.add_node();
+                net.add_edge(source, node, phi as i64, 0.0).expect("valid edge");
+                node
+            })
+            .collect();
+        let t_nodes: Vec<usize> = parts
+            .under
+            .iter()
+            .map(|&(_, phi)| {
+                let node = net.add_node();
+                net.add_edge(node, sink, phi as i64, 0.0).expect("valid edge");
+                node
+            })
+            .collect();
+        GraphBuilder { net, source, sink, s_nodes, t_nodes, pair_edges: Vec::new() }
+    }
+
+    /// Adds a direct arc between overloaded slot `si` and under slot `ti`.
+    fn direct_edge(&mut self, si: usize, ti: usize, capacity: u64, cost_km: f64) {
+        let e = self
+            .net
+            .add_edge(self.s_nodes[si], self.t_nodes[ti], capacity as i64, cost_km)
+            .expect("valid edge");
+        self.pair_edges.push((e, si, ti));
+    }
+
+    /// Adds a flow-guide node draining overloaded slots `sources` into
+    /// under slot `ti` (§IV-B): arcs `i → n_kj` (cost 0) and one arc
+    /// `n_kj → j` with the aggregate capacity and the configured cost.
+    fn guide_node(
+        &mut self,
+        sources: &[(usize, u64)],
+        ti: usize,
+        out_capacity: u64,
+        out_cost: f64,
+    ) {
+        let guide = self.net.add_node();
+        for &(si, cap) in sources {
+            let e = self
+                .net
+                .add_edge(self.s_nodes[si], guide, cap as i64, 0.0)
+                .expect("valid edge");
+            self.pair_edges.push((e, si, ti));
+        }
+        self.net
+            .add_edge(guide, self.t_nodes[ti], out_capacity as i64, out_cost)
+            .expect("valid edge");
+    }
+}
+
+/// Runs Algorithm 1's balancing loop and returns the accumulated flows.
+///
+/// `cluster_of[h]` assigns every hotspot to a content cluster (ignored
+/// when `config.content_aggregation` is false).
+pub(crate) fn balance(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    cluster_of: &[usize],
+) -> BalanceOutcome {
+    balance_filtered(input, config, cluster_of, &|_, _| true)
+}
+
+/// [`balance`] restricted to hotspot pairs `allow_pair(i, j)` — the hook
+/// the hierarchical scheduler uses to keep level-1 flows intra-region.
+pub(crate) fn balance_filtered(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    cluster_of: &[usize],
+    allow_pair: &dyn Fn(usize, usize) -> bool,
+) -> BalanceOutcome {
+    let parts = Participants::from_input(input);
+    let max_movable = parts.max_movable();
+    let mut phi_s: Vec<u64> = parts.overloaded.iter().map(|&(_, p)| p).collect();
+    let mut phi_t: Vec<u64> = parts.under.iter().map(|&(_, p)| p).collect();
+    let mut flows: HashMap<(HotspotId, HotspotId), u64> = HashMap::new();
+    let mut moved = 0u64;
+
+    if max_movable > 0 {
+        let mut theta = config.theta1_km;
+        // Guard against pathological δd ever looping forever.
+        let mut iterations = 0;
+        while theta <= config.theta2_km + 1e-9 && moved < max_movable && iterations < 10_000 {
+            let round = solve_round(
+                input,
+                config,
+                &parts,
+                &phi_s,
+                &phi_t,
+                theta,
+                config.content_aggregation,
+                cluster_of,
+                allow_pair,
+            );
+            apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
+            theta += config.delta_km;
+            iterations += 1;
+        }
+        // Residual pass on the plain Gd at θ₂ (Algorithm 1 lines 11–13):
+        // anything still unmoved within the collaboration radius moves on
+        // latency alone; the rest will spill to the CDN server.
+        if moved < max_movable {
+            let round = solve_round(
+                input,
+                config,
+                &parts,
+                &phi_s,
+                &phi_t,
+                config.theta2_km,
+                false,
+                cluster_of,
+                allow_pair,
+            );
+            apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
+        }
+    }
+
+    BalanceOutcome { flows, moved, max_movable }
+}
+
+/// One MCMF solve at threshold `theta`; returns per-(slot-index) flows.
+#[allow(clippy::too_many_arguments)]
+fn solve_round(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    parts: &Participants,
+    phi_s: &[u64],
+    phi_t: &[u64],
+    theta: f64,
+    with_guides: bool,
+    cluster_of: &[usize],
+    allow_pair: &dyn Fn(usize, usize) -> bool,
+) -> Vec<((usize, usize), u64)> {
+    let mut builder = GraphBuilder::new(&Participants {
+        overloaded: parts
+            .overloaded
+            .iter()
+            .zip(phi_s)
+            .map(|(&(h, _), &p)| (h, p))
+            .collect(),
+        under: parts.under.iter().zip(phi_t).map(|(&(h, _), &p)| (h, p)).collect(),
+    });
+
+    // Candidate edges under the threshold.
+    let mut candidates: Vec<Vec<(usize, f64)>> = vec![Vec::new(); parts.under.len()];
+    for (si, &(i, _)) in parts.overloaded.iter().enumerate() {
+        if phi_s[si] == 0 {
+            continue;
+        }
+        for (ti, &(j, _)) in parts.under.iter().enumerate() {
+            if phi_t[ti] == 0 {
+                continue;
+            }
+            if !allow_pair(i, j) {
+                continue;
+            }
+            let d = input.geometry.distance(HotspotId(i), HotspotId(j));
+            if d < theta {
+                candidates[ti].push((si, d));
+            }
+        }
+    }
+
+    for (ti, cands) in candidates.iter().enumerate() {
+        let phi_j = phi_t[ti];
+        if cands.is_empty() || phi_j == 0 {
+            continue;
+        }
+        if !with_guides {
+            for &(si, d) in cands {
+                builder.direct_edge(si, ti, phi_s[si].min(phi_j), d);
+            }
+            continue;
+        }
+        let j_hotspot = parts.under[ti].0;
+        let j_cluster = cluster_of.get(j_hotspot).copied().unwrap_or(usize::MAX);
+        // Group candidate sources by content cluster.
+        let mut by_cluster: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+        for &(si, d) in cands {
+            let i_hotspot = parts.overloaded[si].0;
+            let i_cluster = cluster_of.get(i_hotspot).copied().unwrap_or(usize::MAX);
+            by_cluster.entry(i_cluster).or_default().push((si, d));
+        }
+        let mut grouped: Vec<(usize, Vec<(usize, f64)>)> = by_cluster.into_iter().collect();
+        grouped.sort_by_key(|&(k, _)| k);
+        for (k, members) in grouped {
+            let phi_sum: u64 = members.iter().map(|&(si, _)| phi_s[si].min(phi_j)).sum();
+            let eligible = phi_sum * 2 >= phi_j || k == j_cluster;
+            if eligible && members.len() > 1 {
+                let sources: Vec<(usize, u64)> =
+                    members.iter().map(|&(si, _)| (si, phi_s[si].min(phi_j))).collect();
+                let out_capacity = phi_sum.min(phi_j);
+                let out_cost = match config.guide_cost {
+                    GuideCost::MeanLatency => {
+                        members.iter().map(|&(_, d)| d).sum::<f64>() / members.len() as f64
+                    }
+                    GuideCost::PaperLiteral => phi_sum as f64 / members.len() as f64,
+                };
+                builder.guide_node(&sources, ti, out_capacity, out_cost);
+            } else {
+                for &(si, d) in &members {
+                    builder.direct_edge(si, ti, phi_s[si].min(phi_j), d);
+                }
+            }
+        }
+    }
+
+    let pair_edges = std::mem::take(&mut builder.pair_edges);
+    let mut net = builder.net;
+    let _ = net
+        .min_cost_max_flow(builder.source, builder.sink, config.mcmf)
+        .expect("valid endpoints");
+    pair_edges
+        .into_iter()
+        .filter_map(|(e, si, ti)| {
+            let f = net.edge_flow(e);
+            (f > 0).then_some(((si, ti), f as u64))
+        })
+        .collect()
+}
+
+fn apply_round(
+    parts: &Participants,
+    round: &[((usize, usize), u64)],
+    phi_s: &mut [u64],
+    phi_t: &mut [u64],
+    flows: &mut HashMap<(HotspotId, HotspotId), u64>,
+    moved: &mut u64,
+) {
+    for &((si, ti), f) in round {
+        phi_s[si] -= f;
+        phi_t[ti] -= f;
+        let i = HotspotId(parts.overloaded[si].0);
+        let j = HotspotId(parts.under[ti].0);
+        *flows.entry((i, j)).or_insert(0) += f;
+        *moved += f;
+    }
+}

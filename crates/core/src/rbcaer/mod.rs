@@ -1,0 +1,222 @@
+//! The RBCAer scheduler (§IV): clustering → balancing → Procedure 1.
+
+pub(crate) mod balancing;
+pub(crate) mod clustering;
+pub(crate) mod procedure;
+
+use crate::config::RbcaerConfig;
+use ccdn_sim::{Scheme, SlotDecision, SlotInput};
+
+/// The paper's **Request-Balancing and Content-Aggregation** scheduler.
+///
+/// Per timeslot (Algorithm 1 + Procedure 1):
+///
+/// 1. cluster hotspots by Jaccard content distance over their Top-20 %
+///    requested videos (§IV-B);
+/// 2. balance overload through min-cost max-flow over `Gc` — the
+///    latency-cost network `Gd` rewired with flow-guide nodes so similar
+///    overloaded hotspots drain into the same under-utilized hotspot —
+///    sweeping the latency threshold `θ₁ → θ₂` (§IV-A/§IV-C);
+/// 3. run Procedure 1 to pick the redirected videos (most aggregative
+///    first), pin them into target caches, fill remaining cache with
+///    local populars, and spill what no hotspot can serve to the CDN
+///    (§IV-D).
+///
+/// The scheme is deterministic; the [`Runner`](ccdn_sim::Runner) validates
+/// every decision against the model constraints (Eqs. 4–7).
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_core::{Rbcaer, RbcaerConfig};
+/// use ccdn_sim::Runner;
+/// use ccdn_trace::TraceConfig;
+///
+/// let trace = TraceConfig::small_test().generate();
+/// let report = Runner::new(&trace)
+///     .run(&mut Rbcaer::new(RbcaerConfig::default()))
+///     .unwrap();
+/// assert!(report.total.hotspot_serving_ratio() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rbcaer {
+    config: RbcaerConfig,
+}
+
+impl Rbcaer {
+    /// Creates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`RbcaerConfig::validate`].
+    pub fn new(config: RbcaerConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid RBCAer configuration: {e}");
+        }
+        Rbcaer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RbcaerConfig {
+        &self.config
+    }
+
+    /// Runs only the balancing stage on one slot — exposed for the Fig. 9
+    /// analysis and the ablation benches.
+    pub fn balance_only(&self, input: &SlotInput<'_>) -> balancing::BalanceOutcome {
+        let clusters = if self.config.content_aggregation {
+            clustering::content_clusters(input, &self.config)
+        } else {
+            vec![0; input.hotspot_count()]
+        };
+        balancing::balance(input, &self.config, &clusters)
+    }
+}
+
+impl Scheme for Rbcaer {
+    fn name(&self) -> &str {
+        if self.config.content_aggregation {
+            "RBCAer"
+        } else {
+            "RBCAer(balance-only)"
+        }
+    }
+
+    fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+        let outcome = self.balance_only(input);
+        procedure::content_aggregation_replication(input, &outcome, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Nearest;
+    use ccdn_sim::Runner;
+    use ccdn_trace::TraceConfig;
+
+    fn eval_trace() -> ccdn_trace::Trace {
+        TraceConfig::small_test()
+            .with_hotspot_count(40)
+            .with_request_count(8_000)
+            .with_video_count(500)
+            .with_seed(11)
+            .generate()
+    }
+
+    #[test]
+    fn validates_and_covers_all_demand() {
+        let trace = eval_trace();
+        let report =
+            Runner::new(&trace).run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
+        assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+    }
+
+    #[test]
+    fn beats_nearest_on_serving_ratio_and_distance() {
+        let trace = eval_trace();
+        let runner = Runner::new(&trace);
+        let nearest = runner.run(&mut Nearest::new()).unwrap();
+        let rbcaer = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
+        assert!(
+            rbcaer.total.hotspot_serving_ratio()
+                >= nearest.total.hotspot_serving_ratio() - 1e-9,
+            "rbcaer {} < nearest {}",
+            rbcaer.total.hotspot_serving_ratio(),
+            nearest.total.hotspot_serving_ratio()
+        );
+        assert!(
+            rbcaer.total.average_distance_km() <= nearest.total.average_distance_km() + 1e-9,
+            "rbcaer {} km > nearest {} km",
+            rbcaer.total.average_distance_km(),
+            nearest.total.average_distance_km()
+        );
+    }
+
+    #[test]
+    fn balance_only_ablation_also_validates() {
+        let trace = eval_trace();
+        let config = RbcaerConfig { content_aggregation: false, ..RbcaerConfig::default() };
+        let report = Runner::new(&trace).run(&mut Rbcaer::new(config)).unwrap();
+        assert!(report.total.hotspot_serving_ratio() > 0.0);
+    }
+
+    #[test]
+    fn content_aggregation_does_not_replicate_more() {
+        // The whole point of the aggregation stage: same or fewer replicas
+        // than blind balancing.
+        let trace = eval_trace();
+        let runner = Runner::new(&trace);
+        let with = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
+        let without = runner
+            .run(&mut Rbcaer::new(RbcaerConfig {
+                content_aggregation: false,
+                ..RbcaerConfig::default()
+            }))
+            .unwrap();
+        assert!(
+            with.total.replication_cost() <= without.total.replication_cost() * 1.05 + 1e-9,
+            "aggregation made replication worse: {} vs {}",
+            with.total.replication_cost(),
+            without.total.replication_cost()
+        );
+    }
+
+    #[test]
+    fn flows_respect_phi_bounds() {
+        let trace = eval_trace();
+        let runner = Runner::new(&trace);
+        let geometry = runner.geometry();
+        let scheduler = Rbcaer::new(RbcaerConfig::default());
+        for slot in 0..trace.slot_count {
+            let demand = ccdn_sim::SlotDemand::aggregate(trace.slot_requests(slot), geometry);
+            let service: Vec<u64> =
+                trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+            let cache: Vec<u64> =
+                trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+            let input = ccdn_sim::SlotInput {
+                geometry,
+                demand: &demand,
+                service_capacity: &service,
+                cache_capacity: &cache,
+                video_count: trace.video_count,
+            };
+            let outcome = scheduler.balance_only(&input);
+            assert!(outcome.moved <= outcome.max_movable);
+            // Per-source and per-target flow sums within φ.
+            let mut out = std::collections::HashMap::new();
+            let mut inc = std::collections::HashMap::new();
+            for (&(i, j), &f) in &outcome.flows {
+                *out.entry(i).or_insert(0u64) += f;
+                *inc.entry(j).or_insert(0u64) += f;
+                // Flows only leave overloaded hotspots for under-utilized
+                // ones within θ₂.
+                assert!(demand.load(i) > service[i.0]);
+                assert!(demand.load(j) < service[j.0]);
+                assert!(geometry.distance(i, j) < scheduler.config().theta2_km + 1e-9);
+            }
+            for (i, &o) in &out {
+                assert!(o <= demand.load(*i) - service[i.0]);
+            }
+            for (j, &c) in &inc {
+                assert!(c <= service[j.0] - demand.load(*j));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let result = std::panic::catch_unwind(|| {
+            Rbcaer::new(RbcaerConfig { delta_km: -1.0, ..RbcaerConfig::default() })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn name_reflects_ablation() {
+        assert_eq!(Rbcaer::new(RbcaerConfig::default()).name(), "RBCAer");
+        let ablated =
+            Rbcaer::new(RbcaerConfig { content_aggregation: false, ..RbcaerConfig::default() });
+        assert_eq!(ablated.name(), "RBCAer(balance-only)");
+    }
+}

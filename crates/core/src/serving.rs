@@ -1,0 +1,184 @@
+use ccdn_sim::{SlotDecision, Target};
+use ccdn_trace::{HotspotId, VideoId};
+use std::collections::HashSet;
+
+/// Outcome of [`serve_locally`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct LocalServeOutcome {
+    /// Requests served at the hotspot.
+    pub served: u64,
+    /// Requests pushed to the CDN server.
+    pub to_cdn: u64,
+}
+
+/// Greedy local serving and cache fill at one hotspot — the common tail of
+/// every scheme: once redirections are fixed, each hotspot serves its own
+/// remaining demand most-popular-first, caching videos as cache slots (and
+/// the optional replication budget) allow, and spills the rest to the CDN.
+///
+/// `demand` is the remaining local demand (`λ_hv` minus whatever was
+/// redirected away); `already_placed` are videos previously pinned into
+/// `h`'s cache this slot (e.g. by Procedure 1 for incoming redirections) —
+/// they can be served without consuming a new cache slot. New placements
+/// are appended to `decision` and consume `cache_slots_left` and one unit
+/// of `replication_budget` each; a video is only newly placed while some
+/// serving capacity remains (placing an unservable video would be pure
+/// replication waste).
+pub(crate) fn serve_locally(
+    decision: &mut SlotDecision,
+    h: HotspotId,
+    demand: &[(VideoId, u64)],
+    already_placed: &HashSet<VideoId>,
+    mut cache_slots_left: u64,
+    mut capacity_left: u64,
+    replication_budget: &mut Option<u64>,
+) -> LocalServeOutcome {
+    let mut by_popularity: Vec<(VideoId, u64)> =
+        demand.iter().copied().filter(|&(_, c)| c > 0).collect();
+    by_popularity.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut outcome = LocalServeOutcome::default();
+    for (video, count) in by_popularity {
+        let mut placed = already_placed.contains(&video);
+        if !placed && cache_slots_left > 0 && capacity_left > 0 {
+            let budget_ok = match replication_budget {
+                Some(b) => {
+                    if *b > 0 {
+                        *b -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => true,
+            };
+            if budget_ok {
+                decision.place(h, video);
+                cache_slots_left -= 1;
+                placed = true;
+            }
+        }
+        let served = if placed { count.min(capacity_left) } else { 0 };
+        if served > 0 {
+            decision.assign(h, video, Target::Hotspot(h), served);
+            capacity_left -= served;
+            outcome.served += served;
+        }
+        let spill = count - served;
+        if spill > 0 {
+            decision.assign(h, video, Target::Cdn, spill);
+            outcome.to_cdn += spill;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand() -> Vec<(VideoId, u64)> {
+        vec![(VideoId(1), 5), (VideoId(2), 3), (VideoId(3), 1)]
+    }
+
+    #[test]
+    fn serves_most_popular_first_under_tight_capacity() {
+        let mut d = SlotDecision::new(1);
+        let out = serve_locally(
+            &mut d,
+            HotspotId(0),
+            &demand(),
+            &HashSet::new(),
+            10,
+            6,
+            &mut None,
+        );
+        assert_eq!(out.served, 6);
+        assert_eq!(out.to_cdn, 3);
+        // v1 fully served, v2 partially (1 of 3), v3 unserved but not placed
+        // (capacity exhausted).
+        let placed: Vec<VideoId> = d.placements[0].clone();
+        assert_eq!(placed, vec![VideoId(1), VideoId(2)]);
+    }
+
+    #[test]
+    fn cache_limit_spills_to_cdn() {
+        let mut d = SlotDecision::new(1);
+        let out = serve_locally(
+            &mut d,
+            HotspotId(0),
+            &demand(),
+            &HashSet::new(),
+            1,
+            100,
+            &mut None,
+        );
+        assert_eq!(out.served, 5);
+        assert_eq!(out.to_cdn, 4);
+        assert_eq!(d.placements[0], vec![VideoId(1)]);
+    }
+
+    #[test]
+    fn already_placed_videos_consume_no_cache_slot() {
+        let mut d = SlotDecision::new(1);
+        let pinned: HashSet<VideoId> = [VideoId(2)].into_iter().collect();
+        let out =
+            serve_locally(&mut d, HotspotId(0), &demand(), &pinned, 1, 100, &mut None);
+        // v1 takes the single slot; v2 rides the pinned placement; v3 spills.
+        assert_eq!(out.served, 8);
+        assert_eq!(out.to_cdn, 1);
+        assert_eq!(d.placements[0], vec![VideoId(1)]);
+    }
+
+    #[test]
+    fn replication_budget_caps_new_placements() {
+        let mut d = SlotDecision::new(1);
+        let mut budget = Some(1);
+        let out = serve_locally(
+            &mut d,
+            HotspotId(0),
+            &demand(),
+            &HashSet::new(),
+            10,
+            100,
+            &mut budget,
+        );
+        assert_eq!(d.placements[0].len(), 1);
+        assert_eq!(out.served, 5);
+        assert_eq!(out.to_cdn, 4);
+        assert_eq!(budget, Some(0));
+    }
+
+    #[test]
+    fn zero_capacity_serves_nothing_and_places_nothing() {
+        let mut d = SlotDecision::new(1);
+        let out = serve_locally(
+            &mut d,
+            HotspotId(0),
+            &demand(),
+            &HashSet::new(),
+            10,
+            0,
+            &mut None,
+        );
+        assert_eq!(out.served, 0);
+        assert_eq!(out.to_cdn, 9);
+        assert!(d.placements[0].is_empty());
+    }
+
+    #[test]
+    fn zero_count_entries_are_ignored() {
+        let mut d = SlotDecision::new(1);
+        let out = serve_locally(
+            &mut d,
+            HotspotId(0),
+            &[(VideoId(1), 0)],
+            &HashSet::new(),
+            10,
+            10,
+            &mut None,
+        );
+        assert_eq!(out, LocalServeOutcome::default());
+        assert!(d.assignments.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests over randomly generated traces and configurations:
+//! every scheme must produce a valid decision (the `Runner` enforces the
+//! paper's Eqs. 4–7) on *any* input, and RBCAer's balancing invariants
+//! must hold regardless of parameters.
+
+use ccdn_core::{HierarchicalRbcaer, LocalRandom, Nearest, Rbcaer, RbcaerConfig};
+use ccdn_sim::Runner;
+use ccdn_trace::TraceConfig;
+use proptest::prelude::*;
+
+fn trace_strategy() -> impl Strategy<Value = ccdn_trace::Trace> {
+    (
+        1usize..30,    // hotspots
+        0usize..2_000, // requests
+        1usize..300,   // videos
+        0u64..1_000,   // seed
+        1u32..5,       // slots
+        prop::sample::select(vec![0.01, 0.05, 0.2]),
+        prop::sample::select(vec![0.01, 0.03, 0.3]),
+    )
+        .prop_map(|(hotspots, requests, videos, seed, slots, service, cache)| {
+            TraceConfig::small_test()
+                .with_hotspot_count(hotspots)
+                .with_request_count(requests)
+                .with_video_count(videos)
+                .with_seed(seed)
+                .with_slot_count(slots)
+                .with_service_capacity_fraction(service)
+                .with_cache_capacity_fraction(cache)
+                .generate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rbcaer_is_always_valid_and_conserving(trace in trace_strategy()) {
+        let report = Runner::new(&trace)
+            .run(&mut Rbcaer::new(RbcaerConfig::default()))
+            .expect("rbcaer must validate on every input");
+        prop_assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+        prop_assert!(report.total.hotspot_serving_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn baselines_are_always_valid(trace in trace_strategy()) {
+        let runner = Runner::new(&trace);
+        runner.run(&mut Nearest::new()).expect("nearest validates");
+        runner.run(&mut LocalRandom::new(1.5, 3)).expect("random validates");
+    }
+
+    #[test]
+    fn hierarchical_is_always_valid(
+        trace in trace_strategy(),
+        rows in 1usize..4,
+        cols in 1usize..4,
+    ) {
+        Runner::new(&trace)
+            .run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), rows, cols))
+            .expect("hierarchical validates");
+    }
+
+    #[test]
+    fn rbcaer_valid_under_random_parameters(
+        trace in trace_strategy(),
+        theta1 in 0.0f64..2.0,
+        extra in 0.0f64..6.0,
+        delta in prop::sample::select(vec![0.1, 0.5, 1.0, 2.0]),
+        top in prop::sample::select(vec![0.05, 0.2, 1.0]),
+        threshold in 0.0f64..=1.0,
+        aggregation in any::<bool>(),
+    ) {
+        let config = RbcaerConfig {
+            theta1_km: theta1,
+            theta2_km: theta1 + extra,
+            delta_km: delta,
+            top_fraction: top,
+            cluster_threshold: threshold,
+            content_aggregation: aggregation,
+            ..RbcaerConfig::default()
+        };
+        let report = Runner::new(&trace)
+            .run(&mut Rbcaer::new(config))
+            .expect("rbcaer must validate under any legal config");
+        prop_assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+    }
+
+    #[test]
+    fn rbcaer_never_loses_to_nearest_on_serving(trace in trace_strategy()) {
+        let runner = Runner::new(&trace);
+        let nearest = runner.run(&mut Nearest::new()).expect("nearest validates");
+        let rbcaer = runner
+            .run(&mut Rbcaer::new(RbcaerConfig::default()))
+            .expect("rbcaer validates");
+        prop_assert!(
+            rbcaer.total.hotspot_serving_ratio()
+                >= nearest.total.hotspot_serving_ratio() - 1e-9,
+            "rbcaer {} < nearest {}",
+            rbcaer.total.hotspot_serving_ratio(),
+            nearest.total.hotspot_serving_ratio()
+        );
+    }
+}

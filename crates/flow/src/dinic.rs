@@ -1,0 +1,238 @@
+use crate::network::{FlowError, FlowNetwork};
+use std::collections::VecDeque;
+
+impl FlowNetwork {
+    /// Computes a maximum flow from `source` to `sink` using Dinic's
+    /// algorithm (`O(V²E)` in general, much faster on the shallow layered
+    /// graphs RBCAer builds). Flows remain recorded on the network;
+    /// inspect them with [`FlowNetwork::edge_flow`] or reset with
+    /// [`FlowNetwork::reset_flow`].
+    ///
+    /// Algorithm 1 of the paper uses the max-flow value to size the total
+    /// moveable workload between overloaded and under-utilized hotspots,
+    /// and Fig. 9 reports the fraction of that max flow achievable under a
+    /// latency threshold `θ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::NodeOutOfRange`] or [`FlowError::SourceIsSink`]
+    /// for invalid endpoints.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccdn_flow::FlowNetwork;
+    ///
+    /// let mut net = FlowNetwork::with_nodes(4);
+    /// net.add_edge(0, 1, 3, 0.0)?;
+    /// net.add_edge(0, 2, 2, 0.0)?;
+    /// net.add_edge(1, 3, 2, 0.0)?;
+    /// net.add_edge(2, 3, 3, 0.0)?;
+    /// assert_eq!(net.max_flow_dinic(0, 3)?, 4);
+    /// # Ok::<(), ccdn_flow::FlowError>(())
+    /// ```
+    pub fn max_flow_dinic(&mut self, source: usize, sink: usize) -> Result<i64, FlowError> {
+        self.check_endpoints(source, sink)?;
+        let n = self.node_count();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // BFS: build level graph over residual arcs.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[source] = 0;
+            let mut queue = VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                for &a in &self.adj[u] {
+                    let arc = &self.arcs[a];
+                    if arc.cap > 0 && level[arc.to] < 0 {
+                        level[arc.to] = level[u] + 1;
+                        queue.push_back(arc.to);
+                    }
+                }
+            }
+            if level[sink] < 0 {
+                break;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs_augment(source, sink, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        Ok(total)
+    }
+
+    fn dfs_augment(
+        &mut self,
+        u: usize,
+        sink: usize,
+        limit: i64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> i64 {
+        if u == sink {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let a = self.adj[u][iter[u]];
+            let (to, cap) = {
+                let arc = &self.arcs[a];
+                (arc.to, arc.cap)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs_augment(to, sink, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.arcs[a].cap -= pushed;
+                    self.arcs[a ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn classic_diamond() {
+        let mut net = FlowNetwork::with_nodes(4);
+        net.add_edge(0, 1, 3, 0.0).unwrap();
+        net.add_edge(0, 2, 2, 0.0).unwrap();
+        net.add_edge(1, 3, 2, 0.0).unwrap();
+        net.add_edge(2, 3, 3, 0.0).unwrap();
+        net.add_edge(1, 2, 10, 0.0).unwrap();
+        assert_eq!(net.max_flow_dinic(0, 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn disconnected_source_sink_gives_zero() {
+        let mut net = FlowNetwork::with_nodes(4);
+        net.add_edge(0, 1, 3, 0.0).unwrap();
+        net.add_edge(2, 3, 3, 0.0).unwrap();
+        assert_eq!(net.max_flow_dinic(0, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn flow_bounded_by_min_cut() {
+        // Bottleneck edge of capacity 1 in the middle.
+        let mut net = FlowNetwork::with_nodes(4);
+        net.add_edge(0, 1, 100, 0.0).unwrap();
+        net.add_edge(1, 2, 1, 0.0).unwrap();
+        net.add_edge(2, 3, 100, 0.0).unwrap();
+        assert_eq!(net.max_flow_dinic(0, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::with_nodes(2);
+        net.add_edge(0, 1, 2, 0.0).unwrap();
+        net.add_edge(0, 1, 3, 0.0).unwrap();
+        assert_eq!(net.max_flow_dinic(0, 1).unwrap(), 5);
+    }
+
+    #[test]
+    fn invalid_endpoints_error() {
+        let mut net = FlowNetwork::with_nodes(2);
+        assert_eq!(net.max_flow_dinic(0, 0), Err(FlowError::SourceIsSink));
+        assert!(matches!(net.max_flow_dinic(0, 9), Err(FlowError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn conservation_holds_after_solving() {
+        let mut net = FlowNetwork::with_nodes(5);
+        net.add_edge(0, 1, 4, 0.0).unwrap();
+        net.add_edge(0, 2, 4, 0.0).unwrap();
+        net.add_edge(1, 3, 3, 0.0).unwrap();
+        net.add_edge(2, 3, 2, 0.0).unwrap();
+        net.add_edge(1, 2, 1, 0.0).unwrap();
+        net.add_edge(3, 4, 10, 0.0).unwrap();
+        let f = net.max_flow_dinic(0, 4).unwrap();
+        assert_eq!(f, 5);
+        assert_eq!(net.net_outflow(0), f);
+        assert_eq!(net.net_outflow(4), -f);
+        for node in 1..4 {
+            assert_eq!(net.net_outflow(node), 0, "node {node} not conserved");
+        }
+    }
+
+    #[test]
+    fn reset_flow_restores_capacities() {
+        let mut net = FlowNetwork::with_nodes(2);
+        let e = net.add_edge(0, 1, 5, 0.0).unwrap();
+        assert_eq!(net.max_flow_dinic(0, 1).unwrap(), 5);
+        assert_eq!(net.edge_flow(e), 5);
+        net.reset_flow();
+        assert_eq!(net.edge_flow(e), 0);
+        assert_eq!(net.max_flow_dinic(0, 1).unwrap(), 5);
+    }
+
+    /// Brute-force max flow via repeated BFS augmenting paths
+    /// (Edmonds–Karp) on an independent matrix representation.
+    fn edmonds_karp(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) -> i64 {
+        let mut cap = vec![vec![0i64; n]; n];
+        for &(u, v, c) in edges {
+            cap[u][v] += c;
+        }
+        let mut flow = 0;
+        loop {
+            let mut parent = vec![usize::MAX; n];
+            parent[s] = s;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..n {
+                    if parent[v] == usize::MAX && cap[u][v] > 0 {
+                        parent[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if parent[t] == usize::MAX {
+                return flow;
+            }
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                bottleneck = bottleneck.min(cap[u][v]);
+                v = u;
+            }
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                cap[u][v] -= bottleneck;
+                cap[v][u] += bottleneck;
+                v = u;
+            }
+            flow += bottleneck;
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_edmonds_karp() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for case in 0..30 {
+            let n = rng.gen_range(2..12);
+            let m = rng.gen_range(0..40);
+            let edges: Vec<(usize, usize, i64)> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..20)))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let mut net = FlowNetwork::with_nodes(n);
+            for &(u, v, c) in &edges {
+                net.add_edge(u, v, c, 0.0).unwrap();
+            }
+            let got = net.max_flow_dinic(0, n - 1).unwrap();
+            let want = edmonds_karp(n, &edges, 0, n - 1);
+            assert_eq!(got, want, "case {case}: n={n} edges={edges:?}");
+        }
+    }
+}

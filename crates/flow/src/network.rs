@@ -1,0 +1,309 @@
+use std::fmt;
+
+/// Identifier of a forward arc returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) usize);
+
+/// Error type for flow-network construction and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// An endpoint referenced a node that does not exist.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// Edge capacity was negative.
+    NegativeCapacity,
+    /// Edge cost was negative or non-finite (solvers require costs ≥ 0).
+    BadCost,
+    /// Source and sink were the same node.
+    SourceIsSink,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for network of {nodes} nodes")
+            }
+            FlowError::NegativeCapacity => write!(f, "edge capacity must be non-negative"),
+            FlowError::BadCost => write!(f, "edge cost must be finite and non-negative"),
+            FlowError::SourceIsSink => write!(f, "source and sink must differ"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Arc {
+    pub(crate) to: usize,
+    /// Remaining (residual) capacity.
+    pub(crate) cap: i64,
+    pub(crate) cost: f64,
+}
+
+/// A directed flow network in the paired-arc residual representation.
+///
+/// Every call to [`add_edge`](FlowNetwork::add_edge) stores a forward arc
+/// and its zero-capacity reverse companion at adjacent indices, so the
+/// reverse of arc `e` is always `e ^ 1` — the standard competitive-
+/// programming layout, chosen here for cache-friendliness on the dense
+/// bipartite graphs RBCAer builds every timeslot.
+///
+/// Capacities are `i64` (request counts in the paper's model); costs are
+/// non-negative `f64` (geographic distances standing in for latency).
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_flow::FlowNetwork;
+///
+/// let mut net = FlowNetwork::with_nodes(3);
+/// let e = net.add_edge(0, 1, 10, 2.5)?;
+/// net.add_edge(1, 2, 5, 0.0)?;
+/// assert_eq!(net.node_count(), 3);
+/// assert_eq!(net.edge_count(), 2);
+/// assert_eq!(net.edge_flow(e), 0);
+/// # Ok::<(), ccdn_flow::FlowError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    pub(crate) arcs: Vec<Arc>,
+    /// Outgoing arc indexes per node (forward and reverse arcs alike).
+    pub(crate) adj: Vec<Vec<usize>>,
+    /// Original capacity of each *forward* arc, indexed by `EdgeId.0 / 2`.
+    original_caps: Vec<i64>,
+}
+
+/// A read-only view of one forward arc, as returned by
+/// [`FlowNetwork::edges`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeView {
+    /// The arc's identifier.
+    pub id: EdgeId,
+    /// Tail node.
+    pub from: usize,
+    /// Head node.
+    pub to: usize,
+    /// Original capacity.
+    pub capacity: i64,
+    /// Flow currently assigned.
+    pub flow: i64,
+    /// Per-unit cost.
+    pub cost: f64,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network with no nodes.
+    pub fn new() -> Self {
+        FlowNetwork::default()
+    }
+
+    /// Creates a network with `n` isolated nodes `0..n`.
+    pub fn with_nodes(n: usize) -> Self {
+        FlowNetwork { arcs: Vec::new(), adj: vec![Vec::new(); n], original_caps: Vec::new() }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    pub fn edge_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and
+    /// per-unit cost, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// - [`FlowError::NodeOutOfRange`] if an endpoint does not exist;
+    /// - [`FlowError::NegativeCapacity`] if `capacity < 0`;
+    /// - [`FlowError::BadCost`] if `cost` is negative or non-finite (the
+    ///   Dijkstra-based solver requires non-negative costs; all costs in
+    ///   the paper's networks are distances or averaged distances, hence
+    ///   non-negative).
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        capacity: i64,
+        cost: f64,
+    ) -> Result<EdgeId, FlowError> {
+        let nodes = self.node_count();
+        for node in [from, to] {
+            if node >= nodes {
+                return Err(FlowError::NodeOutOfRange { node, nodes });
+            }
+        }
+        if capacity < 0 {
+            return Err(FlowError::NegativeCapacity);
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(FlowError::BadCost);
+        }
+        let fwd = self.arcs.len();
+        self.arcs.push(Arc { to, cap: capacity, cost });
+        self.arcs.push(Arc { to: from, cap: 0, cost: -cost });
+        self.adj[from].push(fwd);
+        self.adj[to].push(fwd + 1);
+        self.original_caps.push(capacity);
+        Ok(EdgeId(fwd))
+    }
+
+    /// Flow currently assigned to edge `id` (original capacity minus
+    /// remaining residual capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this network.
+    pub fn edge_flow(&self, id: EdgeId) -> i64 {
+        self.original_caps[id.0 / 2] - self.arcs[id.0].cap
+    }
+
+    /// Original capacity of edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this network.
+    pub fn edge_capacity(&self, id: EdgeId) -> i64 {
+        self.original_caps[id.0 / 2]
+    }
+
+    /// Views over all forward edges in insertion order.
+    pub fn edges(&self) -> Vec<EdgeView> {
+        (0..self.edge_count())
+            .map(|i| {
+                let fwd = 2 * i;
+                let id = EdgeId(fwd);
+                EdgeView {
+                    id,
+                    from: self.arcs[fwd + 1].to,
+                    to: self.arcs[fwd].to,
+                    capacity: self.original_caps[i],
+                    flow: self.edge_flow(id),
+                    cost: self.arcs[fwd].cost,
+                }
+            })
+            .collect()
+    }
+
+    /// Resets all flows to zero, restoring original capacities.
+    pub fn reset_flow(&mut self) {
+        for i in 0..self.edge_count() {
+            let cap = self.original_caps[i];
+            let fwd = 2 * i;
+            self.arcs[fwd].cap = cap;
+            self.arcs[fwd + 1].cap = 0;
+        }
+    }
+
+    /// Net flow out of `node` (outgoing minus incoming flow on forward
+    /// edges). Zero for every node except sources/sinks of a valid flow —
+    /// used by tests to assert conservation.
+    pub fn net_outflow(&self, node: usize) -> i64 {
+        let mut net = 0;
+        for view in self.edges() {
+            if view.from == node {
+                net += view.flow;
+            }
+            if view.to == node {
+                net -= view.flow;
+            }
+        }
+        net
+    }
+
+    pub(crate) fn check_endpoints(&self, source: usize, sink: usize) -> Result<(), FlowError> {
+        let nodes = self.node_count();
+        for node in [source, sink] {
+            if node >= nodes {
+                return Err(FlowError::NodeOutOfRange { node, nodes });
+            }
+        }
+        if source == sink {
+            return Err(FlowError::SourceIsSink);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut net = FlowNetwork::with_nodes(2);
+        let e = net.add_edge(0, 1, 7, 3.0).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.edge_capacity(e), 7);
+        assert_eq!(net.edge_flow(e), 0);
+        let views = net.edges();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].from, 0);
+        assert_eq!(views[0].to, 1);
+        assert_eq!(views[0].capacity, 7);
+        assert_eq!(views[0].cost, 3.0);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut net = FlowNetwork::new();
+        assert_eq!(net.node_count(), 0);
+        let a = net.add_node();
+        let b = net.add_node();
+        assert_eq!((a, b), (0, 1));
+        assert!(net.add_edge(a, b, 1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut net = FlowNetwork::with_nodes(2);
+        assert_eq!(
+            net.add_edge(0, 5, 1, 0.0),
+            Err(FlowError::NodeOutOfRange { node: 5, nodes: 2 })
+        );
+        assert_eq!(net.add_edge(0, 1, -1, 0.0), Err(FlowError::NegativeCapacity));
+        assert_eq!(net.add_edge(0, 1, 1, -2.0), Err(FlowError::BadCost));
+        assert_eq!(net.add_edge(0, 1, 1, f64::NAN), Err(FlowError::BadCost));
+    }
+
+    #[test]
+    fn zero_capacity_edge_is_allowed() {
+        let mut net = FlowNetwork::with_nodes(2);
+        let e = net.add_edge(0, 1, 0, 1.0).unwrap();
+        assert_eq!(net.edge_capacity(e), 0);
+    }
+
+    #[test]
+    fn self_loop_edge_is_allowed_but_carries_no_useful_flow() {
+        let mut net = FlowNetwork::with_nodes(1);
+        let e = net.add_edge(0, 0, 5, 1.0).unwrap();
+        assert_eq!(net.edge_flow(e), 0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for err in [
+            FlowError::NodeOutOfRange { node: 3, nodes: 1 },
+            FlowError::NegativeCapacity,
+            FlowError::BadCost,
+            FlowError::SourceIsSink,
+        ] {
+            assert!(!format!("{err}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,376 @@
+use crate::{Point, Rect};
+
+/// A uniform-grid spatial index over a fixed set of points.
+///
+/// Supports exact nearest-neighbour queries (expanding ring search) and
+/// radius queries. In this reproduction it is used to
+///
+/// - map every user request to its **nearest content hotspot** (the paper
+///   aggregates requests to their nearest hotspot before scheduling, §III),
+/// - enumerate hotspot pairs within the latency threshold `θ` when building
+///   the balancing flow network `Gd` (§IV-A), and
+/// - find candidate serving hotspots within 1.5 km for the Random baseline
+///   (§V-A).
+///
+/// Build cost is `O(n)`; queries are `O(points inspected)`, which for the
+/// paper's densities is a small constant.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_geo::{GridIndex, Point, Rect};
+///
+/// let region = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+/// let pts = vec![Point::new(1.0, 1.0), Point::new(9.0, 9.0), Point::new(5.0, 5.0)];
+/// let idx = GridIndex::build(region, 1.0, pts.iter().copied());
+///
+/// assert_eq!(idx.nearest(Point::new(4.5, 5.5)).unwrap().0, 2);
+/// let near: Vec<usize> = idx.within_radius(Point::new(0.0, 0.0), 2.0);
+/// assert_eq!(near, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bounds: Rect,
+    cell_km: f64,
+    cols: usize,
+    rows: usize,
+    /// For each cell, indexes of the points it contains.
+    cells: Vec<Vec<usize>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points`, bucketing into square cells of side
+    /// `cell_km` within `bounds`. Points outside `bounds` are clamped into
+    /// the boundary cells (distances still use true coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_km` is not strictly positive and finite, or if any
+    /// point has a non-finite coordinate.
+    pub fn build<I>(bounds: Rect, cell_km: f64, points: I) -> Self
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        assert!(
+            cell_km.is_finite() && cell_km > 0.0,
+            "cell size must be positive and finite"
+        );
+        let points: Vec<Point> = points.into_iter().collect();
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        }
+        let cols = ((bounds.width() / cell_km).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell_km).ceil() as usize).max(1);
+        let mut cells = vec![Vec::new(); cols * rows];
+        let mut index = GridIndex { bounds, cell_km, cols, rows, cells: Vec::new(), points };
+        for (i, &p) in index.points.iter().enumerate() {
+            let c = index.cell_of(p);
+            cells[c].push(i);
+        }
+        index.cells = cells;
+        index
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The index bounds.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    fn col_row(&self, p: Point) -> (usize, usize) {
+        let q = self.bounds.clamp(p);
+        let col = (((q.x - self.bounds.min().x) / self.cell_km) as usize).min(self.cols - 1);
+        let row = (((q.y - self.bounds.min().y) / self.cell_km) as usize).min(self.rows - 1);
+        (col, row)
+    }
+
+    fn cell_of(&self, p: Point) -> usize {
+        let (col, row) = self.col_row(p);
+        row * self.cols + col
+    }
+
+    /// Index and distance of the point nearest to `query`, or `None` when
+    /// the index is empty. Ties break toward the lower point index.
+    ///
+    /// Exact: searches rings of cells outward until the best candidate is
+    /// provably closer than any unvisited cell.
+    pub fn nearest(&self, query: Point) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (qc, qr) = self.col_row(query);
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Any point in a cell of ring `r` is at least `(r-1) * cell_km`
+            // away, so once we hold a candidate at distance `d`, rings beyond
+            // `d / cell_km + 1` cannot improve on it.
+            if let Some((_, d)) = best {
+                if (ring as f64 - 1.0) * self.cell_km > d {
+                    break;
+                }
+            }
+            for (col, row) in ring_cells(qc, qr, ring, self.cols, self.rows) {
+                for &i in &self.cells[row * self.cols + col] {
+                    let d = self.points[i].distance(query);
+                    let better = match best {
+                        None => true,
+                        Some((bi, bd)) => d < bd || (d == bd && i < bi),
+                    };
+                    if better {
+                        best = Some((i, d));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Indexes of all points strictly within `radius_km` of `query`
+    /// (inclusive of the boundary), in ascending index order.
+    pub fn within_radius(&self, query: Point, radius_km: f64) -> Vec<usize> {
+        assert!(radius_km >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        if self.points.is_empty() {
+            return out;
+        }
+        let (qc, qr) = self.col_row(query);
+        let reach = (radius_km / self.cell_km).ceil() as usize + 1;
+        let r2 = radius_km * radius_km;
+        let c_lo = qc.saturating_sub(reach);
+        let c_hi = (qc + reach).min(self.cols - 1);
+        let r_lo = qr.saturating_sub(reach);
+        let r_hi = (qr + reach).min(self.rows - 1);
+        for row in r_lo..=r_hi {
+            for col in c_lo..=c_hi {
+                for &i in &self.cells[row * self.cols + col] {
+                    if self.points[i].distance_squared(query) <= r2 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All unordered point pairs `(i, j)` with `i < j` whose distance is at
+    /// most `radius_km`. Used to enumerate the candidate `Gd` edges under
+    /// the latency threshold `θ` and the "< 5 km" pair sets of Fig. 3.
+    pub fn pairs_within(&self, radius_km: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.points.len() {
+            for j in self.within_radius(self.points[i], radius_km) {
+                if j > i {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cells at Chebyshev distance exactly `ring` from `(qc, qr)`, clipped to
+/// the grid.
+fn ring_cells(
+    qc: usize,
+    qr: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let qc = qc as isize;
+    let qr = qr as isize;
+    let ring = ring as isize;
+    let cols = cols as isize;
+    let rows = rows as isize;
+    let mut cells = Vec::new();
+    if ring == 0 {
+        cells.push((qc, qr));
+    } else {
+        for dc in -ring..=ring {
+            cells.push((qc + dc, qr - ring));
+            cells.push((qc + dc, qr + ring));
+        }
+        for dr in (-ring + 1)..ring {
+            cells.push((qc - ring, qr + dr));
+            cells.push((qc + ring, qr + dr));
+        }
+    }
+    cells
+        .into_iter()
+        .filter(move |&(c, r)| c >= 0 && r >= 0 && c < cols && r < rows)
+        .map(|(c, r)| (c as usize, r as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn region() -> Rect {
+        Rect::new(Point::origin(), Point::new(17.0, 11.0))
+    }
+
+    #[test]
+    fn empty_index_has_no_nearest() {
+        let idx = GridIndex::build(region(), 1.0, std::iter::empty());
+        assert!(idx.is_empty());
+        assert!(idx.nearest(Point::origin()).is_none());
+        assert!(idx.within_radius(Point::origin(), 5.0).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_always_nearest() {
+        let idx = GridIndex::build(region(), 1.0, vec![Point::new(3.0, 3.0)]);
+        let (i, d) = idx.nearest(Point::new(16.0, 10.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - Point::new(3.0, 3.0).distance(Point::new(16.0, 10.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_random_sets() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let pts: Vec<Point> = (0..200)
+                .map(|_| Point::new(rng.gen_range(0.0..17.0), rng.gen_range(0.0..11.0)))
+                .collect();
+            let idx = GridIndex::build(region(), 0.8, pts.iter().copied());
+            for _ in 0..50 {
+                let q = Point::new(rng.gen_range(-2.0..19.0), rng.gen_range(-2.0..13.0));
+                let (gi, gd) = idx.nearest(q).unwrap();
+                let (bi, bd) = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.distance(q)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .unwrap();
+                assert_eq!(gi, bi, "grid={gd} brute={bd} at query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| Point::new(rng.gen_range(0.0..17.0), rng.gen_range(0.0..11.0)))
+            .collect();
+        let idx = GridIndex::build(region(), 1.3, pts.iter().copied());
+        for _ in 0..40 {
+            let q = Point::new(rng.gen_range(0.0..17.0), rng.gen_range(0.0..11.0));
+            let r = rng.gen_range(0.0..6.0);
+            let got = idx.within_radius(q, r);
+            let want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn pairs_within_is_symmetric_and_deduplicated() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.5, 0.0),
+        ];
+        let idx = GridIndex::build(region(), 1.0, pts);
+        let pairs = idx.pairs_within(1.1);
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn points_outside_bounds_are_still_queryable() {
+        let pts = vec![Point::new(-5.0, -5.0), Point::new(30.0, 30.0)];
+        let idx = GridIndex::build(region(), 2.0, pts);
+        assert_eq!(idx.nearest(Point::new(0.0, 0.0)).unwrap().0, 0);
+        assert_eq!(idx.nearest(Point::new(17.0, 11.0)).unwrap().0, 1);
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_to_lowest_index() {
+        let p = Point::new(4.0, 4.0);
+        let idx = GridIndex::build(region(), 1.0, vec![p, p, p]);
+        assert_eq!(idx.nearest(Point::new(4.1, 4.0)).unwrap().0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(region(), 0.0, vec![Point::origin()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_point_panics() {
+        let _ = GridIndex::build(region(), 1.0, vec![Point::new(f64::NAN, 1.0)]);
+    }
+
+    #[test]
+    fn radius_zero_finds_exact_matches_only() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.000001)];
+        let idx = GridIndex::build(region(), 1.0, pts);
+        assert_eq!(idx.within_radius(Point::new(1.0, 1.0), 0.0), vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nearest_agrees_with_brute_force(
+            pts in prop::collection::vec((0.0f64..17.0, 0.0f64..11.0), 1..60),
+            q in (-1.0f64..18.0, -1.0f64..12.0),
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let idx = GridIndex::build(region(), 1.5, pts.iter().copied());
+            let q = Point::from(q);
+            let (gi, _) = idx.nearest(q).unwrap();
+            let (bi, _) = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.distance(q)))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .unwrap();
+            prop_assert_eq!(gi, bi);
+        }
+
+        #[test]
+        fn prop_radius_query_is_sound_and_complete(
+            pts in prop::collection::vec((0.0f64..17.0, 0.0f64..11.0), 0..60),
+            q in (0.0f64..17.0, 0.0f64..11.0),
+            r in 0.0f64..8.0,
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let idx = GridIndex::build(region(), 1.0, pts.iter().copied());
+            let q = Point::from(q);
+            let got = idx.within_radius(q, r);
+            for &i in &got {
+                prop_assert!(pts[i].distance(q) <= r);
+            }
+            for (i, p) in pts.iter().enumerate() {
+                if p.distance(q) <= r {
+                    prop_assert!(got.contains(&i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A location on the planar map, measured in kilometres.
+///
+/// The paper assumes network latency is proportional to geographic distance
+/// (§II, citing RTT-vs-distance measurements), so all "latency" values in
+/// this reproduction are euclidean distances between `Point`s.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_geo::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point {
+    /// Easting coordinate in kilometres.
+    pub x: f64,
+    /// Northing coordinate in kilometres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from easting/northing kilometres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub fn origin() -> Self {
+        Point::default()
+    }
+
+    /// Euclidean distance to `other` in kilometres.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for comparisons.
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, k: f64) -> Point {
+        Point::new(self.x / k, self.y / k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-3.5, 9.0);
+        let b = Point::new(12.0, -1.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(7.25, -0.5);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_distance() {
+        let a = Point::new(0.3, 0.4);
+        let b = Point::new(-1.2, 2.2);
+        assert!((a.distance_squared(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_bisects() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(1.0, 2.0));
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p = Point::new(5.5, -2.25);
+        let t: (f64, f64) = p.into();
+        assert_eq!(Point::from(t), p);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::origin()).is_empty());
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 1.0);
+        let c = Point::new(2.0, 8.0);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle on the planar map, in kilometres.
+///
+/// Used to describe evaluation regions such as the paper's 17 km × 11 km
+/// rectangle of Beijing (§V-A).
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_geo::{Point, Rect};
+///
+/// let region = Rect::new(Point::new(0.0, 0.0), Point::new(17.0, 11.0));
+/// assert_eq!(region.width(), 17.0);
+/// assert_eq!(region.height(), 11.0);
+/// assert!(region.contains(Point::new(8.0, 5.0)));
+/// assert!((region.diagonal() - 20.248).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either corner has a non-finite coordinate.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "rect corners must be finite");
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The paper's evaluation region: a 17 km × 11 km rectangle (§V-A).
+    pub fn paper_eval_region() -> Self {
+        Rect::new(Point::origin(), Point::new(17.0, 11.0))
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Extent along x, in kilometres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Extent along y, in kilometres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square kilometres.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Length of the diagonal, in kilometres.
+    ///
+    /// The paper uses the evaluation-rectangle diagonal (≈20 km) as the
+    /// latency charged for requests served by the origin CDN server.
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the rectangle (inclusive of edges).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The nearest point inside the rectangle to `p` (identity if inside).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::new(Point::new(5.0, 1.0), Point::new(1.0, 7.0));
+        assert_eq!(r.min(), Point::new(1.0, 1.0));
+        assert_eq!(r.max(), Point::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn dimensions() {
+        let r = Rect::new(Point::origin(), Point::new(17.0, 11.0));
+        assert_eq!(r.width(), 17.0);
+        assert_eq!(r.height(), 11.0);
+        assert_eq!(r.area(), 187.0);
+        assert_eq!(r.center(), Point::new(8.5, 5.5));
+    }
+
+    #[test]
+    fn paper_region_diagonal_near_20km() {
+        let r = Rect::paper_eval_region();
+        assert!((r.diagonal() - (17.0_f64.powi(2) + 11.0_f64.powi(2)).sqrt()).abs() < 1e-12);
+        assert!((r.diagonal() - 20.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let r = Rect::new(Point::origin(), Point::new(2.0, 2.0));
+        assert!(r.contains(Point::origin()));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(2.0001, 1.0)));
+        assert!(!r.contains(Point::new(1.0, -0.0001)));
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let r = Rect::new(Point::origin(), Point::new(2.0, 2.0));
+        assert_eq!(r.clamp(Point::new(-1.0, 5.0)), Point::new(0.0, 2.0));
+        assert_eq!(r.clamp(Point::new(1.0, 1.5)), Point::new(1.0, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_corner_panics() {
+        let _ = Rect::new(Point::new(f64::NAN, 0.0), Point::origin());
+    }
+
+    #[test]
+    fn zero_area_rect_is_allowed() {
+        let r = Rect::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains(Point::new(1.0, 1.0)));
+    }
+}

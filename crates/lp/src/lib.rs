@@ -1,0 +1,35 @@
+//! A dense two-phase primal simplex LP solver.
+//!
+//! The paper's Fig. 8 compares RBCAer against an **LP-based scheme**: the
+//! linear relaxation of the joint request-redirection / content-placement
+//! ILP (problem *U*, §III-B), solved by GLPK in the original work. We do
+//! not have GLPK; this crate is the from-scratch substitute. It implements
+//! the classical two-phase tableau simplex with Bland's anti-cycling rule —
+//! more than enough to reproduce the *running-time gap* the figure reports
+//! (the LP relaxation is orders of magnitude slower than RBCAer's
+//! combinatorial pipeline).
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdn_lp::{LpProblem, Relation};
+//!
+//! // maximize x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6   (optimum at (1.6, 1.2))
+//! let mut lp = LpProblem::maximize(2);
+//! lp.set_objective_coefficient(0, 1.0)?;
+//! lp.set_objective_coefficient(1, 1.0)?;
+//! lp.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 4.0)?;
+//! lp.add_constraint(&[(0, 3.0), (1, 1.0)], Relation::Le, 6.0)?;
+//! let sol = lp.solve()?;
+//! assert!((sol.objective - 2.8).abs() < 1e-9);
+//! assert!((sol.values[0] - 1.6).abs() < 1e-9);
+//! assert!((sol.values[1] - 1.2).abs() < 1e-9);
+//! # Ok::<(), ccdn_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod simplex;
+
+pub use simplex::{LpError, LpProblem, LpSolution, Relation};

@@ -1,0 +1,583 @@
+use std::fmt;
+
+const EPS: f64 = 1e-9;
+
+/// Relation of a linear constraint to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `Σ aᵢ xᵢ ≤ b`
+    Le,
+    /// `Σ aᵢ xᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢ xᵢ = b`
+    Eq,
+}
+
+/// Error produced while building or solving an LP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// A variable index exceeded the declared variable count.
+    VariableOutOfRange {
+        /// Offending index.
+        var: usize,
+        /// Declared variable count.
+        vars: usize,
+    },
+    /// A coefficient or bound was NaN/infinite.
+    NonFinite,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The pivot limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { var, vars } => {
+                write!(f, "variable {var} out of range for problem with {vars} variables")
+            }
+            LpError::NonFinite => write!(f, "coefficients must be finite"),
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value (in the problem's original sense).
+    pub objective: f64,
+    /// Optimal value of each structural variable.
+    pub values: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// A linear program over non-negative variables `x ≥ 0`.
+///
+/// Build with [`LpProblem::minimize`] / [`LpProblem::maximize`], add the
+/// objective and constraints, then call [`LpProblem::solve`].
+///
+/// The solver is a dense two-phase tableau simplex with Bland's rule, so
+/// it terminates on every input; expect `O(rows · cols)` work per pivot.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    vars: usize,
+    maximize: bool,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates a minimization problem over `vars` non-negative variables.
+    pub fn minimize(vars: usize) -> Self {
+        LpProblem { vars, maximize: false, objective: vec![0.0; vars], constraints: Vec::new() }
+    }
+
+    /// Creates a maximization problem over `vars` non-negative variables.
+    pub fn maximize(vars: usize) -> Self {
+        LpProblem { vars, maximize: true, objective: vec![0.0; vars], constraints: Vec::new() }
+    }
+
+    /// Number of structural variables.
+    pub fn variable_count(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::VariableOutOfRange`] / [`LpError::NonFinite`].
+    pub fn set_objective_coefficient(&mut self, var: usize, coeff: f64) -> Result<(), LpError> {
+        if var >= self.vars {
+            return Err(LpError::VariableOutOfRange { var, vars: self.vars });
+        }
+        if !coeff.is_finite() {
+            return Err(LpError::NonFinite);
+        }
+        self.objective[var] = coeff;
+        Ok(())
+    }
+
+    /// Adds the constraint `Σ coeffs · x  relation  rhs`.
+    ///
+    /// Repeated indexes in `coeffs` are summed.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::VariableOutOfRange`] / [`LpError::NonFinite`].
+    pub fn add_constraint(
+        &mut self,
+        coeffs: &[(usize, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        for &(var, c) in coeffs {
+            if var >= self.vars {
+                return Err(LpError::VariableOutOfRange { var, vars: self.vars });
+            }
+            if !c.is_finite() {
+                return Err(LpError::NonFinite);
+            }
+        }
+        if !rhs.is_finite() {
+            return Err(LpError::NonFinite);
+        }
+        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), relation, rhs });
+        Ok(())
+    }
+
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`] on pathological numerics.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the tableau algebra
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let m = self.constraints.len();
+        let n = self.vars;
+
+        // Count auxiliary columns: one slack/surplus per inequality, one
+        // artificial per ≥/= row (and per ≤ row with negative rhs after
+        // normalization — handled by normalizing rhs ≥ 0 first).
+        //
+        // Column layout: [structural | slack/surplus | artificial | rhs].
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut relations: Vec<Relation> = Vec::with_capacity(m);
+        for c in &self.constraints {
+            let mut dense = vec![0.0; n];
+            for &(var, coeff) in &c.coeffs {
+                dense[var] += coeff;
+            }
+            let (dense, relation, rhs) = if c.rhs < 0.0 {
+                // Normalize to rhs ≥ 0 by negating the row.
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (dense.iter().map(|v| -v).collect::<Vec<_>>(), flipped, -c.rhs)
+            } else {
+                (dense, c.relation, c.rhs)
+            };
+            let mut row = dense;
+            row.push(rhs);
+            rows.push(row);
+            relations.push(relation);
+        }
+
+        let n_slack = relations.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let n_art = relations.iter().filter(|r| !matches!(r, Relation::Le)).count();
+        let total = n + n_slack + n_art;
+
+        // tableau[r] has total+1 entries; last is rhs.
+        let mut tableau = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = n + n_slack;
+        for (r, (row, relation)) in rows.iter().zip(&relations).enumerate() {
+            tableau[r][..n].copy_from_slice(&row[..n]);
+            tableau[r][total] = row[n];
+            match relation {
+                Relation::Le => {
+                    tableau[r][slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    tableau[r][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    tableau[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    tableau[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+
+        let limit = 50_000usize.max(200 * (m + total));
+
+        // Phase 1: minimize the sum of artificial variables.
+        if n_art > 0 {
+            let mut cost = vec![0.0; total];
+            for c in (n + n_slack)..total {
+                cost[c] = 1.0;
+            }
+            let obj = simplex_min(&mut tableau, &mut basis, &cost, limit)?;
+            if obj > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Pivot any artificial still in the basis out (degenerate rows)
+            // or drop its row if it is all zeros over non-artificials.
+            for r in 0..m {
+                if basis[r] >= n + n_slack {
+                    let pivot_col = (0..n + n_slack)
+                        .find(|&c| tableau[r][c].abs() > EPS);
+                    if let Some(c) = pivot_col {
+                        pivot(&mut tableau, &mut basis, r, c);
+                    }
+                    // If no pivot column exists the row is redundant; leave
+                    // the artificial basic at value 0 — harmless in phase 2
+                    // since its cost column is forced to stay at 0 via a
+                    // huge cost below.
+                }
+            }
+        }
+
+        // Phase 2: original objective (converted to minimization), with
+        // artificials blocked by a large cost so they never re-enter.
+        let mut cost = vec![0.0; total];
+        for v in 0..n {
+            cost[v] = if self.maximize { -self.objective[v] } else { self.objective[v] };
+        }
+        let block = 1.0
+            + self.objective.iter().map(|c| c.abs()).sum::<f64>()
+            + self
+                .constraints
+                .iter()
+                .flat_map(|c| c.coeffs.iter().map(|&(_, v)| v.abs()))
+                .sum::<f64>();
+        for c in (n + n_slack)..total {
+            cost[c] = block * 1e6;
+        }
+        let obj = simplex_min(&mut tableau, &mut basis, &cost, limit)?;
+
+        let mut values = vec![0.0; n];
+        for (r, &b) in basis.iter().enumerate() {
+            if b < n {
+                values[b] = tableau[r][total];
+            }
+        }
+        let objective = if self.maximize { -obj } else { obj };
+        Ok(LpSolution { objective, values })
+    }
+}
+
+/// Runs primal simplex minimizing `cost · x` on the current tableau.
+/// Returns the optimal objective. Uses Bland's rule (smallest index) for
+/// both entering and leaving choices, guaranteeing termination.
+#[allow(clippy::needless_range_loop)] // index loops mirror the tableau algebra
+fn simplex_min(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    limit: usize,
+) -> Result<f64, LpError> {
+    let m = tableau.len();
+    let total = cost.len();
+
+    // Reduced costs: z_j - c_j computed from scratch each iteration would
+    // be O(m·n); instead keep an explicit objective row.
+    let mut obj_row = vec![0.0; total + 1];
+    obj_row[..total].copy_from_slice(cost);
+    // Make reduced costs of basic variables zero.
+    for r in 0..m {
+        let b = basis[r];
+        let factor = obj_row[b];
+        if factor != 0.0 {
+            for c in 0..=total {
+                obj_row[c] -= factor * tableau[r][c];
+            }
+        }
+    }
+
+    for _ in 0..limit {
+        // Entering: smallest index with negative reduced cost (Bland).
+        let Some(enter) = (0..total).find(|&c| obj_row[c] < -EPS) else {
+            return Ok(-obj_row[total]);
+        };
+        // Leaving: min ratio, ties by smallest basis index (Bland).
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = tableau[r][enter];
+            if a > EPS {
+                let ratio = tableau[r][total] / a;
+                let better = match leave {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < lratio - EPS
+                            || (ratio < lratio + EPS && basis[r] < basis[lr])
+                    }
+                };
+                if better {
+                    leave = Some((r, ratio));
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot_with_obj(tableau, basis, &mut obj_row, row, enter);
+    }
+    Err(LpError::IterationLimit)
+}
+
+#[allow(clippy::needless_range_loop)] // index loops mirror the tableau algebra
+fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let total = tableau[row].len() - 1;
+    let p = tableau[row][col];
+    for c in 0..=total {
+        tableau[row][c] /= p;
+    }
+    for r in 0..tableau.len() {
+        if r != row {
+            let factor = tableau[r][col];
+            if factor != 0.0 {
+                for c in 0..=total {
+                    tableau[r][c] -= factor * tableau[row][c];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot_with_obj(
+    tableau: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj_row: &mut [f64],
+    row: usize,
+    col: usize,
+) {
+    pivot(tableau, basis, row, col);
+    let total = obj_row.len() - 1;
+    let factor = obj_row[col];
+    if factor != 0.0 {
+        for c in 0..=total {
+            obj_row[c] -= factor * tableau[row][c];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y; x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → optimum 36 at (2, 6).
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coefficient(0, 3.0).unwrap();
+        lp.set_objective_coefficient(1, 5.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 4.0).unwrap();
+        lp.add_constraint(&[(1, 2.0)], Relation::Le, 12.0).unwrap();
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 36.0);
+        approx(sol.values[0], 2.0);
+        approx(sol.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y; x + y ≥ 4; x ≥ 1 → optimum at (4, 0) = 8.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective_coefficient(0, 2.0).unwrap();
+        lp.set_objective_coefficient(1, 3.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 4.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 8.0);
+        approx(sol.values[0], 4.0);
+        approx(sol.values[1], 0.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y; x + y = 5; x - y = 1 → x=3, y=2, obj 5.
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.set_objective_coefficient(1, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 5.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Relation::Eq, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 5.0);
+        approx(sol.values[0], 3.0);
+        approx(sol.values[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::minimize(1);
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 5.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 2.0).unwrap();
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Ge, 0.0).unwrap();
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x; -x ≤ -3  (i.e. x ≥ 3)
+        let mut lp = LpProblem::minimize(1);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.add_constraint(&[(0, -1.0)], Relation::Le, -3.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn repeated_indexes_are_summed() {
+        // x + x ≤ 4 means 2x ≤ 4.
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (0, 1.0)], Relation::Le, 4.0).unwrap();
+        approx(lp.solve().unwrap().objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate vertex (multiple constraints active).
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (1, 2.0)], Relation::Le, 1.0).unwrap();
+        approx(lp.solve().unwrap().objective, 1.0);
+    }
+
+    #[test]
+    fn empty_feasible_region_origin() {
+        // No constraints: minimizing any non-negative combination gives 0.
+        let mut lp = LpProblem::minimize(3);
+        lp.set_objective_coefficient(1, 7.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut lp = LpProblem::minimize(1);
+        assert_eq!(
+            lp.set_objective_coefficient(3, 1.0),
+            Err(LpError::VariableOutOfRange { var: 3, vars: 1 })
+        );
+        assert_eq!(lp.set_objective_coefficient(0, f64::NAN), Err(LpError::NonFinite));
+        assert_eq!(
+            lp.add_constraint(&[(9, 1.0)], Relation::Le, 1.0),
+            Err(LpError::VariableOutOfRange { var: 9, vars: 1 })
+        );
+        assert_eq!(
+            lp.add_constraint(&[(0, 1.0)], Relation::Le, f64::INFINITY),
+            Err(LpError::NonFinite)
+        );
+        assert!(!format!("{}", LpError::Infeasible).is_empty());
+    }
+
+    #[test]
+    fn transportation_lp_matches_known_optimum() {
+        // 2 supplies (10, 20), 2 demands (15, 15), costs [[1, 4], [2, 1]].
+        // Optimal: s0→d0:10, s1→d0:5, s1→d1:15 → 10 + 10 + 15 = 35.
+        let mut lp = LpProblem::minimize(4); // x00 x01 x10 x11
+        for (v, c) in [(0, 1.0), (1, 4.0), (2, 2.0), (3, 1.0)] {
+            lp.set_objective_coefficient(v, c).unwrap();
+        }
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 10.0).unwrap();
+        lp.add_constraint(&[(2, 1.0), (3, 1.0)], Relation::Le, 20.0).unwrap();
+        lp.add_constraint(&[(0, 1.0), (2, 1.0)], Relation::Ge, 15.0).unwrap();
+        lp.add_constraint(&[(1, 1.0), (3, 1.0)], Relation::Ge, 15.0).unwrap();
+        let sol = lp.solve().unwrap();
+        approx(sol.objective, 35.0);
+    }
+
+    /// Brute-force reference for 2-variable LPs with ≤ constraints: the
+    /// optimum lies at a vertex (intersection of two constraint lines or
+    /// axes), so enumerate all candidate vertices.
+    fn brute_force_max_2d(obj: (f64, f64), cons: &[(f64, f64, f64)]) -> Option<f64> {
+        let mut lines: Vec<(f64, f64, f64)> = cons.to_vec();
+        lines.push((1.0, 0.0, 0.0)); // x = 0 boundary as -x ≤ 0 handled below
+        lines.push((0.0, 1.0, 0.0));
+        let mut best: Option<f64> = None;
+        let feasible = |x: f64, y: f64| {
+            x >= -1e-9
+                && y >= -1e-9
+                && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
+        };
+        let mut candidates = vec![(0.0, 0.0)];
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a1, b1, c1) = if i < cons.len() {
+                    cons[i]
+                } else if i == cons.len() {
+                    (1.0, 0.0, 0.0)
+                } else {
+                    (0.0, 1.0, 0.0)
+                };
+                let (a2, b2, c2) = if j < cons.len() {
+                    cons[j]
+                } else if j == cons.len() {
+                    (1.0, 0.0, 0.0)
+                } else {
+                    (0.0, 1.0, 0.0)
+                };
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() > 1e-9 {
+                    candidates.push(((c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det));
+                }
+            }
+        }
+        for (x, y) in candidates {
+            if feasible(x, y) {
+                let v = obj.0 * x + obj.1 * y;
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_2d_max_matches_vertex_enumeration(
+            obj in (0.1f64..5.0, 0.1f64..5.0),
+            cons in prop::collection::vec((0.05f64..3.0, 0.05f64..3.0, 0.5f64..10.0), 1..6),
+        ) {
+            // All-positive coefficients with positive rhs: bounded,
+            // feasible (origin), so both solvers must agree.
+            let mut lp = LpProblem::maximize(2);
+            lp.set_objective_coefficient(0, obj.0).unwrap();
+            lp.set_objective_coefficient(1, obj.1).unwrap();
+            for &(a, b, c) in &cons {
+                lp.add_constraint(&[(0, a), (1, b)], Relation::Le, c).unwrap();
+            }
+            let sol = lp.solve().unwrap();
+            let brute = brute_force_max_2d(obj, &cons).unwrap();
+            prop_assert!((sol.objective - brute).abs() < 1e-5,
+                "simplex={} brute={}", sol.objective, brute);
+        }
+    }
+}

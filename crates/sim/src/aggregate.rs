@@ -1,0 +1,303 @@
+use crate::HotspotGeometry;
+use ccdn_trace::{HotspotId, Request, VideoId};
+use std::collections::HashMap;
+
+/// Demand for one video at one hotspot during a timeslot — an entry of the
+/// paper's `λ_hv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoDemand {
+    /// The requested video.
+    pub video: VideoId,
+    /// Number of requests for it aggregated at the hotspot.
+    pub count: u64,
+}
+
+/// A timeslot's request demand aggregated to nearest hotspots.
+///
+/// The paper simplifies scheduling by aggregating every user request to
+/// its nearest hotspot (§III-C): `λ_h` is the number of requests arriving
+/// at hotspot `h` and `λ_hv` the per-video breakdown. This struct also
+/// tracks the mean user→hotspot distance per hotspot, which the metrics
+/// use as the base access distance of locally-served requests.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_sim::{HotspotGeometry, SlotDemand};
+/// use ccdn_trace::TraceConfig;
+///
+/// let trace = TraceConfig::small_test().generate();
+/// let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
+/// let demand = SlotDemand::aggregate(trace.slot_requests(20), &geo);
+/// assert_eq!(demand.total_requests(), trace.slot_requests(20).len() as u64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotDemand {
+    /// `λ_h` per hotspot.
+    per_hotspot: Vec<u64>,
+    /// `λ_hv`: per hotspot, the demanded videos sorted by id.
+    per_video: Vec<Vec<VideoDemand>>,
+    /// Sum of user→nearest-hotspot distances per hotspot, in km.
+    base_distance_sum: Vec<f64>,
+    total: u64,
+}
+
+impl SlotDemand {
+    /// Aggregates `requests` to their nearest hotspots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is empty while `requests` is not.
+    pub fn aggregate(requests: &[Request], geometry: &HotspotGeometry) -> Self {
+        let n = geometry.len();
+        assert!(n > 0 || requests.is_empty(), "cannot aggregate onto zero hotspots");
+        let mut per_hotspot = vec![0u64; n];
+        let mut base_distance_sum = vec![0.0f64; n];
+        let mut maps: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); n];
+        for r in requests {
+            let (h, d) = geometry.nearest(r.location).expect("non-empty geometry");
+            per_hotspot[h.0] += 1;
+            base_distance_sum[h.0] += d;
+            *maps[h.0].entry(r.video).or_insert(0) += 1;
+        }
+        let per_video = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<VideoDemand> =
+                    m.into_iter().map(|(video, count)| VideoDemand { video, count }).collect();
+                v.sort_unstable_by_key(|d| d.video);
+                v
+            })
+            .collect();
+        SlotDemand { per_hotspot, per_video, base_distance_sum, total: requests.len() as u64 }
+    }
+
+    /// Builds a demand object from explicit per-hotspot per-video counts
+    /// and mean base distances — used by popularity predictors to present
+    /// *forecast* demand to a scheduler through the same interface as
+    /// observed demand (§III: hotspots prefetch based on predicted
+    /// popularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length, or a base distance is
+    /// negative/non-finite.
+    pub fn from_parts(
+        per_video: Vec<Vec<VideoDemand>>,
+        mean_base_distances: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            per_video.len(),
+            mean_base_distances.len(),
+            "per-video and base-distance vectors must align"
+        );
+        assert!(
+            mean_base_distances.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "base distances must be finite and non-negative"
+        );
+        let per_video: Vec<Vec<VideoDemand>> = per_video
+            .into_iter()
+            .map(|mut v| {
+                v.retain(|d| d.count > 0);
+                v.sort_unstable_by_key(|d| d.video);
+                v
+            })
+            .collect();
+        let per_hotspot: Vec<u64> =
+            per_video.iter().map(|v| v.iter().map(|d| d.count).sum()).collect();
+        let base_distance_sum: Vec<f64> = per_hotspot
+            .iter()
+            .zip(&mean_base_distances)
+            .map(|(&load, &mean)| mean * load as f64)
+            .collect();
+        let total = per_hotspot.iter().sum();
+        SlotDemand { per_hotspot, per_video, base_distance_sum, total }
+    }
+
+    /// Number of hotspots the demand is defined over.
+    pub fn hotspot_count(&self) -> usize {
+        self.per_hotspot.len()
+    }
+
+    /// Total requests in the slot.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// `λ_h`: requests aggregated at hotspot `h`.
+    pub fn load(&self, h: HotspotId) -> u64 {
+        self.per_hotspot[h.0]
+    }
+
+    /// All loads, indexed by hotspot.
+    pub fn loads(&self) -> &[u64] {
+        &self.per_hotspot
+    }
+
+    /// `λ_hv` breakdown of hotspot `h`, sorted by video id.
+    pub fn videos(&self, h: HotspotId) -> &[VideoDemand] {
+        &self.per_video[h.0]
+    }
+
+    /// `λ_hv` for a specific `(h, v)` pair (0 when absent).
+    pub fn video_demand(&self, h: HotspotId, video: VideoId) -> u64 {
+        self.per_video[h.0]
+            .binary_search_by_key(&video, |d| d.video)
+            .map(|i| self.per_video[h.0][i].count)
+            .unwrap_or(0)
+    }
+
+    /// Iterator over every `(hotspot, video-demand)` pair in the slot.
+    pub fn per_video(&self) -> impl Iterator<Item = (HotspotId, VideoDemand)> + '_ {
+        self.per_video
+            .iter()
+            .enumerate()
+            .flat_map(|(h, v)| v.iter().map(move |d| (HotspotId(h), *d)))
+    }
+
+    /// Mean user→hotspot distance of the requests aggregated at `h`
+    /// (0 when `h` received none).
+    pub fn mean_base_distance(&self, h: HotspotId) -> f64 {
+        if self.per_hotspot[h.0] == 0 {
+            0.0
+        } else {
+            self.base_distance_sum[h.0] / self.per_hotspot[h.0] as f64
+        }
+    }
+
+    /// The `fraction`-most-demanded videos at hotspot `h` (at least one
+    /// video when the hotspot has any demand) — the paper's "Top-20 %"
+    /// content set when `fraction = 0.2`. Returned sorted by video id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn top_videos(&self, h: HotspotId, fraction: f64) -> Vec<VideoId> {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let demands = &self.per_video[h.0];
+        if demands.is_empty() {
+            return Vec::new();
+        }
+        let mut by_count: Vec<&VideoDemand> = demands.iter().collect();
+        by_count.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+        let k = ((demands.len() as f64 * fraction).ceil() as usize).clamp(1, demands.len());
+        let mut top: Vec<VideoId> = by_count[..k].iter().map(|d| d.video).collect();
+        top.sort_unstable();
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdn_geo::{Point, Rect};
+    use ccdn_trace::{Hotspot, TraceConfig, UserId};
+
+    fn two_hotspots() -> (Vec<Hotspot>, HotspotGeometry) {
+        let region = Rect::paper_eval_region();
+        let hotspots = vec![
+            Hotspot {
+                id: HotspotId(0),
+                location: Point::new(2.0, 2.0),
+                service_capacity: 10,
+                cache_capacity: 5,
+            },
+            Hotspot {
+                id: HotspotId(1),
+                location: Point::new(15.0, 9.0),
+                service_capacity: 10,
+                cache_capacity: 5,
+            },
+        ];
+        let geo = HotspotGeometry::new(region, &hotspots);
+        (hotspots, geo)
+    }
+
+    fn req(x: f64, y: f64, video: u32) -> Request {
+        Request {
+            user: UserId(0),
+            video: VideoId(video),
+            timeslot: 0,
+            location: Point::new(x, y),
+        }
+    }
+
+    #[test]
+    fn aggregates_to_nearest() {
+        let (_, geo) = two_hotspots();
+        let requests =
+            vec![req(1.0, 1.0, 5), req(2.5, 2.0, 5), req(14.0, 9.0, 7), req(16.0, 9.0, 5)];
+        let d = SlotDemand::aggregate(&requests, &geo);
+        assert_eq!(d.total_requests(), 4);
+        assert_eq!(d.load(HotspotId(0)), 2);
+        assert_eq!(d.load(HotspotId(1)), 2);
+        assert_eq!(d.video_demand(HotspotId(0), VideoId(5)), 2);
+        assert_eq!(d.video_demand(HotspotId(1), VideoId(5)), 1);
+        assert_eq!(d.video_demand(HotspotId(1), VideoId(7)), 1);
+        assert_eq!(d.video_demand(HotspotId(0), VideoId(7)), 0);
+    }
+
+    #[test]
+    fn base_distance_is_mean_of_user_distances() {
+        let (_, geo) = two_hotspots();
+        let requests = vec![req(2.0, 1.0, 1), req(2.0, 5.0, 2)]; // distances 1 and 3
+        let d = SlotDemand::aggregate(&requests, &geo);
+        assert!((d.mean_base_distance(HotspotId(0)) - 2.0).abs() < 1e-12);
+        assert_eq!(d.mean_base_distance(HotspotId(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_slot() {
+        let (_, geo) = two_hotspots();
+        let d = SlotDemand::aggregate(&[], &geo);
+        assert_eq!(d.total_requests(), 0);
+        assert_eq!(d.loads(), &[0, 0]);
+        assert!(d.per_video().next().is_none());
+    }
+
+    #[test]
+    fn top_videos_ranks_by_count() {
+        let (_, geo) = two_hotspots();
+        let mut requests = Vec::new();
+        for _ in 0..5 {
+            requests.push(req(2.0, 2.0, 1));
+        }
+        for _ in 0..3 {
+            requests.push(req(2.0, 2.0, 2));
+        }
+        requests.push(req(2.0, 2.0, 3));
+        requests.push(req(2.0, 2.0, 4));
+        requests.push(req(2.0, 2.0, 5));
+        let d = SlotDemand::aggregate(&requests, &geo);
+        // 5 distinct videos; top-20% = 1 video: the most demanded.
+        assert_eq!(d.top_videos(HotspotId(0), 0.2), vec![VideoId(1)]);
+        // top-40% = 2 videos.
+        assert_eq!(d.top_videos(HotspotId(0), 0.4), vec![VideoId(1), VideoId(2)]);
+        // Hotspot with no demand: empty top set.
+        assert!(d.top_videos(HotspotId(1), 0.2).is_empty());
+    }
+
+    #[test]
+    fn totals_match_loads_on_generated_trace() {
+        let trace = TraceConfig::small_test().generate();
+        let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
+        let mut sum = 0;
+        for slot in 0..trace.slot_count {
+            let d = SlotDemand::aggregate(trace.slot_requests(slot), &geo);
+            assert_eq!(d.loads().iter().sum::<u64>(), d.total_requests());
+            let per_video_total: u64 =
+                d.per_video().map(|(_, vd)| vd.count).sum();
+            assert_eq!(per_video_total, d.total_requests());
+            sum += d.total_requests();
+        }
+        assert_eq!(sum, trace.requests.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let (_, geo) = two_hotspots();
+        let d = SlotDemand::aggregate(&[], &geo);
+        let _ = d.top_videos(HotspotId(0), 0.0);
+    }
+}

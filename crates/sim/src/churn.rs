@@ -1,0 +1,100 @@
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Per-slot hotspot churn injection.
+///
+/// Crowdsourced-CDN hotspots are consumer devices (smart Wi-Fi APs in
+/// people's homes) and go offline without notice. The paper's evaluation
+/// assumes a stable deployment; this model is our failure-injection
+/// extension: each slot, every hotspot is independently offline with
+/// probability `offline_probability`, and an offline hotspot has zero
+/// service and cache capacity for that slot. Schedulers must then shift
+/// its aggregated demand elsewhere (requests still *aggregate* to the
+/// nearest hotspot geographically — the device's neighbourhood still
+/// exists — but it cannot serve them).
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_sim::ChurnModel;
+///
+/// let churn = ChurnModel::new(0.25, 7).unwrap();
+/// let alive = churn.alive_mask(0, 100);
+/// assert_eq!(alive.len(), 100);
+/// // Deterministic per (seed, slot):
+/// assert_eq!(alive, churn.alive_mask(0, 100));
+/// assert_ne!(alive, churn.alive_mask(1, 100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnModel {
+    offline_probability: f64,
+    seed: u64,
+}
+
+impl ChurnModel {
+    /// Creates a churn model; `offline_probability ∈ [0, 1]`.
+    ///
+    /// Returns `None` for probabilities outside `[0, 1]` or non-finite.
+    pub fn new(offline_probability: f64, seed: u64) -> Option<Self> {
+        if !(0.0..=1.0).contains(&offline_probability) {
+            return None;
+        }
+        Some(ChurnModel { offline_probability, seed })
+    }
+
+    /// The configured offline probability.
+    pub fn offline_probability(&self) -> f64 {
+        self.offline_probability
+    }
+
+    /// Liveness of each of `hotspot_count` hotspots in `slot`
+    /// (`true` = online). Deterministic in `(seed, slot)`.
+    pub fn alive_mask(&self, slot: u32, hotspot_count: usize) -> Vec<bool> {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (u64::from(slot).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        (0..hotspot_count).map(|_| rng.gen_range(0.0..1.0) >= self.offline_probability).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(ChurnModel::new(-0.1, 0).is_none());
+        assert!(ChurnModel::new(1.5, 0).is_none());
+        assert!(ChurnModel::new(f64::NAN, 0).is_none());
+        assert!(ChurnModel::new(0.0, 0).is_some());
+        assert!(ChurnModel::new(1.0, 0).is_some());
+    }
+
+    #[test]
+    fn zero_probability_keeps_everyone_alive() {
+        let churn = ChurnModel::new(0.0, 1).unwrap();
+        assert!(churn.alive_mask(3, 50).iter().all(|&a| a));
+    }
+
+    #[test]
+    fn one_probability_kills_everyone() {
+        let churn = ChurnModel::new(1.0, 1).unwrap();
+        assert!(churn.alive_mask(3, 50).iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn offline_fraction_tracks_probability() {
+        let churn = ChurnModel::new(0.3, 9).unwrap();
+        let mut offline = 0usize;
+        let total = 24 * 500;
+        for slot in 0..24 {
+            offline += churn.alive_mask(slot, 500).iter().filter(|&&a| !a).count();
+        }
+        let frac = offline as f64 / total as f64;
+        assert!((frac - 0.3).abs() < 0.03, "offline fraction {frac}");
+    }
+
+    #[test]
+    fn masks_differ_across_slots() {
+        let churn = ChurnModel::new(0.5, 2).unwrap();
+        assert_ne!(churn.alive_mask(0, 64), churn.alive_mask(1, 64));
+    }
+}

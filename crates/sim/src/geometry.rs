@@ -1,0 +1,182 @@
+use ccdn_geo::{GridIndex, Point, Rect};
+use ccdn_trace::{Hotspot, HotspotId};
+
+/// Spatial view of a hotspot deployment: nearest-hotspot lookup, radius
+/// queries, pairwise distances, and the CDN fallback distance.
+///
+/// Distances are computed on demand from the stored locations (`O(1)`
+/// each), so the geometry scales to the 5 000-hotspot measurement preset
+/// without materializing an `n²` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_sim::HotspotGeometry;
+/// use ccdn_trace::TraceConfig;
+///
+/// let trace = TraceConfig::small_test().generate();
+/// let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
+/// let (nearest, _dist) = geo.nearest(trace.requests[0].location).unwrap();
+/// assert!(nearest.0 < trace.hotspots.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotspotGeometry {
+    region: Rect,
+    locations: Vec<Point>,
+    grid: GridIndex,
+    cdn_distance: f64,
+}
+
+impl HotspotGeometry {
+    /// Builds the geometry for `hotspots` inside `region`.
+    ///
+    /// The CDN fallback distance is pinned to 20 km when the region
+    /// diagonal is within the paper's evaluation scale, and to the exact
+    /// diagonal otherwise (the paper "directly set\[s\] the content access
+    /// latency as 20 km when a user request is served by \[the\] CDN
+    /// server", §V-A).
+    pub fn new(region: Rect, hotspots: &[Hotspot]) -> Self {
+        let locations: Vec<Point> = hotspots.iter().map(|h| h.location).collect();
+        // Cell size ~1 km balances ring-search cost across presets.
+        let cell = (region.width().max(region.height()) / 32.0).clamp(0.25, 2.0);
+        let grid = GridIndex::build(region, cell, locations.iter().copied());
+        let diagonal = region.diagonal();
+        let cdn_distance = if (diagonal - 20.0).abs() < 1.0 { 20.0 } else { diagonal };
+        HotspotGeometry { region, locations, grid, cdn_distance }
+    }
+
+    /// The deployment region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Number of hotspots.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the deployment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Distance in km charged for CDN-served requests.
+    pub fn cdn_distance(&self) -> f64 {
+        self.cdn_distance
+    }
+
+    /// Location of hotspot `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn location(&self, h: HotspotId) -> Point {
+        self.locations[h.0]
+    }
+
+    /// Distance between two hotspots in km (the paper's `d_ij`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn distance(&self, a: HotspotId, b: HotspotId) -> f64 {
+        self.locations[a.0].distance(self.locations[b.0])
+    }
+
+    /// The hotspot nearest to `point`, with its distance. `None` only for
+    /// an empty deployment.
+    pub fn nearest(&self, point: Point) -> Option<(HotspotId, f64)> {
+        self.grid.nearest(point).map(|(i, d)| (HotspotId(i), d))
+    }
+
+    /// Hotspots within `radius_km` of hotspot `h`, **excluding** `h`
+    /// itself, in ascending id order.
+    pub fn within_radius(&self, h: HotspotId, radius_km: f64) -> Vec<HotspotId> {
+        self.grid
+            .within_radius(self.locations[h.0], radius_km)
+            .into_iter()
+            .filter(|&i| i != h.0)
+            .map(HotspotId)
+            .collect()
+    }
+
+    /// Hotspots within `radius_km` of an arbitrary point.
+    pub fn within_radius_of_point(&self, point: Point, radius_km: f64) -> Vec<HotspotId> {
+        self.grid.within_radius(point, radius_km).into_iter().map(HotspotId).collect()
+    }
+
+    /// All unordered hotspot pairs at distance ≤ `radius_km` — the
+    /// candidate edge set of the paper's `Gd` under threshold `θ` and the
+    /// "< 5 km" pair population of Fig. 3.
+    pub fn pairs_within(&self, radius_km: f64) -> Vec<(HotspotId, HotspotId)> {
+        self.grid
+            .pairs_within(radius_km)
+            .into_iter()
+            .map(|(a, b)| (HotspotId(a), HotspotId(b)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdn_trace::TraceConfig;
+
+    fn geometry() -> (ccdn_trace::Trace, HotspotGeometry) {
+        let trace = TraceConfig::small_test().generate();
+        let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
+        (trace, geo)
+    }
+
+    #[test]
+    fn paper_region_pins_cdn_distance_to_20km() {
+        let (_, geo) = geometry();
+        assert_eq!(geo.cdn_distance(), 20.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let (trace, geo) = geometry();
+        let n = trace.hotspots.len();
+        for i in 0..n.min(5) {
+            for j in 0..n.min(5) {
+                let d = geo.distance(HotspotId(i), HotspotId(j));
+                assert_eq!(d, geo.distance(HotspotId(j), HotspotId(i)));
+                if i == j {
+                    assert_eq!(d, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let (trace, geo) = geometry();
+        for r in trace.requests.iter().take(200) {
+            let (h, d) = geo.nearest(r.location).unwrap();
+            let brute = trace
+                .hotspots
+                .iter()
+                .map(|hs| hs.location.distance(r.location))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - brute).abs() < 1e-9, "hotspot {h} dist {d} vs brute {brute}");
+        }
+    }
+
+    #[test]
+    fn within_radius_excludes_self() {
+        let (_, geo) = geometry();
+        for i in 0..geo.len() {
+            let h = HotspotId(i);
+            assert!(!geo.within_radius(h, 5.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn pairs_within_monotone_in_radius() {
+        let (_, geo) = geometry();
+        let small = geo.pairs_within(1.0).len();
+        let large = geo.pairs_within(10.0).len();
+        assert!(small <= large);
+    }
+}

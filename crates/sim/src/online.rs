@@ -1,0 +1,444 @@
+//! Online (prediction-driven) simulation with persistent caches.
+//!
+//! The offline [`Runner`](crate::Runner) lets a scheme see the slot's
+//! realized demand before placing content — fine for comparing schedulers
+//! (every scheme gets the same oracle), but not how a deployment works.
+//! The paper's model (§III) is: learn popularity with a predictor, place
+//! content *before* the slot, then serve what actually arrives. This
+//! module implements that loop:
+//!
+//! 1. a [`PopularityPredictor`](crate::PopularityPredictor) forecasts the
+//!    slot's per-hotspot demand from history;
+//! 2. the scheme plans cache placements against the *forecast*;
+//! 3. the slot's real requests are routed greedily against the fixed
+//!    placement (nearest-first, then radius neighbours holding the video,
+//!    then the CDN server);
+//! 4. caches persist across slots: the replication cost charged to a slot
+//!    is only the **delta** — videos newly pushed into a cache this slot
+//!    (the CDN does not re-push what a hotspot already holds).
+//!
+//! Runnable examples live on [`OnlineRunner`].
+
+use crate::{
+    HotspotGeometry, MetricsTotals, PopularityPredictor, Scheme, SlotDecision, SlotDemand,
+    SlotInput, SlotMetrics, Target, ValidationError,
+};
+use ccdn_trace::{Trace, VideoId};
+use std::collections::HashSet;
+
+/// Outcome of one online slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSlotOutcome {
+    /// The timeslot index.
+    pub slot: u32,
+    /// Validated metrics; `replicas` holds the **delta** replication
+    /// (videos newly pushed this slot).
+    pub metrics: SlotMetrics,
+    /// Forecast accuracy: total absolute error of per-(hotspot, video)
+    /// predicted counts vs realized, normalized by realized volume
+    /// (0 = perfect, larger = worse; 2.0 would mean everything was both
+    /// missed and hallucinated).
+    pub forecast_error: f64,
+}
+
+/// Report of an online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Predictor name (`"oracle"` for [`OnlineRunner::run_with_oracle`]).
+    pub predictor: String,
+    /// Per-slot outcomes.
+    pub slots: Vec<OnlineSlotOutcome>,
+    /// Request-weighted totals (replication is delta-based).
+    pub total: MetricsTotals,
+}
+
+/// Drives the predict → place → route loop over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_sim::{Ewma, OnlineRunner, Runner, Scheme, SlotDecision, SlotInput, Target};
+/// use ccdn_trace::TraceConfig;
+///
+/// /// Caches each hotspot's most demanded videos (toy placement policy).
+/// struct TopLocal;
+///
+/// impl Scheme for TopLocal {
+///     fn name(&self) -> &'static str {
+///         "top-local"
+///     }
+///
+///     fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+///         let mut d = SlotDecision::new(input.hotspot_count());
+///         for h in 0..input.hotspot_count() {
+///             let hid = ccdn_trace::HotspotId(h);
+///             let mut vids: Vec<_> = input.demand.videos(hid).to_vec();
+///             vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+///             for vd in vids.into_iter().take(input.cache_capacity[h] as usize) {
+///                 d.place(hid, vd.video);
+///             }
+///             for vd in input.demand.videos(hid) {
+///                 d.assign(hid, vd.video, Target::Cdn, vd.count);
+///             }
+///         }
+///         d
+///     }
+/// }
+///
+/// let trace = TraceConfig::small_test().generate();
+/// let report = OnlineRunner::new(&trace)
+///     .run(&mut TopLocal, &mut Ewma::new(0.5))
+///     .unwrap();
+/// assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+/// ```
+#[derive(Debug)]
+pub struct OnlineRunner<'a> {
+    trace: &'a Trace,
+    geometry: HotspotGeometry,
+    /// Cooperation radius for routing against fixed placements, in km.
+    radius_km: f64,
+    /// When true (default), slot 0 is planned from its realized demand
+    /// (standing in for "yesterday's" history before the trace begins).
+    warm_start: bool,
+}
+
+impl<'a> OnlineRunner<'a> {
+    /// Creates the runner with the paper's 1.5 km cooperation radius.
+    pub fn new(trace: &'a Trace) -> Self {
+        let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+        OnlineRunner { trace, geometry, radius_km: 1.5, warm_start: true }
+    }
+
+    /// Sets the routing cooperation radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is negative or non-finite.
+    pub fn with_radius_km(mut self, radius_km: f64) -> Self {
+        assert!(radius_km.is_finite() && radius_km >= 0.0, "radius must be >= 0");
+        self.radius_km = radius_km;
+        self
+    }
+
+    /// Disables the warm start: slot 0 gets empty caches.
+    pub fn with_cold_start(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+
+    /// Runs the loop with `predictor` supplying forecasts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`ValidationError`] if the constructed routing ever
+    /// violates the model constraints (a bug, not a data condition).
+    pub fn run<S, P>(&self, scheme: &mut S, predictor: &mut P) -> Result<OnlineReport, ValidationError>
+    where
+        S: Scheme + ?Sized,
+        P: PopularityPredictor + ?Sized,
+    {
+        self.drive(scheme, predictor.name().to_owned(), |actual, slot| {
+            let forecast = predictor.predict();
+            let plan = match forecast {
+                Some(f) => Some(f),
+                None if self.warm_start && slot == 0 => Some(actual.clone()),
+                None => None,
+            };
+            predictor.observe(actual);
+            plan
+        })
+    }
+
+    /// Runs the loop with a perfect oracle: placements are planned from
+    /// each slot's realized demand (the upper bound predictors chase).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnlineRunner::run`].
+    pub fn run_with_oracle<S>(&self, scheme: &mut S) -> Result<OnlineReport, ValidationError>
+    where
+        S: Scheme + ?Sized,
+    {
+        self.drive(scheme, "oracle".to_owned(), |actual, _| Some(actual.clone()))
+    }
+
+    fn drive<S>(
+        &self,
+        scheme: &mut S,
+        predictor_name: String,
+        mut plan_for: impl FnMut(&SlotDemand, u32) -> Option<SlotDemand>,
+    ) -> Result<OnlineReport, ValidationError>
+    where
+        S: Scheme + ?Sized,
+    {
+        let n = self.trace.hotspots.len();
+        let service: Vec<u64> =
+            self.trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+        let cache: Vec<u64> =
+            self.trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+
+        let mut previous_cache: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+        let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
+        let mut total = MetricsTotals::default();
+
+        for slot in 0..self.trace.slot_count {
+            let actual = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
+            let plan_demand = plan_for(&actual, slot);
+
+            // Plan placements against the forecast.
+            let placements: Vec<Vec<VideoId>> = match &plan_demand {
+                Some(forecast) => {
+                    let input = SlotInput {
+                        geometry: &self.geometry,
+                        demand: forecast,
+                        service_capacity: &service,
+                        cache_capacity: &cache,
+                        video_count: self.trace.video_count,
+                    };
+                    scheme.schedule(&input).placements
+                }
+                None => vec![Vec::new(); n],
+            };
+
+            // Route the real slot against the fixed placement.
+            let decision = route_against_placements(
+                &self.geometry,
+                &actual,
+                &service,
+                placements,
+                self.radius_km,
+            );
+            let input = SlotInput {
+                geometry: &self.geometry,
+                demand: &actual,
+                service_capacity: &service,
+                cache_capacity: &cache,
+                video_count: self.trace.video_count,
+            };
+            let mut metrics = SlotMetrics::evaluate(&input, &decision)?;
+
+            // Persistent caches: replication delta only.
+            let mut delta = 0u64;
+            for (h, placement) in decision.placements.iter().enumerate() {
+                let current: HashSet<VideoId> = placement.iter().copied().collect();
+                delta +=
+                    current.difference(&previous_cache[h]).count() as u64;
+                previous_cache[h] = current;
+            }
+            metrics.replicas = delta;
+
+            let forecast_error = match &plan_demand {
+                Some(f) => forecast_error(f, &actual),
+                None => 1.0,
+            };
+
+            total.add(&metrics);
+            slots.push(OnlineSlotOutcome { slot, metrics, forecast_error });
+        }
+
+        Ok(OnlineReport { scheme: scheme.name().to_owned(), predictor: predictor_name, slots, total })
+    }
+}
+
+/// Greedy routing of realized demand against a fixed placement:
+/// nearest hotspot first, then radius neighbours holding the video (by
+/// distance), then the CDN.
+fn route_against_placements(
+    geometry: &HotspotGeometry,
+    actual: &SlotDemand,
+    service: &[u64],
+    placements: Vec<Vec<VideoId>>,
+    radius_km: f64,
+) -> SlotDecision {
+    let n = placements.len();
+    let cached: Vec<HashSet<VideoId>> =
+        placements.iter().map(|p| p.iter().copied().collect()).collect();
+    let mut decision = SlotDecision::new(n);
+    decision.placements = placements;
+    let mut capacity_left: Vec<u64> = service.to_vec();
+
+    for h in 0..n {
+        let hid = ccdn_trace::HotspotId(h);
+        // Neighbour order by distance, computed once per source hotspot.
+        let mut neighbours: Vec<(f64, usize)> = geometry
+            .within_radius(hid, radius_km)
+            .into_iter()
+            .map(|j| (geometry.distance(hid, j), j.0))
+            .collect();
+        neighbours.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Most-demanded first so capacity goes to the biggest wins.
+        let mut vids: Vec<_> = actual.videos(hid).to_vec();
+        vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+        for vd in vids {
+            let mut remaining = vd.count;
+            // Local first.
+            if cached[h].contains(&vd.video) && capacity_left[h] > 0 {
+                let m = remaining.min(capacity_left[h]);
+                decision.assign(hid, vd.video, Target::Hotspot(hid), m);
+                capacity_left[h] -= m;
+                remaining -= m;
+            }
+            // Then neighbours in distance order.
+            for &(_, j) in &neighbours {
+                if remaining == 0 {
+                    break;
+                }
+                if cached[j].contains(&vd.video) && capacity_left[j] > 0 {
+                    let m = remaining.min(capacity_left[j]);
+                    decision.assign(hid, vd.video, Target::Hotspot(ccdn_trace::HotspotId(j)), m);
+                    capacity_left[j] -= m;
+                    remaining -= m;
+                }
+            }
+            if remaining > 0 {
+                decision.assign(hid, vd.video, Target::Cdn, remaining);
+            }
+        }
+    }
+    decision
+}
+
+/// Total absolute per-(hotspot, video) forecast error, normalized by
+/// realized volume.
+fn forecast_error(forecast: &SlotDemand, actual: &SlotDemand) -> f64 {
+    let mut err = 0.0f64;
+    for h in 0..actual.hotspot_count() {
+        let hid = ccdn_trace::HotspotId(h);
+        let mut f: std::collections::HashMap<VideoId, i64> =
+            forecast.videos(hid).iter().map(|vd| (vd.video, vd.count as i64)).collect();
+        for vd in actual.videos(hid) {
+            let predicted = f.remove(&vd.video).unwrap_or(0);
+            err += (predicted - vd.count as i64).abs() as f64;
+        }
+        // Hallucinated demand (predicted but not realized).
+        err += f.values().map(|&v| v.abs() as f64).sum::<f64>();
+    }
+    let volume = actual.total_requests().max(1) as f64;
+    err / volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ewma, LastSlot};
+    use ccdn_trace::TraceConfig;
+
+    /// Places each hotspot's top predicted videos; assignments are
+    /// irrelevant in online mode (only placements are consumed).
+    struct TopLocal;
+
+    impl Scheme for TopLocal {
+        fn name(&self) -> &'static str {
+            "top-local"
+        }
+
+        fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+            let mut d = SlotDecision::new(input.hotspot_count());
+            for h in 0..input.hotspot_count() {
+                let hid = ccdn_trace::HotspotId(h);
+                let mut vids: Vec<_> = input.demand.videos(hid).to_vec();
+                vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+                for vd in vids.into_iter().take(input.cache_capacity[h] as usize) {
+                    d.place(hid, vd.video);
+                }
+            }
+            d
+        }
+    }
+
+    fn trace() -> Trace {
+        TraceConfig::small_test()
+            .with_hotspot_count(30)
+            .with_request_count(8_000)
+            .with_video_count(400)
+            .generate()
+    }
+
+    #[test]
+    fn oracle_run_validates_and_conserves() {
+        let t = trace();
+        let report = OnlineRunner::new(&t).run_with_oracle(&mut TopLocal).unwrap();
+        assert_eq!(report.predictor, "oracle");
+        assert_eq!(report.total.sums.total_requests, t.requests.len() as u64);
+        assert!(report.total.hotspot_serving_ratio() > 0.0);
+        for s in &report.slots {
+            assert_eq!(s.forecast_error, 0.0, "oracle has no forecast error");
+        }
+    }
+
+    #[test]
+    fn predictor_run_is_no_better_than_oracle() {
+        let t = trace();
+        let runner = OnlineRunner::new(&t);
+        let oracle = runner.run_with_oracle(&mut TopLocal).unwrap();
+        let ewma = runner.run(&mut TopLocal, &mut Ewma::new(0.4)).unwrap();
+        assert!(
+            ewma.total.hotspot_serving_ratio() <= oracle.total.hotspot_serving_ratio() + 0.02,
+            "ewma {} beat the oracle {}",
+            ewma.total.hotspot_serving_ratio(),
+            oracle.total.hotspot_serving_ratio()
+        );
+    }
+
+    #[test]
+    fn cold_start_serves_slot_zero_from_cdn() {
+        let t = trace();
+        let report = OnlineRunner::new(&t)
+            .with_cold_start()
+            .run(&mut TopLocal, &mut LastSlot::new())
+            .unwrap();
+        let first = &report.slots[0];
+        assert_eq!(first.metrics.hotspot_served, 0, "no caches yet in slot 0");
+        assert_eq!(first.metrics.replicas, 0);
+    }
+
+    #[test]
+    fn persistent_caches_charge_only_deltas() {
+        let t = trace();
+        let report =
+            OnlineRunner::new(&t).run(&mut TopLocal, &mut LastSlot::new()).unwrap();
+        // Summed deltas can never exceed slots × total cache capacity, and
+        // for stable demand they are far below the naive per-slot refill.
+        let naive_per_slot: u64 =
+            t.hotspots.iter().map(|h| u64::from(h.cache_capacity)).sum();
+        let slots = report.slots.len() as u64;
+        assert!(report.total.sums.replicas < naive_per_slot * slots / 2);
+    }
+
+    #[test]
+    fn forecast_error_is_zero_for_perfect_prediction() {
+        let t = trace();
+        let geo = HotspotGeometry::new(t.region, &t.hotspots);
+        let d = SlotDemand::aggregate(t.slot_requests(20), &geo);
+        assert_eq!(forecast_error(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn forecast_error_counts_misses_and_hallucinations() {
+        let t = trace();
+        let geo = HotspotGeometry::new(t.region, &t.hotspots);
+        let actual = SlotDemand::aggregate(t.slot_requests(20), &geo);
+        let empty = SlotDemand::aggregate(&[], &geo);
+        // Predicting nothing: error = 1.0 (all realized demand missed).
+        assert!((forecast_error(&empty, &actual) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_radius_never_reduces_serving() {
+        let t = trace();
+        let narrow = OnlineRunner::new(&t)
+            .with_radius_km(0.0)
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        let wide = OnlineRunner::new(&t)
+            .with_radius_km(6.0)
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        assert!(
+            wide.total.hotspot_serving_ratio() >= narrow.total.hotspot_serving_ratio() - 1e-9
+        );
+    }
+}

@@ -1,0 +1,183 @@
+use crate::{
+    ChurnModel, HotspotGeometry, MetricsTotals, Scheme, SlotDemand, SlotInput, SlotMetrics,
+    ValidationError,
+};
+use ccdn_trace::Trace;
+use std::time::{Duration, Instant};
+
+/// Per-slot record in a [`RunReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotOutcome {
+    /// The timeslot index.
+    pub slot: u32,
+    /// The validated metrics.
+    pub metrics: SlotMetrics,
+    /// Wall-clock time the scheme spent deciding this slot.
+    pub scheduling_time: Duration,
+}
+
+/// Outcome of driving a [`Scheme`] over every timeslot of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The scheme's name.
+    pub scheme: String,
+    /// One outcome per timeslot, in slot order.
+    pub slots: Vec<SlotOutcome>,
+    /// Request-weighted totals across slots.
+    pub total: MetricsTotals,
+    /// Total scheduling wall-clock time across slots (excludes
+    /// aggregation, which is identical for every scheme).
+    pub scheduling_time: Duration,
+}
+
+/// Drives schemes over a trace, slot by slot: aggregate → schedule →
+/// validate → score.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Runner<'a> {
+    trace: &'a Trace,
+    geometry: HotspotGeometry,
+    churn: Option<ChurnModel>,
+}
+
+impl<'a> Runner<'a> {
+    /// Creates a runner for `trace`.
+    pub fn new(trace: &'a Trace) -> Self {
+        let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+        Runner { trace, geometry, churn: None }
+    }
+
+    /// Enables hotspot churn injection.
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The geometry the runner uses (shared with measurement tooling).
+    pub fn geometry(&self) -> &HotspotGeometry {
+        &self.geometry
+    }
+
+    /// Runs `scheme` over every timeslot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ValidationError`] a slot decision violates.
+    pub fn run<S: Scheme + ?Sized>(&self, scheme: &mut S) -> Result<RunReport, ValidationError> {
+        let n = self.trace.hotspots.len();
+        let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
+        let mut total = MetricsTotals::default();
+        let mut scheduling_time = Duration::ZERO;
+        for slot in 0..self.trace.slot_count {
+            let demand = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
+            let alive = self
+                .churn
+                .map(|c| c.alive_mask(slot, n))
+                .unwrap_or_else(|| vec![true; n]);
+            let service_capacity: Vec<u64> = self
+                .trace
+                .hotspots
+                .iter()
+                .zip(&alive)
+                .map(|(h, &a)| if a { u64::from(h.service_capacity) } else { 0 })
+                .collect();
+            let cache_capacity: Vec<u64> = self
+                .trace
+                .hotspots
+                .iter()
+                .zip(&alive)
+                .map(|(h, &a)| if a { u64::from(h.cache_capacity) } else { 0 })
+                .collect();
+            let input = SlotInput {
+                geometry: &self.geometry,
+                demand: &demand,
+                service_capacity: &service_capacity,
+                cache_capacity: &cache_capacity,
+                video_count: self.trace.video_count,
+            };
+            let start = Instant::now();
+            let decision = scheme.schedule(&input);
+            let elapsed = start.elapsed();
+            scheduling_time += elapsed;
+            let metrics = SlotMetrics::evaluate(&input, &decision)?;
+            total.add(&metrics);
+            slots.push(SlotOutcome { slot, metrics, scheduling_time: elapsed });
+        }
+        Ok(RunReport { scheme: scheme.name().to_owned(), slots, total, scheduling_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SlotDecision, Target};
+    use ccdn_trace::TraceConfig;
+
+    /// Serves everything from the CDN.
+    struct CdnOnly;
+
+    impl Scheme for CdnOnly {
+        fn name(&self) -> &'static str {
+            "cdn-only"
+        }
+
+        fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+            let mut d = SlotDecision::new(input.hotspot_count());
+            for (h, vd) in input.demand.per_video() {
+                d.assign(h, vd.video, Target::Cdn, vd.count);
+            }
+            d
+        }
+    }
+
+    /// A deliberately broken scheme that drops all demand.
+    struct DropsEverything;
+
+    impl Scheme for DropsEverything {
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+
+        fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+            SlotDecision::new(input.hotspot_count())
+        }
+    }
+
+    #[test]
+    fn cdn_only_covers_all_slots() {
+        let trace = TraceConfig::small_test().generate();
+        let report = Runner::new(&trace).run(&mut CdnOnly).unwrap();
+        assert_eq!(report.scheme, "cdn-only");
+        assert_eq!(report.slots.len(), trace.slot_count as usize);
+        assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+        assert_eq!(report.total.hotspot_serving_ratio(), 0.0);
+        assert_eq!(report.total.cdn_server_load(), 1.0);
+        assert!((report.total.average_distance_km() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_schemes_are_rejected() {
+        let trace = TraceConfig::small_test().generate();
+        let err = Runner::new(&trace).run(&mut DropsEverything).unwrap_err();
+        assert!(matches!(err, ValidationError::DemandMismatch { .. }));
+    }
+
+    #[test]
+    fn churn_zeroes_capacities_but_cdn_scheme_unaffected() {
+        let trace = TraceConfig::small_test().generate();
+        let churn = ChurnModel::new(1.0, 3).unwrap();
+        let report = Runner::new(&trace).with_churn(churn).run(&mut CdnOnly).unwrap();
+        assert_eq!(report.total.cdn_server_load(), 1.0);
+    }
+
+    #[test]
+    fn scheduling_time_accumulates() {
+        let trace = TraceConfig::small_test().generate();
+        let report = Runner::new(&trace).run(&mut CdnOnly).unwrap();
+        let summed: Duration = report.slots.iter().map(|s| s.scheduling_time).sum();
+        assert_eq!(summed, report.scheduling_time);
+    }
+}

@@ -1,0 +1,132 @@
+use crate::{HotspotGeometry, SlotDemand};
+use ccdn_trace::{HotspotId, VideoId};
+
+/// Where a batch of requests is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Served by an edge hotspot (possibly the one the requests
+    /// aggregated at).
+    Hotspot(HotspotId),
+    /// Served by the origin CDN server (`x_iS = 1` in the paper).
+    Cdn,
+}
+
+/// A scheduling decision for a batch of identical requests: `count`
+/// requests for `video`, aggregated at hotspot `from`, are served by
+/// `target`. The collection of assignments realizes the paper's `X`
+/// matrix at hotspot granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Hotspot the requests aggregated at (their nearest hotspot).
+    pub from: HotspotId,
+    /// The requested video.
+    pub video: VideoId,
+    /// Who serves them.
+    pub target: Target,
+    /// How many requests.
+    pub count: u64,
+}
+
+/// Everything a [`Scheme`] sees when scheduling one timeslot.
+#[derive(Debug)]
+pub struct SlotInput<'a> {
+    /// Hotspot geometry (locations, distances, radius queries).
+    pub geometry: &'a HotspotGeometry,
+    /// Aggregated demand (`λ_h`, `λ_hv`).
+    pub demand: &'a SlotDemand,
+    /// Effective per-hotspot service capacity for this slot (`s_h`,
+    /// possibly zeroed by churn injection).
+    pub service_capacity: &'a [u64],
+    /// Effective per-hotspot cache capacity (`c_h`).
+    pub cache_capacity: &'a [u64],
+    /// Size of the full video catalog (`|V|`).
+    pub video_count: usize,
+}
+
+impl SlotInput<'_> {
+    /// Number of hotspots.
+    pub fn hotspot_count(&self) -> usize {
+        self.service_capacity.len()
+    }
+}
+
+/// A scheduling decision for one timeslot: request assignments plus cache
+/// placements (the paper's `X` and `Y` matrices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotDecision {
+    /// Request-to-server assignments.
+    pub assignments: Vec<Assignment>,
+    /// `placements[h]` = videos hotspot `h` caches this slot. Order is
+    /// irrelevant; duplicates are a validation error.
+    pub placements: Vec<Vec<VideoId>>,
+}
+
+impl SlotDecision {
+    /// Creates an empty decision over `hotspot_count` hotspots.
+    pub fn new(hotspot_count: usize) -> Self {
+        SlotDecision { assignments: Vec::new(), placements: vec![Vec::new(); hotspot_count] }
+    }
+
+    /// Records that `count` requests for `video` aggregated at `from` are
+    /// served by `target`. Zero-count assignments are dropped.
+    pub fn assign(&mut self, from: HotspotId, video: VideoId, target: Target, count: u64) {
+        if count > 0 {
+            self.assignments.push(Assignment { from, video, target, count });
+        }
+    }
+
+    /// Records that hotspot `h` caches `video`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn place(&mut self, h: HotspotId, video: VideoId) {
+        self.placements[h.0].push(video);
+    }
+
+    /// Total number of cached replicas across hotspots.
+    pub fn replica_count(&self) -> u64 {
+        self.placements.iter().map(|p| p.len() as u64).sum()
+    }
+}
+
+/// A request-redirection + content-placement scheme.
+///
+/// Implementations receive one [`SlotInput`] per timeslot and must return
+/// a [`SlotDecision`] that covers *all* demand (every `(h, v)` pair of
+/// `λ_hv` fully assigned — the paper's Eq. 4) and respects service
+/// capacity (Eq. 6), cache capacity (Eq. 7), and placement consistency
+/// (Eq. 5: a hotspot only serves videos it caches). The
+/// [`Runner`](crate::Runner) validates every decision and fails loudly on
+/// violations, so buggy schemes cannot silently inflate their scores.
+pub trait Scheme {
+    /// Human-readable scheme name (used in reports and figures).
+    fn name(&self) -> &str;
+
+    /// Schedules one timeslot.
+    fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_assignments_are_dropped() {
+        let mut d = SlotDecision::new(2);
+        d.assign(HotspotId(0), VideoId(1), Target::Cdn, 0);
+        assert!(d.assignments.is_empty());
+        d.assign(HotspotId(0), VideoId(1), Target::Hotspot(HotspotId(1)), 3);
+        assert_eq!(d.assignments.len(), 1);
+        assert_eq!(d.assignments[0].count, 3);
+    }
+
+    #[test]
+    fn replica_count_sums_placements() {
+        let mut d = SlotDecision::new(2);
+        d.place(HotspotId(0), VideoId(1));
+        d.place(HotspotId(0), VideoId(2));
+        d.place(HotspotId(1), VideoId(1));
+        assert_eq!(d.replica_count(), 3);
+    }
+}

@@ -1,0 +1,270 @@
+use std::fmt;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Backed by the sorted sample vector; quantiles use the *nearest-rank*
+/// definition (the value at index `ceil(q·n) - 1`), which matches how the
+/// paper reports "the 99th-percentile workload is 9× the median" (Fig. 2).
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::Cdf;
+///
+/// let loads = [10.0, 20.0, 30.0, 40.0, 1000.0];
+/// let cdf = Cdf::from_samples(loads).unwrap();
+/// assert_eq!(cdf.median(), 30.0);
+/// assert_eq!(cdf.quantile(0.99), 1000.0);
+/// assert!(cdf.fraction_at_most(40.0) >= 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+/// Error returned when a [`Cdf`] cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdfError {
+    /// No samples were provided.
+    Empty,
+    /// A sample was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for CdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfError::Empty => write!(f, "cannot build a CDF from zero samples"),
+            CdfError::NonFinite => write!(f, "samples must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CdfError {}
+
+impl Cdf {
+    /// Builds a CDF from an iterator of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError::Empty`] for zero samples and
+    /// [`CdfError::NonFinite`] if any sample is NaN or infinite.
+    pub fn from_samples<I>(samples: I) -> Result<Self, CdfError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        if sorted.is_empty() {
+            return Err(CdfError::Empty);
+        }
+        if sorted.iter().any(|x| !x.is_finite()) {
+            return Err(CdfError::NonFinite);
+        }
+        sorted.sort_unstable_by(f64::total_cmp);
+        Ok(Cdf { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples (never true for a constructed `Cdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Nearest-rank quantile for `q ∈ [0, 1]`.
+    ///
+    /// `quantile(0.0)` is the minimum, `quantile(1.0)` the maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len() as f64;
+        let rank = (q * n).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The median (`quantile(0.5)`).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples `≤ x` — the empirical CDF value `F(x)`.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("cdf is never empty")
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(x, F(x))` pairs suitable for plotting the CDF curve;
+    /// returns `points` pairs spanning the sample range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least 2 curve points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * (i as f64 / (points - 1) as f64);
+                (x, self.fraction_at_most(x))
+            })
+            .collect()
+    }
+
+    /// Ratio of the `q`-quantile to the median — the paper's headline skew
+    /// statistic ("the 99th-percentile workload can be up to 9× the
+    /// median", §II-A). Returns `None` when the median is zero.
+    pub fn quantile_to_median_ratio(&self, q: f64) -> Option<f64> {
+        let m = self.median();
+        (m != 0.0).then(|| self.quantile(q) / m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(Cdf::from_samples(std::iter::empty()), Err(CdfError::Empty));
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error() {
+        assert_eq!(Cdf::from_samples([1.0, f64::NAN]), Err(CdfError::NonFinite));
+        assert_eq!(Cdf::from_samples([f64::INFINITY]), Err(CdfError::NonFinite));
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let cdf = Cdf::from_samples([4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(cdf.quantile(0.25), 1.0);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+        assert_eq!(cdf.quantile(0.75), 3.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn median_of_odd_set_is_middle_element() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 9.0]).unwrap();
+        assert_eq!(cdf.median(), 5.0);
+    }
+
+    #[test]
+    fn fraction_at_most_counts_ties() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.fraction_at_most(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_most(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_most(3.0), 1.0);
+        assert_eq!(cdf.fraction_at_most(100.0), 1.0);
+    }
+
+    #[test]
+    fn skew_ratio_reports_heavy_tail() {
+        // 98 light hotspots and two elephants: the 99th-percentile /
+        // median ratio must expose the heavy tail (paper: up to 9×).
+        let mut loads = vec![10.0; 98];
+        loads.extend([500.0, 500.0]);
+        let cdf = Cdf::from_samples(loads).unwrap();
+        assert_eq!(cdf.quantile_to_median_ratio(0.99).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn skew_ratio_none_when_median_zero() {
+        let cdf = Cdf::from_samples([0.0, 0.0, 0.0, 5.0]).unwrap();
+        assert_eq!(cdf.quantile_to_median_ratio(0.99), None);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let cdf = Cdf::from_samples([1.0, 4.0, 4.0, 7.0, 19.0]).unwrap();
+        let curve = cdf.curve(50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let cdf = Cdf::from_samples([2.0, 8.0, 5.0]).unwrap();
+        assert_eq!(cdf.min(), 2.0);
+        assert_eq!(cdf.max(), 8.0);
+        assert_eq!(cdf.mean(), 5.0);
+        assert_eq!(cdf.len(), 3);
+        assert!(!cdf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let cdf = Cdf::from_samples([1.0]).unwrap();
+        let _ = cdf.quantile(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_is_monotone(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..=1.0,
+            q2 in 0.0f64..=1.0,
+        ) {
+            let cdf = Cdf::from_samples(samples).unwrap();
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        }
+
+        #[test]
+        fn prop_quantile_is_a_sample(
+            samples in prop::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            let cdf = Cdf::from_samples(samples.clone()).unwrap();
+            let v = cdf.quantile(q);
+            prop_assert!(samples.contains(&v));
+        }
+
+        #[test]
+        fn prop_fraction_at_most_is_exact(
+            samples in prop::collection::vec(-100.0f64..100.0, 1..100),
+            x in -120.0f64..120.0,
+        ) {
+            let cdf = Cdf::from_samples(samples.clone()).unwrap();
+            let expected = samples.iter().filter(|&&s| s <= x).count() as f64
+                / samples.len() as f64;
+            prop_assert!((cdf.fraction_at_most(x) - expected).abs() < 1e-12);
+        }
+    }
+}

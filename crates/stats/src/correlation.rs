@@ -1,0 +1,316 @@
+use std::fmt;
+
+/// Error returned by correlation functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorrelationError {
+    /// The two series have different lengths.
+    LengthMismatch {
+        /// Length of the first series.
+        left: usize,
+        /// Length of the second series.
+        right: usize,
+    },
+    /// Fewer than two observations were provided.
+    TooFewSamples,
+    /// One of the series is constant, so correlation is undefined.
+    ZeroVariance,
+    /// A value was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for CorrelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrelationError::LengthMismatch { left, right } => {
+                write!(f, "series lengths differ: {left} vs {right}")
+            }
+            CorrelationError::TooFewSamples => write!(f, "need at least two observations"),
+            CorrelationError::ZeroVariance => write!(f, "a series has zero variance"),
+            CorrelationError::NonFinite => write!(f, "values must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CorrelationError {}
+
+fn validate(x: &[f64], y: &[f64]) -> Result<(), CorrelationError> {
+    if x.len() != y.len() {
+        return Err(CorrelationError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(CorrelationError::TooFewSamples);
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
+        return Err(CorrelationError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Pearson linear correlation coefficient of two equal-length series.
+///
+/// # Errors
+///
+/// Returns an error when the series differ in length, have fewer than two
+/// observations, contain non-finite values, or either has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::pearson;
+///
+/// let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, CorrelationError> {
+    validate(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(CorrelationError::ZeroVariance);
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Average (fractional) ranks of a series, with ties sharing their mean
+/// rank — the rank transform Spearman correlation is built on.
+///
+/// Ranks are 1-based: the smallest value gets rank 1.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::rank_average;
+///
+/// assert_eq!(rank_average(&[10.0, 30.0, 20.0, 30.0]), vec![1.0, 3.5, 2.0, 3.5]);
+/// ```
+pub fn rank_average(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the mean of ranks i+1..=j+1.
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient of two equal-length series.
+///
+/// Computed as the Pearson correlation of average ranks, which handles ties
+/// correctly. The paper uses Spearman correlation between the hourly
+/// workload series of nearby hotspot pairs (Fig. 3a) and finds ≈70 % of
+/// pairs below 0.4, motivating cross-hotspot load balancing.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::spearman;
+///
+/// // Perfectly monotone but non-linear relation has Spearman 1.
+/// let r = spearman(&[1.0, 2.0, 3.0, 4.0], &[1.0, 8.0, 27.0, 64.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, CorrelationError> {
+    validate(x, y)?;
+    pearson(&rank_average(x), &rank_average(y))
+}
+
+/// Sample autocorrelation of `series` at `lag`: the Pearson correlation
+/// between the series and itself shifted by `lag`.
+///
+/// Used to verify periodic structure in workloads — e.g. hourly demand
+/// over several days should show strong lag-24 autocorrelation (daily
+/// seasonality), which is what makes the seasonal-naive popularity
+/// predictor work.
+///
+/// # Errors
+///
+/// Propagates [`pearson`]'s errors; additionally
+/// [`CorrelationError::TooFewSamples`] when fewer than `lag + 2`
+/// observations exist.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::autocorrelation;
+///
+/// let periodic: Vec<f64> = (0..40).map(|i| f64::from(i % 4)).collect();
+/// let r = autocorrelation(&periodic, 4).unwrap();
+/// assert!((r - 1.0).abs() < 1e-9);
+/// ```
+pub fn autocorrelation(series: &[f64], lag: usize) -> Result<f64, CorrelationError> {
+    if series.len() < lag + 2 {
+        return Err(CorrelationError::TooFewSamples);
+    }
+    pearson(&series[..series.len() - lag], &series[lag..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn autocorrelation_of_periodic_series_peaks_at_period() {
+        let series: Vec<f64> = (0..48).map(|i| ((i % 6) as f64).sin()).collect();
+        let at_period = autocorrelation(&series, 6).unwrap();
+        let off_period = autocorrelation(&series, 3).unwrap();
+        assert!((at_period - 1.0).abs() < 1e-9);
+        assert!(off_period < at_period);
+    }
+
+    #[test]
+    fn autocorrelation_needs_enough_samples() {
+        assert_eq!(
+            autocorrelation(&[1.0, 2.0, 3.0], 2),
+            Err(CorrelationError::TooFewSamples)
+        );
+        assert!(autocorrelation(&[1.0, 2.0, 3.0, 4.0], 2).is_ok());
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let series = [3.0, 1.0, 4.0, 1.5];
+        assert!((autocorrelation(&series, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0];
+        assert!((pearson(&x, &x).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_series_is_minus_one() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_translation_and_scale_invariant() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y = [0.0, 2.0, 7.0, 3.0];
+        let y2: Vec<f64> = y.iter().map(|v| 3.0 * v + 10.0).collect();
+        let r1 = pearson(&x, &y).unwrap();
+        let r2 = pearson(&x, &y2).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert_eq!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(CorrelationError::LengthMismatch { left: 2, right: 1 })
+        );
+    }
+
+    #[test]
+    fn single_observation_errors() {
+        assert_eq!(spearman(&[1.0], &[2.0]), Err(CorrelationError::TooFewSamples));
+    }
+
+    #[test]
+    fn constant_series_errors() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(CorrelationError::ZeroVariance));
+        assert_eq!(spearman(&[3.0, 3.0], &[1.0, 2.0]), Err(CorrelationError::ZeroVariance));
+    }
+
+    #[test]
+    fn non_finite_errors() {
+        assert_eq!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]), Err(CorrelationError::NonFinite));
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_mean_rank() {
+        assert_eq!(rank_average(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(rank_average(&[2.0, 1.0, 2.0]), vec![2.5, 1.0, 2.5]);
+        assert_eq!(rank_average(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 4.0, 9.0, 16.0, 25.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson of the same data is below 1 (non-linear).
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_anticorrelated() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [9.0, 7.0, 4.0, 0.0];
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_near_zero_for_uncorrelated_pattern() {
+        // A symmetric "V" pattern: ranks of y are unrelated to x direction.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 0.0, 1.0, 2.0];
+        let r = spearman(&x, &y).unwrap();
+        assert!(r.abs() < 0.3, "got {r}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(
+            pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50),
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(r) = pearson(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn prop_spearman_symmetric(
+            pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50),
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            match (spearman(&x, &y), spearman(&y, &x)) {
+                (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                other => prop_assert!(false, "asymmetric results: {:?}", other),
+            }
+        }
+
+        #[test]
+        fn prop_ranks_are_permutation_sums(
+            values in prop::collection::vec(-1e3f64..1e3, 1..60),
+        ) {
+            let ranks = rank_average(&values);
+            let n = values.len() as f64;
+            let sum: f64 = ranks.iter().sum();
+            // Sum of average ranks always equals n(n+1)/2.
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+use std::fmt;
+
+/// Five-number-plus summary of a sample: count, mean, standard deviation,
+/// min, median, max.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::Summary;
+///
+/// let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.std_dev, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Nearest-rank median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary; returns `None` for empty or non-finite input.
+    pub fn from_samples<I>(samples: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut v: Vec<f64> = samples.into_iter().collect();
+        if v.is_empty() || v.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        v.sort_unstable_by(f64::total_cmp);
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Some(Summary {
+            count: v.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            median: v[v.len().div_ceil(2) - 1],
+            max: *v.last().expect("non-empty"),
+        })
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); `None` when mean is 0.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        (self.mean != 0.0).then(|| self.std_dev / self.mean)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} med={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the boundary bins.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins on `[lo, hi)`.
+    ///
+    /// Returns `None` when `bins == 0`, `lo >= hi`, or bounds are
+    /// non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        Some(Histogram { lo, hi, counts: vec![0; bins] })
+    }
+
+    /// Records one observation (non-finite values are ignored).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_midpoint, count)` pairs, for plotting.
+    pub fn midpoints(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+/// Gini coefficient of a non-negative sample — 0 is perfectly even, values
+/// toward 1 indicate extreme inequality. Used to quantify hotspot load skew
+/// beyond the paper's 99th-percentile/median ratio.
+///
+/// Returns `None` for empty input, negative or non-finite values, or an
+/// all-zero sample.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::gini;
+///
+/// assert_eq!(gini(&[1.0, 1.0, 1.0]), Some(0.0));
+/// assert!(gini(&[0.0, 0.0, 9.0]).unwrap() > 0.6);
+/// ```
+pub fn gini(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return None;
+    }
+    let sum: f64 = values.iter().sum();
+    if sum == 0.0 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v).sum();
+    Some((2.0 * weighted) / (n * sum) - (n + 1.0) / n)
+}
+
+/// Jain's fairness index of a non-negative sample — 1 is perfectly fair,
+/// `1/n` is maximally unfair.
+///
+/// Returns `None` for empty input, negative or non-finite values, or an
+/// all-zero sample.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_stats::jain_fairness;
+///
+/// assert_eq!(jain_fairness(&[5.0, 5.0]), Some(1.0));
+/// assert_eq!(jain_fairness(&[1.0, 0.0, 0.0, 0.0]), Some(0.25));
+/// ```
+pub fn jain_fairness(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return None;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (values.len() as f64 * sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::from_samples(std::iter::empty()).is_none());
+        assert!(Summary::from_samples([1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_cv() {
+        let s = Summary::from_samples([1.0, 3.0]).unwrap();
+        assert_eq!(s.coefficient_of_variation(), Some(0.5));
+        let z = Summary::from_samples([-1.0, 1.0]).unwrap();
+        assert_eq!(z.coefficient_of_variation(), None);
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::from_samples([1.0]).unwrap();
+        assert!(format!("{s}").contains("n=1"));
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.record(-100.0); // clamps into first bin
+        h.record(0.0);
+        h.record(2.0);
+        h.record(9.999);
+        h.record(10.0); // hi is exclusive; clamps into last bin
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_invalid_construction() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_none());
+        assert!(Histogram::new(5.0, 5.0, 3).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_none());
+    }
+
+    #[test]
+    fn histogram_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 2).unwrap();
+        let mids: Vec<f64> = h.midpoints().iter().map(|m| m.0).collect();
+        assert_eq!(mids, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[7.0, 7.0, 7.0, 7.0]), Some(0.0));
+        // All mass on one of n: gini -> (n-1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 10.0]).unwrap();
+        assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_rejects_bad_input() {
+        assert_eq!(gini(&[]), None);
+        assert_eq!(gini(&[-1.0, 2.0]), None);
+        assert_eq!(gini(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_fairness(&[3.0, 3.0, 3.0]), Some(1.0));
+        assert_eq!(jain_fairness(&[1.0, 0.0]), Some(0.5));
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gini_in_unit_interval(
+            values in prop::collection::vec(0.0f64..1e6, 1..50),
+        ) {
+            if let Some(g) = gini(&values) {
+                prop_assert!((-1e-9..=1.0).contains(&g));
+            }
+        }
+
+        #[test]
+        fn prop_jain_bounds(
+            values in prop::collection::vec(0.0f64..1e6, 1..50),
+        ) {
+            if let Some(j) = jain_fairness(&values) {
+                let n = values.len() as f64;
+                prop_assert!(j <= 1.0 + 1e-9);
+                prop_assert!(j >= 1.0 / n - 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_histogram_total_counts_finite_records(
+            values in prop::collection::vec(-20.0f64..20.0, 0..100),
+        ) {
+            let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.total(), values.len() as u64);
+        }
+    }
+}

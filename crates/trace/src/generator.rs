@@ -1,0 +1,593 @@
+use crate::{
+    DiurnalProfile, Hotspot, HotspotId, PopulationModel, Request, Trace, UserId,
+    VideoCatalog,
+};
+use ccdn_geo::Rect;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt;
+
+/// Error returned by [`TraceConfig::try_generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceConfigError {
+    /// A count parameter was zero.
+    ZeroCount(&'static str),
+    /// A fraction parameter was outside its valid range.
+    BadFraction(&'static str),
+}
+
+impl fmt::Display for TraceConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceConfigError::ZeroCount(what) => write!(f, "{what} must be non-zero"),
+            TraceConfigError::BadFraction(what) => write!(f, "{what} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TraceConfigError {}
+
+/// Configuration and builder for synthetic trace generation.
+///
+/// Presets mirror the paper's two dataset scales:
+///
+/// - [`TraceConfig::paper_eval`]: the evaluation rectangle of §V-A —
+///   310 hotspots, 15 190 videos, 212 472 requests in 17 km × 11 km, with
+///   the paper's default capacities (`s_i` = 5 % and `c_i` = 3 % of the
+///   video set);
+/// - [`TraceConfig::measurement_city`]: a city-scale measurement set in
+///   the spirit of §II — 5 000 hotspots over a larger region (the paper
+///   samples 5 K of 1 M Beijing Wi-Fi APs);
+/// - [`TraceConfig::small_test`]: a fast deterministic set for unit tests.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_trace::TraceConfig;
+///
+/// let trace = TraceConfig::small_test()
+///     .with_seed(13)
+///     .with_request_count(500)
+///     .generate();
+/// assert_eq!(trace.requests.len(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    region: Rect,
+    hotspot_count: usize,
+    video_count: usize,
+    request_count: usize,
+    slot_count: u32,
+    /// Number of simulated days; total timeslots = `days * slot_count`.
+    days: u32,
+    cluster_count: usize,
+    background: f64,
+    zipf_alpha: f64,
+    locality: f64,
+    /// Per-hotspot service capacity as a fraction of the video-set size.
+    service_capacity_fraction: f64,
+    /// Per-hotspot cache capacity as a fraction of the video-set size.
+    cache_capacity_fraction: f64,
+    user_count: usize,
+    /// Fraction of hotspots placed uniformly at random rather than by
+    /// population density.
+    hotspot_uniform_fraction: f64,
+    seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's §V-A evaluation preset: 310 hotspots, 15 190 videos,
+    /// 212 472 requests, 17 km × 11 km, 24 hourly slots, `s_i` = 5 % and
+    /// `c_i` = 3 % of the video set.
+    pub fn paper_eval() -> Self {
+        TraceConfig {
+            region: Rect::paper_eval_region(),
+            hotspot_count: 310,
+            video_count: 15_190,
+            request_count: 212_472,
+            slot_count: 24,
+            days: 1,
+            cluster_count: 24,
+            background: 0.15,
+            zipf_alpha: 1.2,
+            locality: 0.6,
+            service_capacity_fraction: 0.05,
+            cache_capacity_fraction: 0.03,
+            user_count: 60_000,
+            hotspot_uniform_fraction: 0.6,
+            seed: 2017,
+        }
+    }
+
+    /// A city-scale measurement preset in the spirit of §II: 5 000
+    /// hotspots over a 40 km × 40 km region. Request and video counts are
+    /// scaled down from the paper's 59 M-session corpus to keep the
+    /// measurement benches minutes-fast; the *statistics* (skew,
+    /// correlation, similarity) are what matter, and they are
+    /// scale-stable.
+    pub fn measurement_city() -> Self {
+        TraceConfig {
+            region: Rect::new(ccdn_geo::Point::origin(), ccdn_geo::Point::new(40.0, 40.0)),
+            hotspot_count: 5_000,
+            video_count: 60_000,
+            request_count: 1_200_000,
+            slot_count: 24,
+            days: 1,
+            cluster_count: 70,
+            background: 0.08,
+            zipf_alpha: 1.2,
+            locality: 0.6,
+            service_capacity_fraction: 0.05,
+            cache_capacity_fraction: 0.03,
+            user_count: 300_000,
+            hotspot_uniform_fraction: 0.6,
+            seed: 2015,
+        }
+    }
+
+    /// A small, fast preset for unit tests: 20 hotspots, 200 videos,
+    /// 2 000 requests in the paper rectangle.
+    pub fn small_test() -> Self {
+        TraceConfig {
+            region: Rect::paper_eval_region(),
+            hotspot_count: 20,
+            video_count: 200,
+            request_count: 2_000,
+            slot_count: 24,
+            days: 1,
+            cluster_count: 6,
+            background: 0.15,
+            zipf_alpha: 1.2,
+            locality: 0.6,
+            service_capacity_fraction: 0.05,
+            cache_capacity_fraction: 0.03,
+            user_count: 500,
+            hotspot_uniform_fraction: 0.6,
+            seed: 1,
+        }
+    }
+
+    /// Sets the RNG seed (every derived stream is a function of it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of hotspots.
+    pub fn with_hotspot_count(mut self, n: usize) -> Self {
+        self.hotspot_count = n;
+        self
+    }
+
+    /// Sets the number of requests.
+    pub fn with_request_count(mut self, n: usize) -> Self {
+        self.request_count = n;
+        self
+    }
+
+    /// Sets the catalog size.
+    pub fn with_video_count(mut self, n: usize) -> Self {
+        self.video_count = n;
+        self
+    }
+
+    /// Sets per-hotspot service capacity as a fraction of the video set.
+    pub fn with_service_capacity_fraction(mut self, f: f64) -> Self {
+        self.service_capacity_fraction = f;
+        self
+    }
+
+    /// Sets per-hotspot cache capacity as a fraction of the video set.
+    pub fn with_cache_capacity_fraction(mut self, f: f64) -> Self {
+        self.cache_capacity_fraction = f;
+        self
+    }
+
+    /// Sets the locality blend of the video catalog (0 = uniform tastes,
+    /// 1 = fully local tastes).
+    pub fn with_locality(mut self, locality: f64) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// Sets the number of population clusters.
+    pub fn with_cluster_count(mut self, n: usize) -> Self {
+        self.cluster_count = n;
+        self
+    }
+
+    /// Sets the number of timeslots (1–24). Hours of day map onto slots by
+    /// `hour % slot_count`; with `slot_count = 1` the whole trace becomes a
+    /// single scheduling instance, which is how the paper's Fig. 6/7
+    /// evaluation treats its 212 K-request day (total hotspot capacity
+    /// `310 × 760 ≈ 236 K` sits just above the full-day demand).
+    pub fn with_slot_count(mut self, n: u32) -> Self {
+        self.slot_count = n;
+        self
+    }
+
+    /// Sets the number of simulated days (the paper's measurement trace
+    /// spans two weeks). Total timeslots become `days × slot_count`;
+    /// request volume is spread across days with a weekend effect
+    /// (residential viewing up, workplace viewing down on days 5 and 6 of
+    /// each week).
+    pub fn with_days(mut self, days: u32) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the Zipf exponent of global video popularity.
+    pub fn with_zipf_alpha(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = alpha;
+        self
+    }
+
+    /// Sets the fraction of hotspots placed uniformly at random instead
+    /// of following population density. The paper's Wi-Fi APs are a fixed
+    /// deployment only loosely correlated with where mobile viewers
+    /// cluster, which is what makes per-hotspot workload so skewed
+    /// (Fig. 2); `0` co-locates every hotspot with demand, `1` ignores
+    /// demand entirely.
+    pub fn with_hotspot_uniform_fraction(mut self, f: f64) -> Self {
+        self.hotspot_uniform_fraction = f;
+        self
+    }
+
+    /// The configured region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The configured video-set size.
+    pub fn video_count(&self) -> usize {
+        self.video_count
+    }
+
+    /// Service capacity per hotspot in requests/slot, derived from the
+    /// fraction (the paper expresses capacities as fractions of the
+    /// video-set size, e.g. `s_i = 5 % → 760` requests at 15 190 videos).
+    pub fn service_capacity(&self) -> u32 {
+        ((self.video_count as f64 * self.service_capacity_fraction).round() as u32).max(1)
+    }
+
+    /// Cache capacity per hotspot in videos, derived from the fraction
+    /// (`c_i = 3 % → 450` videos at 15 190 videos).
+    pub fn cache_capacity(&self) -> u32 {
+        ((self.video_count as f64 * self.cache_capacity_fraction).round() as u32).max(1)
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceConfigError`] for zero counts or out-of-range
+    /// fractions.
+    pub fn try_generate(&self) -> Result<Trace, TraceConfigError> {
+        if self.hotspot_count == 0 {
+            return Err(TraceConfigError::ZeroCount("hotspot count"));
+        }
+        if self.video_count == 0 {
+            return Err(TraceConfigError::ZeroCount("video count"));
+        }
+        if self.slot_count == 0 || self.slot_count > 24 {
+            return Err(TraceConfigError::BadFraction("slot count (1..=24)"));
+        }
+        if self.days == 0 || self.days > 31 {
+            return Err(TraceConfigError::BadFraction("days (1..=31)"));
+        }
+        if self.cluster_count == 0 {
+            return Err(TraceConfigError::ZeroCount("cluster count"));
+        }
+        if self.user_count == 0 {
+            return Err(TraceConfigError::ZeroCount("user count"));
+        }
+        for (name, f) in [
+            ("background fraction", self.background),
+            ("locality", self.locality),
+            ("hotspot uniform fraction", self.hotspot_uniform_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&f) || !f.is_finite() {
+                return Err(TraceConfigError::BadFraction(name));
+            }
+        }
+        for (name, f) in [
+            ("service capacity fraction", self.service_capacity_fraction),
+            ("cache capacity fraction", self.cache_capacity_fraction),
+        ] {
+            if !(f.is_finite() && f > 0.0 && f <= 1.0) {
+                return Err(TraceConfigError::BadFraction(name));
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let population =
+            PopulationModel::synthesize(self.region, self.cluster_count, self.background, &mut rng);
+        let catalog =
+            VideoCatalog::new(self.video_count, self.zipf_alpha, self.locality, self.seed ^ 0xCA7);
+
+        // Hotspots follow people: sample locations from the same
+        // population model.
+        let service_capacity = self.service_capacity();
+        let cache_capacity = self.cache_capacity();
+        let hotspots: Vec<Hotspot> = (0..self.hotspot_count)
+            .map(|i| {
+                let location = if rng.gen_range(0.0..1.0) < self.hotspot_uniform_fraction {
+                    ccdn_geo::Point::new(
+                        rng.gen_range(self.region.min().x..=self.region.max().x),
+                        rng.gen_range(self.region.min().y..=self.region.max().y),
+                    )
+                } else {
+                    population.sample(&mut rng).0
+                };
+                Hotspot { id: HotspotId(i), location, service_capacity, cache_capacity }
+            })
+            .collect();
+
+        let profiles: Vec<DiurnalProfile> = population
+            .clusters()
+            .iter()
+            .map(|c| DiurnalProfile::jittered(c.kind, 0.9, &mut rng))
+            .collect();
+        let background_profile = DiurnalProfile::new([1.0; 24]);
+
+        // User population: fixed home locations, a personal time-of-day
+        // shift, and heavy-tailed activity. Requests are issued by users
+        // (not by anonymous location draws), so nearby hotspots aggregate
+        // *different* households — that is what decorrelates their hourly
+        // workloads (Fig. 3a) and makes per-hotspot demand bursty.
+        struct UserRecord {
+            home: ccdn_geo::Point,
+            cluster: Option<usize>,
+            /// The handful of hours this household actually watches in —
+            /// the "small population" effect \[9\]: a hotspot's hourly
+            /// workload is the union of a few such personal schedules, so
+            /// nearby hotspots (different households) decorrelate.
+            hours: Vec<u32>,
+            cumulative_weight: f64,
+        }
+        let mut cumulative = 0.0f64;
+        let users: Vec<UserRecord> = (0..self.user_count)
+            .map(|_| {
+                let (home, cluster) = population.sample(&mut rng);
+                let profile =
+                    cluster.map_or(&background_profile, |c| &profiles[c]);
+                let shift = rng.gen_range(-6i32..=6);
+                let k = rng.gen_range(1usize..=3);
+                let hours: Vec<u32> = (0..k)
+                    .map(|_| {
+                        (profile.sample_hour(&mut rng) as i32 + shift).rem_euclid(24) as u32
+                    })
+                    .collect();
+                // Pareto-ish activity: a few heavy watchers dominate.
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                cumulative += (1.0 - u).powf(-1.0 / 1.5).min(50.0);
+                UserRecord { home, cluster, hours, cumulative_weight: cumulative }
+            })
+            .collect();
+        let total_weight = cumulative;
+
+        let mut requests: Vec<Request> = (0..self.request_count)
+            .map(|_| {
+                let pick = rng.gen_range(0.0..total_weight);
+                let idx = users.partition_point(|u| u.cumulative_weight <= pick);
+                let user = &users[idx.min(users.len() - 1)];
+                let hour = user.hours[rng.gen_range(0..user.hours.len())];
+                // Weekend effect: homes watch more, workplaces less, on
+                // days 5 and 6 of each week.
+                let day = if self.days == 1 {
+                    0
+                } else {
+                    let residentialish = user
+                        .cluster
+                        .is_none_or(|c| {
+                            matches!(
+                                population.clusters()[c].kind,
+                                crate::ClusterKind::Residential
+                            )
+                        });
+                    loop {
+                        let d = rng.gen_range(0..self.days);
+                        let weekend = matches!(d % 7, 5 | 6);
+                        let keep = match (weekend, residentialish) {
+                            (true, true) => 1.0,
+                            (true, false) => 0.45,
+                            (false, true) => 0.75,
+                            (false, false) => 1.0,
+                        };
+                        if rng.gen_range(0.0..1.0) < keep {
+                            break d;
+                        }
+                    }
+                };
+                let timeslot = day * self.slot_count + hour % self.slot_count;
+                // Watch near home: a small wander radius around it.
+                let dx = rng.gen_range(-0.25f64..0.25);
+                let dy = rng.gen_range(-0.25f64..0.25);
+                let location = self
+                    .region
+                    .clamp(ccdn_geo::Point::new(user.home.x + dx, user.home.y + dy));
+                Request {
+                    user: UserId(idx as u32),
+                    video: catalog.sample(user.cluster, &mut rng),
+                    timeslot,
+                    location,
+                }
+            })
+            .collect();
+        requests.sort_by_key(|r| r.timeslot);
+
+        Ok(Trace {
+            region: self.region,
+            hotspots,
+            requests,
+            video_count: self.video_count,
+            slot_count: self.days * self.slot_count,
+            slots_per_day: self.slot_count,
+        })
+    }
+
+    /// Generates the trace, panicking on invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`try_generate`](Self::try_generate) would error — use
+    /// that method when the configuration comes from untrusted input.
+    pub fn generate(&self) -> Trace {
+        self.try_generate().expect("valid trace configuration")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdn_geo::GridIndex;
+    use ccdn_stats::Cdf;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TraceConfig::small_test().with_seed(5).generate();
+        let b = TraceConfig::small_test().with_seed(5).generate();
+        assert_eq!(a, b);
+        let c = TraceConfig::small_test().with_seed(6).generate();
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let t = TraceConfig::small_test().generate();
+        assert_eq!(t.hotspots.len(), 20);
+        assert_eq!(t.requests.len(), 2000);
+        assert_eq!(t.video_count, 200);
+        for h in &t.hotspots {
+            assert_eq!(h.service_capacity, 10); // 5% of 200
+            assert_eq!(h.cache_capacity, 6); // 3% of 200
+        }
+    }
+
+    #[test]
+    fn requests_sorted_by_slot_and_in_region() {
+        let t = TraceConfig::small_test().generate();
+        for w in t.requests.windows(2) {
+            assert!(w[0].timeslot <= w[1].timeslot);
+        }
+        for r in &t.requests {
+            assert!(t.region.contains(r.location));
+            assert!(r.timeslot < t.slot_count);
+            assert!((r.video.0 as usize) < t.video_count);
+        }
+    }
+
+    #[test]
+    fn capacity_derivation_matches_paper_numbers() {
+        // §V-A: 15,190 videos; s_i = 5% → 760 requests; c_i = 3% → 456.
+        // (The paper prints 760 and 450; 450 comes from rounding down the
+        // 455.7 — we document the difference in EXPERIMENTS.md.)
+        let cfg = TraceConfig::paper_eval();
+        assert_eq!(cfg.service_capacity(), 760);
+        assert_eq!(cfg.cache_capacity(), 456);
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        assert_eq!(
+            TraceConfig::small_test().with_hotspot_count(0).try_generate(),
+            Err(TraceConfigError::ZeroCount("hotspot count"))
+        );
+        assert_eq!(
+            TraceConfig::small_test().with_video_count(0).try_generate(),
+            Err(TraceConfigError::ZeroCount("video count"))
+        );
+        assert_eq!(
+            TraceConfig::small_test().with_locality(2.0).try_generate(),
+            Err(TraceConfigError::BadFraction("locality"))
+        );
+        assert_eq!(
+            TraceConfig::small_test().with_service_capacity_fraction(0.0).try_generate(),
+            Err(TraceConfigError::BadFraction("service capacity fraction"))
+        );
+    }
+
+    /// The headline measurement property: under nearest routing the
+    /// per-hotspot workload must be heavily skewed (paper Fig. 2 reports a
+    /// 99th-percentile / median ratio of ≈9).
+    #[test]
+    fn nearest_routing_workload_is_skewed() {
+        let t = TraceConfig::small_test()
+            .with_hotspot_count(60)
+            .with_request_count(20_000)
+            .with_seed(3)
+            .generate();
+        let index = GridIndex::build(t.region, 1.0, t.hotspots.iter().map(|h| h.location));
+        let mut loads = vec![0u32; t.hotspots.len()];
+        for r in &t.requests {
+            let (h, _) = index.nearest(r.location).unwrap();
+            loads[h] += 1;
+        }
+        let cdf = Cdf::from_samples(loads.iter().map(|&l| l as f64)).unwrap();
+        let ratio = cdf.quantile_to_median_ratio(0.99).unwrap();
+        assert!(ratio > 3.0, "load skew too mild: 99th/median = {ratio}");
+    }
+
+    #[test]
+    fn zero_request_trace_is_valid() {
+        let t = TraceConfig::small_test().with_request_count(0).generate();
+        assert!(t.requests.is_empty());
+        assert_eq!(t.requested_video_count(), 0);
+    }
+
+    #[test]
+    fn multi_day_traces_span_all_days() {
+        let t = TraceConfig::small_test()
+            .with_days(3)
+            .with_request_count(6_000)
+            .generate();
+        assert_eq!(t.slot_count, 72);
+        assert_eq!(t.slots_per_day, 24);
+        for day in 0..3 {
+            let day_requests: usize = (0..24)
+                .map(|h| t.slot_requests(day * 24 + h).len())
+                .sum();
+            assert!(
+                day_requests > 1_000,
+                "day {day} underpopulated: {day_requests} requests"
+            );
+        }
+        let total: usize = (0..72).map(|s| t.slot_requests(s).len()).sum();
+        assert_eq!(total, 6_000);
+    }
+
+    #[test]
+    fn weekend_shifts_demand_toward_residential_hours() {
+        // Days 5/6 are weekends: watching moves into residential patterns,
+        // so the weekend evening share of daily demand should rise.
+        let t = TraceConfig::small_test()
+            .with_days(7)
+            .with_request_count(40_000)
+            .with_seed(9)
+            .generate();
+        let share_evening = |day: u32| {
+            let day_total: usize =
+                (0..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
+            let evening: usize =
+                (19..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
+            evening as f64 / day_total.max(1) as f64
+        };
+        let weekday: f64 = (0..5).map(share_evening).sum::<f64>() / 5.0;
+        let weekend: f64 = (5..7).map(share_evening).sum::<f64>() / 2.0;
+        assert!(
+            weekend > weekday,
+            "weekend evening share {weekend:.3} not above weekday {weekday:.3}"
+        );
+    }
+
+    #[test]
+    fn invalid_day_counts_error() {
+        assert_eq!(
+            TraceConfig::small_test().with_days(0).try_generate(),
+            Err(TraceConfigError::BadFraction("days (1..=31)"))
+        );
+        assert_eq!(
+            TraceConfig::small_test().with_days(60).try_generate(),
+            Err(TraceConfigError::BadFraction("days (1..=31)"))
+        );
+    }
+}

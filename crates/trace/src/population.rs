@@ -1,0 +1,297 @@
+use ccdn_geo::{Point, Rect};
+use rand::Rng;
+use rand_distr_normal::sample_normal;
+
+/// Minimal Box–Muller normal sampler, kept local to avoid an extra
+/// dependency (`rand`'s distributions feature set is intentionally small
+/// in this workspace).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Samples `N(mean, sd)` via Box–Muller.
+    pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+        // Avoid u1 == 0 which would yield -inf.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + sd * z
+    }
+}
+
+/// The functional character of a population cluster, which drives its
+/// diurnal activity profile (see [`DiurnalProfile`]).
+///
+/// The paper observes that "peak video delivery demand in residential
+/// districts may be at night while another place like a company may have
+/// low demand at the night" (§II-B) — this enum is how the synthetic
+/// substrate encodes that asymmetry.
+///
+/// [`DiurnalProfile`]: crate::DiurnalProfile
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ClusterKind {
+    /// Homes: evening/night viewing peak.
+    Residential,
+    /// Offices and campuses: daytime viewing peak.
+    Business,
+}
+
+/// One spatial Gaussian population cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopulationCluster {
+    /// Cluster centre.
+    pub center: Point,
+    /// Isotropic standard deviation in km.
+    pub sigma_km: f64,
+    /// Relative share of the population living/working here.
+    pub weight: f64,
+    /// Residential or business character.
+    pub kind: ClusterKind,
+}
+
+/// A mixture-of-Gaussians population-density model over a region, with a
+/// uniform background component.
+///
+/// User request locations and hotspot placements are both drawn from this
+/// model ("APs follow people"), which produces the skewed per-hotspot
+/// workload distribution of the paper's Fig. 2.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_geo::Rect;
+/// use ccdn_trace::PopulationModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let model = PopulationModel::synthesize(Rect::paper_eval_region(), 8, 0.15, &mut rng);
+/// let (point, cluster) = model.sample(&mut rng);
+/// assert!(model.region().contains(point));
+/// assert!(cluster.is_none() || cluster.unwrap() < model.clusters().len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PopulationModel {
+    region: Rect,
+    clusters: Vec<PopulationCluster>,
+    /// Probability mass of the uniform background (in `[0, 1]`).
+    background: f64,
+}
+
+impl PopulationModel {
+    /// Creates a model from explicit clusters plus a uniform background
+    /// share `background ∈ [0, 1)`. Cluster weights are normalized to sum
+    /// to `1 − background`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` is outside `[0, 1)`, any weight or sigma is
+    /// non-positive/non-finite, or `clusters` is empty with
+    /// `background == 0`.
+    pub fn new(region: Rect, clusters: Vec<PopulationCluster>, background: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&background) || (background == 1.0 && clusters.is_empty()),
+            "background must be in [0, 1]"
+        );
+        assert!(
+            !clusters.is_empty() || background > 0.0,
+            "need clusters or a positive background"
+        );
+        for c in &clusters {
+            assert!(c.weight.is_finite() && c.weight > 0.0, "cluster weights must be > 0");
+            assert!(c.sigma_km.is_finite() && c.sigma_km > 0.0, "sigma must be > 0");
+        }
+        PopulationModel { region, clusters, background }
+    }
+
+    /// Synthesizes `count` random clusters inside `region` — roughly half
+    /// residential, half business, log-spread weights — plus a uniform
+    /// background of mass `background`. This is the default city model
+    /// used by the trace presets.
+    pub fn synthesize<R: Rng + ?Sized>(
+        region: Rect,
+        count: usize,
+        background: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(count > 0, "need at least one cluster");
+        let max_sigma = (region.width().min(region.height()) / 10.0).max(0.2);
+        let clusters = (0..count)
+            .map(|i| {
+                let cx = rng.gen_range(region.min().x..region.max().x);
+                let cy = rng.gen_range(region.min().y..region.max().y);
+                PopulationCluster {
+                    center: Point::new(cx, cy),
+                    sigma_km: rng.gen_range(0.15..max_sigma),
+                    // Log-uniform weights spanning ~2 orders of magnitude:
+                    // a few dominant hubs, many minor ones — matches urban
+                    // population skew (and drives the paper's Fig. 2
+                    // heavy-tailed hotspot workload).
+                    weight: (-rng.gen_range(0.0f64..4.5)).exp(),
+                    kind: if i % 2 == 0 {
+                        ClusterKind::Residential
+                    } else {
+                        ClusterKind::Business
+                    },
+                }
+            })
+            .collect();
+        PopulationModel::new(region, clusters, background)
+    }
+
+    /// The model's region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[PopulationCluster] {
+        &self.clusters
+    }
+
+    /// The uniform-background probability mass.
+    pub fn background(&self) -> f64 {
+        self.background
+    }
+
+    /// Samples a location; returns the point (clamped into the region) and
+    /// the index of the cluster it came from (`None` for background).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Point, Option<usize>) {
+        if self.clusters.is_empty() || rng.gen_range(0.0..1.0) < self.background {
+            let p = Point::new(
+                rng.gen_range(self.region.min().x..=self.region.max().x),
+                rng.gen_range(self.region.min().y..=self.region.max().y),
+            );
+            return (p, None);
+        }
+        let total: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut idx = self.clusters.len() - 1;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if pick < c.weight {
+                idx = i;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let c = &self.clusters[idx];
+        let p = Point::new(
+            sample_normal(rng, c.center.x, c.sigma_km),
+            sample_normal(rng, c.center.y, c.sigma_km),
+        );
+        (self.region.clamp(p), Some(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn region() -> Rect {
+        Rect::paper_eval_region()
+    }
+
+    #[test]
+    fn samples_stay_in_region() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = PopulationModel::synthesize(region(), 6, 0.2, &mut rng);
+        for _ in 0..2000 {
+            let (p, _) = model.sample(&mut rng);
+            assert!(region().contains(p), "{p} escaped the region");
+        }
+    }
+
+    #[test]
+    fn background_only_model_is_uniformish() {
+        let model = PopulationModel::new(region(), vec![], 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut left = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let (p, cluster) = model.sample(&mut rng);
+            assert!(cluster.is_none());
+            if p.x < region().center().x {
+                left += 1;
+            }
+        }
+        let frac = left as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "left fraction {frac}");
+    }
+
+    #[test]
+    fn clustered_model_is_skewed() {
+        // One tight dominant cluster: most samples land within 3 sigma.
+        let clusters = vec![PopulationCluster {
+            center: Point::new(8.0, 5.0),
+            sigma_km: 0.5,
+            weight: 1.0,
+            kind: ClusterKind::Residential,
+        }];
+        let model = PopulationModel::new(region(), clusters, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2000;
+        let near = (0..n)
+            .filter(|_| {
+                let (p, _) = model.sample(&mut rng);
+                p.distance(Point::new(8.0, 5.0)) < 1.5
+            })
+            .count();
+        assert!(near as f64 / n as f64 > 0.7, "only {near}/{n} near the hub");
+    }
+
+    #[test]
+    fn cluster_attribution_matches_weights() {
+        let clusters = vec![
+            PopulationCluster {
+                center: Point::new(3.0, 3.0),
+                sigma_km: 0.5,
+                weight: 3.0,
+                kind: ClusterKind::Residential,
+            },
+            PopulationCluster {
+                center: Point::new(14.0, 8.0),
+                sigma_km: 0.5,
+                weight: 1.0,
+                kind: ClusterKind::Business,
+            },
+        ];
+        let model = PopulationModel::new(region(), clusters, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 8000;
+        let mut first = 0;
+        for _ in 0..n {
+            if model.sample(&mut rng).1 == Some(0) {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "cluster-0 fraction {frac}");
+    }
+
+    #[test]
+    fn synthesize_is_deterministic_per_seed() {
+        let a = PopulationModel::synthesize(region(), 5, 0.1, &mut StdRng::seed_from_u64(9));
+        let b = PopulationModel::synthesize(region(), 5, 0.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "background")]
+    fn invalid_background_panics() {
+        let _ = PopulationModel::new(region(), vec![], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn zero_weight_panics() {
+        let clusters = vec![PopulationCluster {
+            center: Point::new(1.0, 1.0),
+            sigma_km: 1.0,
+            weight: 0.0,
+            kind: ClusterKind::Business,
+        }];
+        let _ = PopulationModel::new(region(), clusters, 0.0);
+    }
+}

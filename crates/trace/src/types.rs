@@ -1,0 +1,173 @@
+use ccdn_geo::{Point, Rect};
+use std::fmt;
+
+/// Identifier of a video in the catalog.
+///
+/// Videos are unit-sized, matching the paper's model where "each video has
+/// an identical size 1" (§III — videos can be split into equal chunks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VideoId(pub u32);
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a content hotspot (an edge device such as a smart Wi-Fi
+/// AP). Indexes into [`Trace::hotspots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HotspotId(pub usize);
+
+impl fmt::Display for HotspotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Identifier of a user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A content hotspot: location plus per-timeslot service capacity and
+/// cache capacity, mirroring `s_h` and `c_h` of the paper's system model
+/// (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hotspot {
+    /// The hotspot's id (equal to its index in [`Trace::hotspots`]).
+    pub id: HotspotId,
+    /// Geographic location.
+    pub location: Point,
+    /// Requests it can serve per timeslot (`s_h`).
+    pub service_capacity: u32,
+    /// Videos it can cache (`c_h`); each video is unit-sized.
+    pub cache_capacity: u32,
+}
+
+/// One video request: a user at a location asking for a video during a
+/// timeslot. Mirrors the fields of the paper's session trace (user id,
+/// timestamp, video title, GPS location).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Request {
+    /// The requesting user.
+    pub user: UserId,
+    /// The requested video.
+    pub video: VideoId,
+    /// Timeslot index (hour of day for the default 24-slot day).
+    pub timeslot: u32,
+    /// Where the user is watching from.
+    pub location: Point,
+}
+
+/// A complete synthetic trace: the region, the hotspot deployment, the
+/// request log, and catalog metadata.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    /// Evaluation region.
+    pub region: Rect,
+    /// Deployed content hotspots, indexed by [`HotspotId`].
+    pub hotspots: Vec<Hotspot>,
+    /// All requests, sorted by timeslot.
+    pub requests: Vec<Request>,
+    /// Number of distinct videos in the catalog.
+    pub video_count: usize,
+    /// Number of timeslots in the trace (requests have
+    /// `timeslot < slot_count`); equals `days × slots_per_day` for
+    /// multi-day traces.
+    pub slot_count: u32,
+    /// Timeslots per simulated day (used by seasonal predictors).
+    pub slots_per_day: u32,
+}
+
+impl Trace {
+    /// Requests belonging to timeslot `slot`, as a sub-slice (requests are
+    /// sorted by timeslot at generation).
+    pub fn slot_requests(&self, slot: u32) -> &[Request] {
+        let start = self.requests.partition_point(|r| r.timeslot < slot);
+        let end = self.requests.partition_point(|r| r.timeslot <= slot);
+        &self.requests[start..end]
+    }
+
+    /// Distinct videos actually requested in the trace.
+    pub fn requested_video_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.requests.iter().map(|r| r.video.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let region = Rect::paper_eval_region();
+        Trace {
+            region,
+            hotspots: vec![Hotspot {
+                id: HotspotId(0),
+                location: Point::new(1.0, 1.0),
+                service_capacity: 10,
+                cache_capacity: 5,
+            }],
+            requests: vec![
+                Request {
+                    user: UserId(0),
+                    video: VideoId(3),
+                    timeslot: 0,
+                    location: Point::new(0.5, 0.5),
+                },
+                Request {
+                    user: UserId(1),
+                    video: VideoId(3),
+                    timeslot: 1,
+                    location: Point::new(0.6, 0.5),
+                },
+                Request {
+                    user: UserId(2),
+                    video: VideoId(9),
+                    timeslot: 1,
+                    location: Point::new(0.7, 0.5),
+                },
+            ],
+            video_count: 10,
+            slot_count: 24,
+            slots_per_day: 24,
+        }
+    }
+
+    #[test]
+    fn slot_requests_partitions_by_slot() {
+        let t = sample_trace();
+        assert_eq!(t.slot_requests(0).len(), 1);
+        assert_eq!(t.slot_requests(1).len(), 2);
+        assert_eq!(t.slot_requests(2).len(), 0);
+        assert_eq!(t.slot_requests(23).len(), 0);
+    }
+
+    #[test]
+    fn requested_video_count_deduplicates() {
+        let t = sample_trace();
+        assert_eq!(t.requested_video_count(), 2);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(VideoId(3).to_string(), "v3");
+        assert_eq!(HotspotId(1).to_string(), "h1");
+        assert_eq!(UserId(9).to_string(), "u9");
+    }
+}

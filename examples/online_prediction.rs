@@ -1,0 +1,61 @@
+//! Online operation: run the paper's §III loop — predict popularity,
+//! prefetch, then serve what actually arrives — with caches that persist
+//! across hourly slots, and compare popularity predictors against the
+//! oracle bound.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example online_prediction
+//! ```
+
+use crowdsourced_cdn::core::{Rbcaer, RbcaerConfig};
+use crowdsourced_cdn::sim::{Ewma, LastSlot, OnlineReport, OnlineRunner, WindowMean};
+use crowdsourced_cdn::trace::TraceConfig;
+
+fn show(report: &OnlineReport) {
+    let mean_err = report.slots.iter().map(|s| s.forecast_error).sum::<f64>()
+        / report.slots.len().max(1) as f64;
+    println!(
+        "{:<12} serving {:>6.3}  distance {:>7.3} km  delta-replication {:>6.3}  cdn-load {:>6.3}  forecast-err {:>5.2}",
+        report.predictor,
+        report.total.hotspot_serving_ratio(),
+        report.total.average_distance_km(),
+        report.total.replication_cost(),
+        report.total.cdn_server_load(),
+        mean_err,
+    );
+}
+
+fn main() {
+    // Hourly-scaled capacities: the full-day values of the offline
+    // evaluation would leave every hotspot idle within one hour.
+    let trace = TraceConfig::paper_eval()
+        .with_hotspot_count(120)
+        .with_request_count(80_000)
+        .with_video_count(6_000)
+        .with_service_capacity_fraction(0.006)
+        .with_cache_capacity_fraction(0.012)
+        .generate();
+    println!(
+        "trace: {} hotspots, {} requests, {} videos, {} hourly slots",
+        trace.hotspots.len(),
+        trace.requests.len(),
+        trace.video_count,
+        trace.slot_count
+    );
+    println!("scheduler: RBCAer; caches persist, replication charged as per-slot delta\n");
+
+    let runner = OnlineRunner::new(&trace);
+    let mut scheduler = Rbcaer::new(RbcaerConfig::default());
+
+    show(&runner.run_with_oracle(&mut scheduler).expect("oracle validates"));
+    show(&runner.run(&mut scheduler, &mut LastSlot::new()).expect("last-slot validates"));
+    show(&runner.run(&mut scheduler, &mut Ewma::new(0.3)).expect("ewma validates"));
+    show(&runner.run(&mut scheduler, &mut WindowMean::new(4)).expect("window validates"));
+
+    println!("\nThe oracle row bounds what any predictor can achieve. EWMA smooths the");
+    println!("hour-to-hour churn in each hotspot's top videos, so the CDN pushes far");
+    println!("fewer fresh replicas per slot than a naive last-slot refill — at a small");
+    println!("cost in serving ratio from forecast lag.");
+}
