@@ -1,0 +1,61 @@
+//! Criterion bench for the online failover-routing hot path:
+//! [`route_with_failover`] re-routes every request whose planned server
+//! died since planning, so it runs once per slot on the serving side of
+//! the online loop. Measured healthy (no failures — the common case must
+//! stay cheap) and at 10 % / 30 % of hotspots down.
+
+use ccdn_core::{Rbcaer, RbcaerConfig};
+use ccdn_sim::{route_with_failover, FailureModel, HotspotGeometry, Scheme, SlotDemand, SlotInput};
+use ccdn_trace::TraceConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_failover(c: &mut Criterion) {
+    let trace = TraceConfig::paper_eval()
+        .with_slot_count(1)
+        .with_hotspot_count(150)
+        .with_request_count(50_000)
+        .with_video_count(8_000)
+        .with_service_capacity_fraction(0.005)
+        .with_cache_capacity_fraction(0.01)
+        .generate();
+    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+    let demand = SlotDemand::aggregate(trace.slot_requests(0), &geometry);
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    let input = SlotInput {
+        geometry: &geometry,
+        demand: &demand,
+        service_capacity: &service,
+        cache_capacity: &cache,
+        video_count: trace.video_count,
+    };
+    let planned = Rbcaer::new(RbcaerConfig::default()).schedule(&input).placements;
+
+    let mut group = c.benchmark_group("failover_routing");
+    for &p in &[0.0, 0.1, 0.3] {
+        let alive =
+            FailureModel::iid(p, 7).expect("valid probability").process().advance(0, &geometry);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("down_{p}")),
+            &alive,
+            |b, alive| {
+                b.iter(|| {
+                    let (decision, stats) = route_with_failover(
+                        &geometry,
+                        &demand,
+                        &service,
+                        planned.clone(),
+                        alive,
+                        1.5,
+                    );
+                    black_box((decision.assignments.len(), stats));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

@@ -30,9 +30,7 @@ fn bench_schedulers(c: &mut Criterion) {
     let trace = bench_trace();
     let mut group = c.benchmark_group("schedulers");
     group.sample_size(10);
-    group.bench_function("nearest", |b| {
-        b.iter(|| run_once(&trace, &mut Nearest::new()))
-    });
+    group.bench_function("nearest", |b| b.iter(|| run_once(&trace, &mut Nearest::new())));
     group.bench_function("random_1.5km", |b| {
         b.iter(|| run_once(&trace, &mut LocalRandom::new(1.5, 42)))
     });
@@ -48,10 +46,7 @@ fn bench_rbcaer_ablations(c: &mut Criterion) {
     group.sample_size(10);
     let variants: Vec<(&str, RbcaerConfig)> = vec![
         ("full", RbcaerConfig::default()),
-        (
-            "balance_only",
-            RbcaerConfig { content_aggregation: false, ..RbcaerConfig::default() },
-        ),
+        ("balance_only", RbcaerConfig { content_aggregation: false, ..RbcaerConfig::default() }),
         (
             "guide_literal",
             RbcaerConfig { guide_cost: GuideCost::PaperLiteral, ..RbcaerConfig::default() },

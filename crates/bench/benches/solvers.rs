@@ -24,8 +24,7 @@ fn random_gd(n: usize, degree: usize, seed: u64) -> (FlowNetwork, usize, usize) 
     for i in 0..n {
         for _ in 0..degree {
             let j = rng.gen_range(0..n);
-            net.add_edge(2 + i, 2 + n + j, rng.gen_range(1..30), rng.gen_range(0.1..5.0))
-                .unwrap();
+            net.add_edge(2 + i, 2 + n + j, rng.gen_range(1..30), rng.gen_range(0.1..5.0)).unwrap();
         }
     }
     (net, source, sink)
@@ -64,11 +63,9 @@ fn bench_clustering(c: &mut Criterion) {
         let coords: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         let dm = DistanceMatrix::from_fn(n, |i, j| (coords[i] - coords[j]).abs());
         for linkage in [Linkage::Complete, Linkage::Average] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{linkage:?}"), n),
-                &n,
-                |b, _| b.iter(|| black_box(hierarchical_cluster(&dm, linkage, 0.5))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{linkage:?}"), n), &n, |b, _| {
+                b.iter(|| black_box(hierarchical_cluster(&dm, linkage, 0.5)))
+            });
         }
     }
     group.finish();

@@ -52,21 +52,17 @@ fn bench_trace_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_generation");
     group.sample_size(10);
     for &requests in &[10_000usize, 50_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(requests),
-            &requests,
-            |b, &requests| {
-                b.iter(|| {
-                    black_box(
-                        TraceConfig::small_test()
-                            .with_hotspot_count(100)
-                            .with_video_count(2_000)
-                            .with_request_count(requests)
-                            .generate(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &requests, |b, &requests| {
+            b.iter(|| {
+                black_box(
+                    TraceConfig::small_test()
+                        .with_hotspot_count(100)
+                        .with_video_count(2_000)
+                        .with_request_count(requests)
+                        .generate(),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -32,35 +32,19 @@ fn main() {
         ("mcmf: spfa", RbcaerConfig { mcmf: McmfAlgorithm::Spfa, ..base }),
         ("delta 0.1 km (fine sweep)", RbcaerConfig { delta_km: 0.1, ..base }),
         ("theta2 5 km (wide reach)", RbcaerConfig { theta2_km: 5.0, ..base }),
-        (
-            "B_peak = 20k replicas",
-            RbcaerConfig { replication_budget: Some(20_000), ..base },
-        ),
-        (
-            "B_peak = 40k replicas",
-            RbcaerConfig { replication_budget: Some(40_000), ..base },
-        ),
+        ("B_peak = 20k replicas", RbcaerConfig { replication_budget: Some(20_000), ..base }),
+        ("B_peak = 40k replicas", RbcaerConfig { replication_budget: Some(40_000), ..base }),
         // Under a finite budget the aggregation stage's replica savings
         // are no longer masked by unlimited tail refill at the sources —
         // this pair isolates what aggregation buys.
         (
             "B_peak = 40k, no aggregation",
-            RbcaerConfig {
-                replication_budget: Some(40_000),
-                content_aggregation: false,
-                ..base
-            },
+            RbcaerConfig { replication_budget: Some(40_000), content_aggregation: false, ..base },
         ),
     ];
 
-    let mut table = Table::new(&[
-        "variant",
-        "serving",
-        "distance (km)",
-        "replication",
-        "cdn-load",
-        "time",
-    ]);
+    let mut table =
+        Table::new(&["variant", "serving", "distance (km)", "replication", "cdn-load", "time"]);
     let mut csv = Vec::new();
     for (name, config) in variants {
         let report = runner.run(&mut Rbcaer::new(config)).expect("variant validates");
@@ -83,11 +67,8 @@ fn main() {
         ));
     }
     table.print();
-    let path = write_csv(
-        "ablation",
-        "variant,serving,distance_km,replication,cdn_load,seconds",
-        &csv,
-    );
+    let path =
+        write_csv("ablation", "variant,serving,distance_km,replication,cdn_load,seconds", &csv);
     announce_csv("ablation results", &path);
     println!("\nReading guide: 'no content aggregation' isolates what the Gc guide");
     println!("nodes + Procedure-1 ordering buy; a finite B_peak prunes the tail");

@@ -10,9 +10,7 @@
 use ccdn_bench::table::{f3, Table};
 use ccdn_bench::{announce_csv, write_csv};
 use ccdn_core::{LocalRandom, Nearest, Rbcaer, RbcaerConfig};
-use ccdn_sim::{
-    served_loads, utilization_fairness, Scheme, SlotDemand, SlotInput, SlotMetrics,
-};
+use ccdn_sim::{served_loads, utilization_fairness, Scheme, SlotDemand, SlotInput, SlotMetrics};
 use ccdn_stats::Cdf;
 use ccdn_trace::TraceConfig;
 
@@ -21,10 +19,8 @@ fn main() {
     let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
     let geometry = ccdn_sim::HotspotGeometry::new(trace.region, &trace.hotspots);
     let demand = SlotDemand::aggregate(trace.slot_requests(0), &geometry);
-    let service: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
-    let cache: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
     let input = SlotInput {
         geometry: &geometry,
         demand: &demand,
@@ -34,8 +30,7 @@ fn main() {
     };
 
     // The pre-scheduling demand skew (Fig. 2's statistic).
-    let demand_cdf =
-        Cdf::from_samples(demand.loads().iter().map(|&l| l as f64)).expect("loads");
+    let demand_cdf = Cdf::from_samples(demand.loads().iter().map(|&l| l as f64)).expect("loads");
     println!(
         "aggregated demand: median {:.0}, p99/median {:.1}x (the skew RBCAer must fix)\n",
         demand_cdf.median(),
@@ -60,18 +55,10 @@ fn main() {
             scheme.name().to_string(),
             f3(cdf.median()),
             f3(cdf.quantile(0.99)),
-            cdf.quantile_to_median_ratio(0.99)
-                .map(f3)
-                .unwrap_or_else(|| "n/a".into()),
+            cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into()),
             f3(jain),
         ]);
-        csv.push(format!(
-            "{},{},{},{}",
-            scheme.name(),
-            cdf.median(),
-            cdf.quantile(0.99),
-            jain
-        ));
+        csv.push(format!("{},{},{},{}", scheme.name(), cdf.median(), cdf.quantile(0.99), jain));
     }
     table.print();
     let path = write_csv("balance", "scheme,served_median,served_p99,jain", &csv);

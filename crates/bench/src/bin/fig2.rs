@@ -35,8 +35,8 @@ fn main() {
     let mut skew = Table::new(&["strategy", "median", "p99", "p99/median", "max"]);
     let mut csv_rows = Vec::new();
     for (name, loads) in &strategies {
-        let cdf = Cdf::from_samples(loads.loads.iter().map(|&l| l as f64))
-            .expect("non-empty loads");
+        let cdf =
+            Cdf::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("non-empty loads");
         skew.row(&[
             name.to_string(),
             f3(cdf.median()),

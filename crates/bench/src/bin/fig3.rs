@@ -49,8 +49,7 @@ fn main() {
     t.row(&["median correlation".into(), f3(cdf.median())]);
     t.row(&["fraction below 0.4".into(), f3(below_04)]);
     t.print();
-    let rows: Vec<String> =
-        cdf.curve(200).into_iter().map(|(x, y)| format!("{x},{y}")).collect();
+    let rows: Vec<String> = cdf.curve(200).into_iter().map(|(x, y)| format!("{x},{y}")).collect();
     let path = write_csv("fig3a_workload_correlation_cdf", "correlation,cdf", &rows);
     announce_csv("correlation CDF", &path);
     println!("paper: ~70% of pairs below 0.4");
@@ -63,8 +62,7 @@ fn main() {
     for &(label, ratio) in &ratios {
         // Deterministic sample: every k-th hotspot.
         let step = (1.0 / ratio).round() as usize;
-        let sampled: Vec<Hotspot> =
-            trace.hotspots.iter().step_by(step.max(1)).copied().collect();
+        let sampled: Vec<Hotspot> = trace.hotspots.iter().step_by(step.max(1)).copied().collect();
         let sub_geometry = HotspotGeometry::new(trace.region, &sampled);
         let sets = top_content_sets(&trace.requests, &sub_geometry, 0.2);
         let sub_pairs = sub_geometry.pairs_within(PAIR_RADIUS_KM);

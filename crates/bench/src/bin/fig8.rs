@@ -25,10 +25,7 @@ fn main() {
 
     let mut schemes: Vec<(Box<dyn Scheme>, &str)> = vec![
         (
-            Box::new(LpBased::new(LpBasedConfig {
-                max_pairs: 400,
-                ..LpBasedConfig::default()
-            })),
+            Box::new(LpBased::new(LpBasedConfig { max_pairs: 400, ..LpBasedConfig::default() })),
             "LP relaxation capped at the 400 highest-demand (hotspot,video) pairs",
         ),
         (Box::new(Rbcaer::new(RbcaerConfig::default())), "full instance"),
@@ -47,11 +44,7 @@ fn main() {
             format!("{:.3}", report.total.cdn_server_load()),
             note.to_string(),
         ]);
-        csv.push(format!(
-            "{},{}",
-            report.scheme,
-            report.scheduling_time.as_secs_f64()
-        ));
+        csv.push(format!("{},{}", report.scheme, report.scheduling_time.as_secs_f64()));
     }
     table.print();
     let path = write_csv("fig8_running_time", "scheme,seconds", &csv);

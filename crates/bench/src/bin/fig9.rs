@@ -20,10 +20,8 @@ fn main() {
     let runner = Runner::new(&trace);
     let geometry = runner.geometry();
     let demand = SlotDemand::aggregate(trace.slot_requests(0), geometry);
-    let service: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
-    let cache: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
     let input = SlotInput {
         geometry,
         demand: &demand,
@@ -32,8 +30,7 @@ fn main() {
         video_count: trace.video_count,
     };
 
-    let mut table =
-        Table::new(&["theta (km)", "edges", "% of |V|^2", "maxflow", "% of maxflow"]);
+    let mut table = Table::new(&["theta (km)", "edges", "% of |V|^2", "maxflow", "% of maxflow"]);
     let mut csv = Vec::new();
     let mut theta = 0.0;
     while theta <= 7.51 {

@@ -10,7 +10,9 @@
 use ccdn_bench::table::{f3, Table};
 use ccdn_bench::{announce_csv, write_csv};
 use ccdn_core::{Nearest, Rbcaer, RbcaerConfig};
-use ccdn_sim::{Ewma, HoltLinear, LastSlot, OnlineReport, OnlineRunner, Scheme, SeasonalNaive, WindowMean};
+use ccdn_sim::{
+    Ewma, HoltLinear, LastSlot, OnlineReport, OnlineRunner, Scheme, SeasonalNaive, WindowMean,
+};
 use ccdn_trace::TraceConfig;
 
 fn schemes() -> Vec<Box<dyn Scheme>> {
@@ -80,15 +82,11 @@ fn main() {
     for mut scheme in schemes() {
         record(&runner.run_with_oracle(scheme.as_mut()).expect("oracle run validates"));
         record(
-            &runner
-                .run(scheme.as_mut(), &mut LastSlot::new())
-                .expect("last-slot run validates"),
+            &runner.run(scheme.as_mut(), &mut LastSlot::new()).expect("last-slot run validates"),
         );
         record(&runner.run(scheme.as_mut(), &mut Ewma::new(0.3)).expect("ewma run validates"));
         record(
-            &runner
-                .run(scheme.as_mut(), &mut WindowMean::new(4))
-                .expect("window run validates"),
+            &runner.run(scheme.as_mut(), &mut WindowMean::new(4)).expect("window run validates"),
         );
         record(
             &runner

@@ -19,14 +19,8 @@ fn main() {
     // where decomposition pays.
     let config = RbcaerConfig { theta2_km: 6.0, ..RbcaerConfig::default() };
 
-    let mut table = Table::new(&[
-        "hotspots",
-        "scheme",
-        "serving",
-        "distance (km)",
-        "cdn-load",
-        "time",
-    ]);
+    let mut table =
+        Table::new(&["hotspots", "scheme", "serving", "distance (km)", "cdn-load", "time"]);
     let mut csv = Vec::new();
     for &(hotspots, requests) in &[(310usize, 212_472usize), (800, 500_000), (1_500, 900_000)] {
         let trace = TraceConfig::paper_eval()
@@ -63,10 +57,7 @@ fn main() {
         }
     }
     table.print();
-    let path = write_csv(
-        "scalability",
-        "hotspots,scheme,serving,distance_km,cdn_load,seconds",
-        &csv,
-    );
+    let path =
+        write_csv("scalability", "hotspots,scheme,serving,distance_km,cdn_load,seconds", &csv);
     announce_csv("scalability sweep", &path);
 }

@@ -33,18 +33,18 @@ fn main() {
         trace.video_count
     );
 
-    let load_summary =
-        Summary::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("loads");
+    let load_summary = Summary::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("loads");
     let distinct_summary =
-        Summary::from_samples(loads.distinct_videos.iter().map(|&d| d as f64))
-            .expect("distinct");
+        Summary::from_samples(loads.distinct_videos.iter().map(|&d| d as f64)).expect("distinct");
     let load_cdf = Cdf::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("loads");
 
     let mut t = Table::new(&["statistic", "value"]);
     t.row(&["load mean".into(), f3(load_summary.mean)]);
     t.row(&["load median".into(), f3(load_summary.median)]);
-    t.row(&["load p99/median".into(),
-        load_cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into())]);
+    t.row(&[
+        "load p99/median".into(),
+        load_cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into()),
+    ]);
     t.row(&["distinct videos/hotspot mean".into(), f3(distinct_summary.mean)]);
     t.row(&["distinct videos/hotspot max".into(), f3(distinct_summary.max)]);
     t.row(&["total distinct requested".into(), trace.requested_video_count().to_string()]);

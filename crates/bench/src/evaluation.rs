@@ -74,10 +74,7 @@ where
     fractions
         .iter()
         .map(|&fraction| {
-            let config = configure(
-                TraceConfig::paper_eval().with_slot_count(1),
-                fraction,
-            );
+            let config = configure(TraceConfig::paper_eval().with_slot_count(1), fraction);
             let trace = config.generate();
             let runner = Runner::new(&trace);
             let results = paper_schemes()
@@ -98,8 +95,7 @@ pub fn print_panels(points: &[SweepPoint], fraction_label: &str) -> Vec<String> 
     let mut csv = Vec::new();
     for metric in Metric::all() {
         println!("\n-- {} --", metric.label());
-        let scheme_names: Vec<&str> =
-            points[0].results.iter().map(|(n, _)| n.as_str()).collect();
+        let scheme_names: Vec<&str> = points[0].results.iter().map(|(n, _)| n.as_str()).collect();
         let mut header = vec![fraction_label];
         header.extend(scheme_names.iter().copied());
         let mut table = Table::new(&header);
@@ -148,8 +144,7 @@ mod tests {
 
     #[test]
     fn paper_schemes_has_the_three_contenders() {
-        let names: Vec<String> =
-            paper_schemes().iter().map(|s| s.name().to_string()).collect();
+        let names: Vec<String> = paper_schemes().iter().map(|s| s.name().to_string()).collect();
         assert_eq!(names, vec!["RBCAer", "Nearest", "Random"]);
     }
 }

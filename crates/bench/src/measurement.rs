@@ -34,10 +34,7 @@ impl RoutingLoads {
     }
 }
 
-fn tally(
-    n: usize,
-    assignments: impl Iterator<Item = (usize, VideoId, u32)>,
-) -> RoutingLoads {
+fn tally(n: usize, assignments: impl Iterator<Item = (usize, VideoId, u32)>) -> RoutingLoads {
     let mut out = RoutingLoads::new(n);
     let mut seen: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
     for (h, video, hour) in assignments {
@@ -109,8 +106,7 @@ pub fn top_content_sets(
             }
             let mut by_count: Vec<(VideoId, u64)> = m.into_iter().collect();
             by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            let k = ((by_count.len() as f64 * fraction).ceil() as usize)
-                .clamp(1, by_count.len());
+            let k = ((by_count.len() as f64 * fraction).ceil() as usize).clamp(1, by_count.len());
             let mut top: Vec<VideoId> = by_count[..k].iter().map(|&(v, _)| v).collect();
             top.sort_unstable();
             top
@@ -134,8 +130,7 @@ mod tests {
         let (trace, geo) = setup();
         let loads = nearest_routing(&trace.requests, &geo);
         assert_eq!(loads.loads.iter().sum::<u64>(), trace.requests.len() as u64);
-        let hourly_total: u64 =
-            loads.hourly.iter().flat_map(|h| h.iter()).sum();
+        let hourly_total: u64 = loads.hourly.iter().flat_map(|h| h.iter()).sum();
         assert_eq!(hourly_total, trace.requests.len() as u64);
     }
 

@@ -52,9 +52,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(
-            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
-        );
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));

@@ -20,6 +20,81 @@ pub enum GuideCost {
     PaperLiteral,
 }
 
+/// Failure-aware hardening knobs for the [`Rbcaer`](crate::Rbcaer)
+/// scheduler (`RbcaerConfig::robustness`).
+///
+/// Stock RBCAer plans as if every hotspot will stay up through the slot.
+/// Under churn that is optimistic twice over: balanced flow lands on
+/// hotspots that die mid-slot, and each video typically has a single
+/// in-radius copy, so one failure orphans its whole neighbourhood to the
+/// CDN. The hardened variant:
+///
+/// - **capacity headroom** — plans against service capacities discounted
+///   by `expected_availability`, so the movable capacity `φ` the balancer
+///   relies on survives the expected failures;
+/// - **cache reserve** — holds back a fraction of each cache from the
+///   main placement pass, making room for
+/// - **k-redundant placement** — each hotspot's hottest videos are also
+///   pinned at `redundancy` nearby cluster peers (same content cluster
+///   preferred, ascending distance), so failover routing finds an alive
+///   copy in radius. Bounded by `RbcaerConfig::replication_budget`.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_core::{RbcaerConfig, RobustConfig};
+///
+/// let config =
+///     RbcaerConfig { robustness: Some(RobustConfig::default()), ..RbcaerConfig::default() };
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Expected per-hotspot availability; planning service capacities are
+    /// scaled by this factor. Must be in `(0, 1]` (1.0 disables the
+    /// headroom).
+    pub expected_availability: f64,
+    /// Fraction of each cache withheld from the primary placement pass to
+    /// make room for redundant copies. Must be in `[0, 1)`.
+    pub cache_reserve: f64,
+    /// Nearby peers that should also cache each hot video (the paper-less
+    /// "k" of k-redundancy). Must be at least 1.
+    pub redundancy: usize,
+    /// How many of each hotspot's hottest videos get the redundant
+    /// treatment. Must be at least 1.
+    pub hot_videos: usize,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            expected_availability: 0.85,
+            cache_reserve: 0.2,
+            redundancy: 2,
+            hot_videos: 4,
+        }
+    }
+}
+
+impl RobustConfig {
+    /// Validates the knobs, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.expected_availability > 0.0 && self.expected_availability <= 1.0) {
+            return Err("expected availability must be in (0, 1]".into());
+        }
+        if !(self.cache_reserve.is_finite() && (0.0..1.0).contains(&self.cache_reserve)) {
+            return Err("cache reserve must be in [0, 1)".into());
+        }
+        if self.redundancy == 0 {
+            return Err("redundancy must be at least 1 peer copy".into());
+        }
+        if self.hot_videos == 0 {
+            return Err("hot video count must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for the [`Rbcaer`](crate::Rbcaer) scheduler.
 ///
 /// Defaults are the paper's evaluation settings (§V-A): collaboration
@@ -66,6 +141,9 @@ pub struct RbcaerConfig {
     /// Optional cap `B_peak` on replicas pushed per slot (Procedure 1
     /// line 15). `None` bounds replication only by cache capacities.
     pub replication_budget: Option<u64>,
+    /// Failure-aware hardening ([`RobustConfig`]); `None` is the paper's
+    /// stock scheduler.
+    pub robustness: Option<RobustConfig>,
 }
 
 impl Default for RbcaerConfig {
@@ -81,6 +159,7 @@ impl Default for RbcaerConfig {
             guide_cost: GuideCost::default(),
             content_aggregation: true,
             replication_budget: None,
+            robustness: None,
         }
     }
 }
@@ -104,6 +183,9 @@ impl RbcaerConfig {
         if !(self.cluster_threshold.is_finite() && (0.0..=1.0).contains(&self.cluster_threshold)) {
             return Err("cluster threshold must be in [0, 1]".into());
         }
+        if let Some(robustness) = &self.robustness {
+            robustness.validate()?;
+        }
         Ok(())
     }
 }
@@ -124,6 +206,7 @@ mod tests {
         assert_eq!(c.linkage, Linkage::Complete);
         assert!(c.content_aggregation);
         assert_eq!(c.replication_budget, None);
+        assert_eq!(c.robustness, None);
     }
 
     #[test]
@@ -135,5 +218,23 @@ mod tests {
         assert!(RbcaerConfig { top_fraction: 0.0, ..base }.validate().is_err());
         assert!(RbcaerConfig { cluster_threshold: 1.5, ..base }.validate().is_err());
         assert!(RbcaerConfig { theta2_km: f64::NAN, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn robustness_validation() {
+        let base = RobustConfig::default();
+        assert!(base.validate().is_ok());
+        assert!(RobustConfig { expected_availability: 0.0, ..base }.validate().is_err());
+        assert!(RobustConfig { expected_availability: 1.5, ..base }.validate().is_err());
+        assert!(RobustConfig { cache_reserve: 1.0, ..base }.validate().is_err());
+        assert!(RobustConfig { cache_reserve: -0.1, ..base }.validate().is_err());
+        assert!(RobustConfig { redundancy: 0, ..base }.validate().is_err());
+        assert!(RobustConfig { hot_videos: 0, ..base }.validate().is_err());
+        // The parent config surfaces nested problems.
+        let bad = RbcaerConfig {
+            robustness: Some(RobustConfig { redundancy: 0, ..base }),
+            ..RbcaerConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

@@ -53,8 +53,7 @@ impl RegionPartition {
     /// boundary regions).
     pub fn region_of_point(&self, p: ccdn_geo::Point) -> usize {
         let q = self.bounds.clamp(p);
-        let col = (((q.x - self.bounds.min().x) / self.bounds.width() * self.cols as f64)
-            as usize)
+        let col = (((q.x - self.bounds.min().x) / self.bounds.width() * self.cols as f64) as usize)
             .min(self.cols - 1);
         let row = (((q.y - self.bounds.min().y) / self.bounds.height() * self.rows as f64)
             as usize)
@@ -146,8 +145,7 @@ impl Scheme for HierarchicalRbcaer {
             let mut cluster_of = vec![0usize; n];
             let mut next_id = 0;
             for r in 0..partition.region_count() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&h| region_of[h] == r).collect();
+                let members: Vec<usize> = (0..n).filter(|&h| region_of[h] == r).collect();
                 if members.is_empty() {
                     continue;
                 }
@@ -213,12 +211,10 @@ impl Scheme for HierarchicalRbcaer {
             let mut pair_edges = Vec::new();
             for r in 0..regions {
                 if over_by_region[r] > 0 {
-                    net.add_edge(source, over_node(r), over_by_region[r], 0.0)
-                        .expect("valid edge");
+                    net.add_edge(source, over_node(r), over_by_region[r], 0.0).expect("valid edge");
                 }
                 if under_by_region[r] > 0 {
-                    net.add_edge(under_node(r), sink, under_by_region[r], 0.0)
-                        .expect("valid edge");
+                    net.add_edge(under_node(r), sink, under_by_region[r], 0.0).expect("valid edge");
                 }
             }
             let center = |r: usize| {
@@ -235,9 +231,7 @@ impl Scheme for HierarchicalRbcaer {
                     }
                     let d = center(a).distance(center(b));
                     let cap = over_by_region[a].min(under_by_region[b]);
-                    let e = net
-                        .add_edge(over_node(a), under_node(b), cap, d)
-                        .expect("valid edge");
+                    let e = net.add_edge(over_node(a), under_node(b), cap, d).expect("valid edge");
                     pair_edges.push((e, a, b));
                 }
             }
@@ -250,17 +244,15 @@ impl Scheme for HierarchicalRbcaer {
                 if flow == 0 {
                     continue;
                 }
-                let mut sources: Vec<usize> = (0..n)
-                    .filter(|&h| region_of[h] == a && residual_over[h] > 0)
-                    .collect();
+                let mut sources: Vec<usize> =
+                    (0..n).filter(|&h| region_of[h] == a && residual_over[h] > 0).collect();
                 sources.sort_by_key(|&h| std::cmp::Reverse(residual_over[h]));
                 for i in sources {
                     if flow == 0 {
                         break;
                     }
-                    let mut targets: Vec<usize> = (0..n)
-                        .filter(|&h| region_of[h] == b && residual_under[h] > 0)
-                        .collect();
+                    let mut targets: Vec<usize> =
+                        (0..n).filter(|&h| region_of[h] == b && residual_under[h] > 0).collect();
                     targets.sort_by(|&x, &y| {
                         input
                             .geometry
@@ -271,18 +263,14 @@ impl Scheme for HierarchicalRbcaer {
                         if flow == 0 || residual_over[i] == 0 {
                             break;
                         }
-                        let m =
-                            (residual_over[i].min(residual_under[j]) as u64).min(flow);
+                        let m = (residual_over[i].min(residual_under[j]) as u64).min(flow);
                         if m == 0 {
                             continue;
                         }
                         residual_over[i] -= m as i64;
                         residual_under[j] -= m as i64;
                         flow -= m;
-                        *outcome
-                            .flows
-                            .entry((HotspotId(i), HotspotId(j)))
-                            .or_insert(0) += m;
+                        *outcome.flows.entry((HotspotId(i), HotspotId(j))).or_insert(0) += m;
                         outcome.moved += m;
                     }
                 }
@@ -350,8 +338,9 @@ mod tests {
     #[test]
     fn hierarchical_validates_and_covers() {
         let trace = trace();
-        let report =
-            Runner::new(&trace).run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 2, 3)).unwrap();
+        let report = Runner::new(&trace)
+            .run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 2, 3))
+            .unwrap();
         assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
     }
 
@@ -368,15 +357,11 @@ mod tests {
     fn cross_region_pass_never_hurts_serving() {
         let trace = trace();
         let runner = Runner::new(&trace);
-        let with = runner
-            .run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 3, 3))
-            .unwrap();
+        let with = runner.run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 3, 3)).unwrap();
         let without = runner
             .run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 3, 3).without_cross_region())
             .unwrap();
-        assert!(
-            with.total.hotspot_serving_ratio() >= without.total.hotspot_serving_ratio() - 1e-9
-        );
+        assert!(with.total.hotspot_serving_ratio() >= without.total.hotspot_serving_ratio() - 1e-9);
     }
 
     #[test]
@@ -396,11 +381,8 @@ mod tests {
         let trace = trace();
         let runner = Runner::new(&trace);
         let nearest = runner.run(&mut Nearest::new()).unwrap();
-        let hier =
-            runner.run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 2, 2)).unwrap();
-        assert!(
-            hier.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9
-        );
+        let hier = runner.run(&mut HierarchicalRbcaer::new(RbcaerConfig::default(), 2, 2)).unwrap();
+        assert!(hier.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9);
     }
 
     #[test]

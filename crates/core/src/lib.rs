@@ -63,7 +63,7 @@ mod random;
 mod rbcaer;
 mod serving;
 
-pub use config::{GuideCost, RbcaerConfig};
+pub use config::{GuideCost, RbcaerConfig, RobustConfig};
 pub use hierarchical::{split_flows_by_region, HierarchicalRbcaer, RegionPartition};
 pub use lp_based::{LpBased, LpBasedConfig};
 pub use nearest::Nearest;

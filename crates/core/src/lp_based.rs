@@ -151,20 +151,17 @@ impl Scheme for LpBased {
             let base = input.demand.mean_base_distance(i);
             for (c, &j) in candidates[p].iter().enumerate() {
                 let hop = if j == i { 0.0 } else { input.geometry.distance(i, j) };
-                lp.set_objective_coefficient(x_index[p][c], base + hop)
-                    .expect("valid variable");
+                lp.set_objective_coefficient(x_index[p][c], base + hop).expect("valid variable");
             }
             lp.set_objective_coefficient(cdn_index[p], input.geometry.cdn_distance())
                 .expect("valid variable");
         }
         for key in &y_keys {
-            lp.set_objective_coefficient(y_index[key], self.config.beta)
-                .expect("valid variable");
+            lp.set_objective_coefficient(y_index[key], self.config.beta).expect("valid variable");
         }
         // Coverage: Σ_t x = λ_iv (Eq. 4).
         for (p, &(_, _, count)) in selected.iter().enumerate() {
-            let mut coeffs: Vec<(usize, f64)> =
-                x_index[p].iter().map(|&v| (v, 1.0)).collect();
+            let mut coeffs: Vec<(usize, f64)> = x_index[p].iter().map(|&v| (v, 1.0)).collect();
             coeffs.push((cdn_index[p], 1.0));
             lp.add_constraint(&coeffs, Relation::Eq, count as f64).expect("valid constraint");
         }
@@ -172,17 +169,12 @@ impl Scheme for LpBased {
         for (p, &(_, v, count)) in selected.iter().enumerate() {
             for (c, &j) in candidates[p].iter().enumerate() {
                 let y = y_index[&(v, j)];
-                lp.add_constraint(
-                    &[(x_index[p][c], 1.0), (y, -(count as f64))],
-                    Relation::Le,
-                    0.0,
-                )
-                .expect("valid constraint");
+                lp.add_constraint(&[(x_index[p][c], 1.0), (y, -(count as f64))], Relation::Le, 0.0)
+                    .expect("valid constraint");
             }
         }
         for key in &y_keys {
-            lp.add_constraint(&[(y_index[key], 1.0)], Relation::Le, 1.0)
-                .expect("valid constraint");
+            lp.add_constraint(&[(y_index[key], 1.0)], Relation::Le, 1.0).expect("valid constraint");
         }
         // Service capacity (Eq. 6).
         let mut per_target: HashMap<HotspotId, Vec<(usize, f64)>> = HashMap::new();
@@ -296,8 +288,7 @@ mod tests {
     #[test]
     fn validates_and_covers_all_demand() {
         let trace = small_trace();
-        let mut scheme =
-            LpBased::new(LpBasedConfig { max_pairs: 30, ..LpBasedConfig::default() });
+        let mut scheme = LpBased::new(LpBasedConfig { max_pairs: 30, ..LpBasedConfig::default() });
         let report = Runner::new(&trace).run(&mut scheme).unwrap();
         assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
     }

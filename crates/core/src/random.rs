@@ -116,10 +116,14 @@ impl Scheme for LocalRandom {
         }
         let mut batches: Vec<_> = batches.into_iter().collect();
         batches.sort_by_key(|&((from, video, target), _)| {
-            (from, video, match target {
-                Target::Hotspot(h) => h.0,
-                Target::Cdn => usize::MAX,
-            })
+            (
+                from,
+                video,
+                match target {
+                    Target::Hotspot(h) => h.0,
+                    Target::Cdn => usize::MAX,
+                },
+            )
         });
         for ((from, video, target), count) in batches {
             decision.assign(from, video, target, count);
@@ -161,10 +165,8 @@ mod tests {
     fn wider_radius_increases_replication() {
         // The §II-A measurement: permitting distant hotspots raises the
         // replication cost (+10 % at 1 km, +23 % at 5 km in the paper).
-        let trace = TraceConfig::small_test()
-            .with_request_count(5000)
-            .with_hotspot_count(40)
-            .generate();
+        let trace =
+            TraceConfig::small_test().with_request_count(5000).with_hotspot_count(40).generate();
         let narrow = Runner::new(&trace).run(&mut LocalRandom::new(0.5, 3)).unwrap();
         let wide = Runner::new(&trace).run(&mut LocalRandom::new(5.0, 3)).unwrap();
         assert!(

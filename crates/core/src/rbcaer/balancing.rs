@@ -181,10 +181,8 @@ impl GraphBuilder {
     ) {
         let guide = self.net.add_node();
         for &(si, cap) in sources {
-            let e = self
-                .net
-                .add_edge(self.s_nodes[si], guide, cap as i64, 0.0)
-                .expect("valid edge");
+            let e =
+                self.net.add_edge(self.s_nodes[si], guide, cap as i64, 0.0).expect("valid edge");
             self.pair_edges.push((e, si, ti));
         }
         self.net
@@ -276,12 +274,7 @@ fn solve_round(
     allow_pair: &dyn Fn(usize, usize) -> bool,
 ) -> Vec<((usize, usize), u64)> {
     let mut builder = GraphBuilder::new(&Participants {
-        overloaded: parts
-            .overloaded
-            .iter()
-            .zip(phi_s)
-            .map(|(&(h, _), &p)| (h, p))
-            .collect(),
+        overloaded: parts.overloaded.iter().zip(phi_s).map(|(&(h, _), &p)| (h, p)).collect(),
         under: parts.under.iter().zip(phi_t).map(|(&(h, _), &p)| (h, p)).collect(),
     });
 
@@ -351,9 +344,8 @@ fn solve_round(
 
     let pair_edges = std::mem::take(&mut builder.pair_edges);
     let mut net = builder.net;
-    let _ = net
-        .min_cost_max_flow(builder.source, builder.sink, config.mcmf)
-        .expect("valid endpoints");
+    let _ =
+        net.min_cost_max_flow(builder.source, builder.sink, config.mcmf).expect("valid endpoints");
     pair_edges
         .into_iter()
         .filter_map(|(e, si, ti)| {

@@ -38,8 +38,7 @@ pub(crate) fn content_clusters_subset(
         .iter()
         .map(|&h| input.demand.top_videos(HotspotId(h), config.top_fraction))
         .collect();
-    let matrix =
-        DistanceMatrix::from_fn(members.len(), |i, j| 1.0 - jaccard(&sets[i], &sets[j]));
+    let matrix = DistanceMatrix::from_fn(members.len(), |i, j| 1.0 - jaccard(&sets[i], &sets[j]));
     let clusters = hierarchical_cluster(&matrix, config.linkage, config.cluster_threshold);
     for (k, cluster) in clusters.iter().enumerate() {
         for &local in cluster {
@@ -100,8 +99,7 @@ mod tests {
             video_count: 200,
         };
         // Use top_fraction = 1.0 so the sets are the full request sets.
-        let config =
-            RbcaerConfig { top_fraction: 1.0, ..RbcaerConfig::default() };
+        let config = RbcaerConfig { top_fraction: 1.0, ..RbcaerConfig::default() };
         let clusters = content_clusters(&input, &config);
         assert_eq!(clusters.len(), 3);
         assert_eq!(clusters[0], clusters[1]);

@@ -4,8 +4,10 @@ pub(crate) mod balancing;
 pub(crate) mod clustering;
 pub(crate) mod procedure;
 
-use crate::config::RbcaerConfig;
+use crate::config::{RbcaerConfig, RobustConfig};
 use ccdn_sim::{Scheme, SlotDecision, SlotInput};
+use ccdn_trace::HotspotId;
+use std::collections::HashSet;
 
 /// The paper's **Request-Balancing and Content-Aggregation** scheduler.
 ///
@@ -24,6 +26,12 @@ use ccdn_sim::{Scheme, SlotDecision, SlotInput};
 ///
 /// The scheme is deterministic; the [`Runner`](ccdn_sim::Runner) validates
 /// every decision against the model constraints (Eqs. 4–7).
+///
+/// With [`RbcaerConfig::robustness`] set, the scheduler hardens against
+/// hotspot failures: it plans against availability-discounted service
+/// capacities and a cache reserve, then pins each hotspot's hottest
+/// videos at `k` nearby cluster peers so failover routing finds alive
+/// copies (see [`RobustConfig`]).
 ///
 /// # Examples
 ///
@@ -64,27 +72,120 @@ impl Rbcaer {
     /// Runs only the balancing stage on one slot — exposed for the Fig. 9
     /// analysis and the ablation benches.
     pub fn balance_only(&self, input: &SlotInput<'_>) -> balancing::BalanceOutcome {
-        let clusters = if self.config.content_aggregation {
+        balancing::balance(input, &self.config, &self.clusters(input))
+    }
+
+    fn clusters(&self, input: &SlotInput<'_>) -> Vec<usize> {
+        if self.config.content_aggregation {
             clustering::content_clusters(input, &self.config)
         } else {
             vec![0; input.hotspot_count()]
-        };
-        balancing::balance(input, &self.config, &clusters)
+        }
+    }
+
+    /// The full pipeline on one (possibly capacity-discounted) input.
+    fn plan(&self, input: &SlotInput<'_>, clusters: &[usize]) -> SlotDecision {
+        let outcome = balancing::balance(input, &self.config, clusters);
+        procedure::content_aggregation_replication(input, &outcome, &self.config)
+    }
+
+    /// Pins each hotspot's hottest videos at `robust.redundancy` nearby
+    /// peers — same content cluster preferred, ascending distance — using
+    /// the cache space the reserve held back, within the remaining
+    /// replication budget.
+    fn add_redundancy(
+        &self,
+        input: &SlotInput<'_>,
+        clusters: &[usize],
+        robust: &RobustConfig,
+        decision: &mut SlotDecision,
+    ) {
+        let n = input.hotspot_count();
+        let mut budget =
+            self.config.replication_budget.map(|b| b.saturating_sub(decision.replica_count()));
+        let mut cached: Vec<HashSet<_>> =
+            decision.placements.iter().map(|p| p.iter().copied().collect()).collect();
+        let mut spare: Vec<u64> = (0..n)
+            .map(|h| input.cache_capacity[h].saturating_sub(cached[h].len() as u64))
+            .collect();
+
+        for h in 0..n {
+            let hid = HotspotId(h);
+            // Candidate peers: cluster mates first, each group by distance.
+            let mut peers: Vec<(bool, f64, usize)> = input
+                .geometry
+                .within_radius(hid, self.config.theta2_km)
+                .into_iter()
+                .map(|j| (clusters[j.0] != clusters[h], input.geometry.distance(hid, j), j.0))
+                .collect();
+            peers.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+            let mut vids: Vec<_> = input.demand.videos(hid).to_vec();
+            vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+            for vd in vids.into_iter().take(robust.hot_videos) {
+                let mut copies =
+                    peers.iter().filter(|&&(_, _, j)| cached[j].contains(&vd.video)).count();
+                for &(_, _, j) in &peers {
+                    if copies >= robust.redundancy {
+                        break;
+                    }
+                    if budget == Some(0) {
+                        return;
+                    }
+                    if spare[j] > 0 && !cached[j].contains(&vd.video) {
+                        decision.place(HotspotId(j), vd.video);
+                        cached[j].insert(vd.video);
+                        spare[j] -= 1;
+                        copies += 1;
+                        if let Some(b) = &mut budget {
+                            *b -= 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
 impl Scheme for Rbcaer {
     fn name(&self) -> &str {
-        if self.config.content_aggregation {
-            "RBCAer"
-        } else {
-            "RBCAer(balance-only)"
+        match (&self.config.robustness, self.config.content_aggregation) {
+            (Some(_), _) => "RBCAer(robust)",
+            (None, true) => "RBCAer",
+            (None, false) => "RBCAer(balance-only)",
         }
     }
 
     fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
-        let outcome = self.balance_only(input);
-        procedure::content_aggregation_replication(input, &outcome, &self.config)
+        let clusters = self.clusters(input);
+        match self.config.robustness {
+            None => self.plan(input, &clusters),
+            Some(robust) => {
+                // Plan with headroom: capacity the expected failures will
+                // eat is not promised, and a cache reserve keeps room for
+                // the redundant copies.
+                let service: Vec<u64> = input
+                    .service_capacity
+                    .iter()
+                    .map(|&s| (s as f64 * robust.expected_availability).floor() as u64)
+                    .collect();
+                let cache: Vec<u64> = input
+                    .cache_capacity
+                    .iter()
+                    .map(|&c| (c as f64 * (1.0 - robust.cache_reserve)).floor() as u64)
+                    .collect();
+                let planning = SlotInput {
+                    geometry: input.geometry,
+                    demand: input.demand,
+                    service_capacity: &service,
+                    cache_capacity: &cache,
+                    video_count: input.video_count,
+                };
+                let mut decision = self.plan(&planning, &clusters);
+                self.add_redundancy(input, &clusters, &robust, &mut decision);
+                decision
+            }
+        }
     }
 }
 
@@ -107,8 +208,7 @@ mod tests {
     #[test]
     fn validates_and_covers_all_demand() {
         let trace = eval_trace();
-        let report =
-            Runner::new(&trace).run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
+        let report = Runner::new(&trace).run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
         assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
     }
 
@@ -119,8 +219,7 @@ mod tests {
         let nearest = runner.run(&mut Nearest::new()).unwrap();
         let rbcaer = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
         assert!(
-            rbcaer.total.hotspot_serving_ratio()
-                >= nearest.total.hotspot_serving_ratio() - 1e-9,
+            rbcaer.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9,
             "rbcaer {} < nearest {}",
             rbcaer.total.hotspot_serving_ratio(),
             nearest.total.hotspot_serving_ratio()
@@ -218,5 +317,108 @@ mod tests {
         let ablated =
             Rbcaer::new(RbcaerConfig { content_aggregation: false, ..RbcaerConfig::default() });
         assert_eq!(ablated.name(), "RBCAer(balance-only)");
+        let robust = Rbcaer::new(RbcaerConfig {
+            robustness: Some(RobustConfig::default()),
+            ..RbcaerConfig::default()
+        });
+        assert_eq!(robust.name(), "RBCAer(robust)");
+    }
+
+    fn robust_config() -> RbcaerConfig {
+        RbcaerConfig { robustness: Some(RobustConfig::default()), ..RbcaerConfig::default() }
+    }
+
+    #[test]
+    fn robust_variant_validates_and_covers_all_demand() {
+        let trace = eval_trace();
+        let report = Runner::new(&trace).run(&mut Rbcaer::new(robust_config())).unwrap();
+        assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+        assert!(report.total.hotspot_serving_ratio() > 0.0);
+    }
+
+    #[test]
+    fn redundant_copies_exist_for_hot_videos() {
+        let trace = eval_trace();
+        let geometry = ccdn_sim::HotspotGeometry::new(trace.region, &trace.hotspots);
+        let demand = ccdn_sim::SlotDemand::aggregate(trace.slot_requests(20), &geometry);
+        let service: Vec<u64> =
+            trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+        let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+        let input = ccdn_sim::SlotInput {
+            geometry: &geometry,
+            demand: &demand,
+            service_capacity: &service,
+            cache_capacity: &cache,
+            video_count: trace.video_count,
+        };
+        let robust = RobustConfig::default();
+        let stock = Rbcaer::new(RbcaerConfig::default()).schedule(&input);
+        let hardened = Rbcaer::new(robust_config()).schedule(&input);
+
+        // Count, over each hotspot's hottest videos, the in-radius peer
+        // copies available to failover routing.
+        let coverage = |d: &ccdn_sim::SlotDecision| -> usize {
+            let cached: Vec<std::collections::HashSet<_>> =
+                d.placements.iter().map(|p| p.iter().copied().collect()).collect();
+            let mut satisfied = 0;
+            for h in 0..input.hotspot_count() {
+                let hid = HotspotId(h);
+                let peers = geometry.within_radius(hid, 1.5);
+                let mut vids: Vec<_> = demand.videos(hid).to_vec();
+                vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+                for vd in vids.into_iter().take(robust.hot_videos) {
+                    let copies = peers.iter().filter(|j| cached[j.0].contains(&vd.video)).count();
+                    if copies >= robust.redundancy {
+                        satisfied += 1;
+                    }
+                }
+            }
+            satisfied
+        };
+        assert!(
+            coverage(&hardened) > coverage(&stock),
+            "redundancy pass added no peer copies: {} vs {}",
+            coverage(&hardened),
+            coverage(&stock)
+        );
+    }
+
+    #[test]
+    fn redundancy_respects_replication_budget() {
+        let trace = eval_trace();
+        let geometry = ccdn_sim::HotspotGeometry::new(trace.region, &trace.hotspots);
+        let demand = ccdn_sim::SlotDemand::aggregate(trace.slot_requests(20), &geometry);
+        let service: Vec<u64> =
+            trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+        let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+        let input = ccdn_sim::SlotInput {
+            geometry: &geometry,
+            demand: &demand,
+            service_capacity: &service,
+            cache_capacity: &cache,
+            video_count: trace.video_count,
+        };
+        // The budget bounds discretionary placements (Procedure 1 line 15);
+        // the redundancy pass must spend only what the plan left over.
+        for budget in [0u64, 50, 5_000] {
+            let scheme =
+                Rbcaer::new(RbcaerConfig { replication_budget: Some(budget), ..robust_config() });
+            let clusters = scheme.clusters(&input);
+            let mut decision = scheme.plan(&input, &clusters);
+            let planned = decision.replica_count();
+            scheme.add_redundancy(&input, &clusters, &RobustConfig::default(), &mut decision);
+            let added = decision.replica_count() - planned;
+            assert!(
+                added <= budget.saturating_sub(planned),
+                "budget {budget}: plan spent {planned}, redundancy added {added}"
+            );
+        }
+        // With no budget the pass does add copies.
+        let scheme = Rbcaer::new(robust_config());
+        let clusters = scheme.clusters(&input);
+        let mut decision = scheme.plan(&input, &clusters);
+        let planned = decision.replica_count();
+        scheme.add_redundancy(&input, &clusters, &RobustConfig::default(), &mut decision);
+        assert!(decision.replica_count() > planned, "unbounded redundancy pass added nothing");
     }
 }

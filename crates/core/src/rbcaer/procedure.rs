@@ -21,14 +21,7 @@ pub(crate) fn content_aggregation_replication(
 
     // Remaining local demand per hotspot, mutated as videos redirect away.
     let mut remaining: Vec<HashMap<VideoId, u64>> = (0..n)
-        .map(|h| {
-            input
-                .demand
-                .videos(HotspotId(h))
-                .iter()
-                .map(|vd| (vd.video, vd.count))
-                .collect()
-        })
+        .map(|h| input.demand.videos(HotspotId(h)).iter().map(|vd| (vd.video, vd.count)).collect())
         .collect();
 
     // Residual flows f_ij, plus per-target source lists.
@@ -141,8 +134,7 @@ pub(crate) fn content_aggregation_replication(
                             (cached, demand, std::cmp::Reverse(video))
                                 > (bc, bd, std::cmp::Reverse(bv))
                         } else {
-                            (demand, std::cmp::Reverse(video))
-                                > (bd, std::cmp::Reverse(bv))
+                            (demand, std::cmp::Reverse(video)) > (bd, std::cmp::Reverse(bv))
                         }
                     }
                 };
@@ -265,17 +257,10 @@ mod tests {
     fn redirected_videos_are_placed_at_targets() {
         // Hotspot 0: 4 requests (3×v1, 1×v2), capacity 2 → φ=2; send 2 to
         // hotspot 1.
-        let f = Fixture::new(
-            &[(0, 1), (0, 1), (0, 1), (0, 2)],
-            vec![2, 10, 10],
-            vec![10, 10, 10],
-        );
+        let f = Fixture::new(&[(0, 1), (0, 1), (0, 1), (0, 2)], vec![2, 10, 10], vec![10, 10, 10]);
         let input = f.input();
-        let decision = content_aggregation_replication(
-            &input,
-            &flows(&[(0, 1, 2)]),
-            &RbcaerConfig::default(),
-        );
+        let decision =
+            content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &RbcaerConfig::default());
         let metrics = SlotMetrics::evaluate(&input, &decision).expect("valid decision");
         assert_eq!(metrics.total_requests, 4);
         assert_eq!(metrics.hotspot_served, 4, "everything fits after balancing");
@@ -306,9 +291,7 @@ mod tests {
         let v7_moves: u64 = decision
             .assignments
             .iter()
-            .filter(|a| {
-                a.video == VideoId(7) && a.target == Target::Hotspot(HotspotId(1))
-            })
+            .filter(|a| a.video == VideoId(7) && a.target == Target::Hotspot(HotspotId(1)))
             .map(|a| a.count)
             .sum();
         assert_eq!(v7_moves, 4);
@@ -319,17 +302,10 @@ mod tests {
         // Target hotspot 1 has cache 0: it can serve nothing new; flows
         // must be dropped, requests spill to the CDN, and the decision
         // still validates.
-        let f = Fixture::new(
-            &[(0, 1), (0, 2), (0, 3)],
-            vec![1, 10, 10],
-            vec![10, 0, 10],
-        );
+        let f = Fixture::new(&[(0, 1), (0, 2), (0, 3)], vec![1, 10, 10], vec![10, 0, 10]);
         let input = f.input();
-        let decision = content_aggregation_replication(
-            &input,
-            &flows(&[(0, 1, 2)]),
-            &RbcaerConfig::default(),
-        );
+        let decision =
+            content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &RbcaerConfig::default());
         let metrics = SlotMetrics::evaluate(&input, &decision).expect("valid decision");
         assert!(decision.placements[1].is_empty());
         assert_eq!(metrics.hotspot_served, 1, "source still serves up to its capacity");
@@ -340,8 +316,11 @@ mod tests {
     fn zero_flows_degenerate_to_local_serving() {
         let f = Fixture::new(&[(0, 1), (1, 2)], vec![10, 10, 10], vec![10, 10, 10]);
         let input = f.input();
-        let decision =
-            content_aggregation_replication(&input, &BalanceOutcome::default(), &RbcaerConfig::default());
+        let decision = content_aggregation_replication(
+            &input,
+            &BalanceOutcome::default(),
+            &RbcaerConfig::default(),
+        );
         let metrics = SlotMetrics::evaluate(&input, &decision).expect("valid decision");
         assert_eq!(metrics.hotspot_served, 2);
         assert_eq!(metrics.cdn_served, 0);
@@ -353,15 +332,10 @@ mod tests {
 
     #[test]
     fn budget_zero_blocks_local_fill_but_not_redirect_placements() {
-        let f = Fixture::new(
-            &[(0, 1), (0, 1), (0, 2), (1, 3)],
-            vec![1, 10, 10],
-            vec![10, 10, 10],
-        );
+        let f = Fixture::new(&[(0, 1), (0, 1), (0, 2), (1, 3)], vec![1, 10, 10], vec![10, 10, 10]);
         let input = f.input();
         let config = RbcaerConfig { replication_budget: Some(0), ..RbcaerConfig::default() };
-        let decision =
-            content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &config);
+        let decision = content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &config);
         let metrics = SlotMetrics::evaluate(&input, &decision).expect("valid decision");
         // The redirected video still lands at hotspot 1 (mandatory), but
         // nobody gets discretionary local placements.

@@ -84,15 +84,7 @@ mod tests {
     #[test]
     fn serves_most_popular_first_under_tight_capacity() {
         let mut d = SlotDecision::new(1);
-        let out = serve_locally(
-            &mut d,
-            HotspotId(0),
-            &demand(),
-            &HashSet::new(),
-            10,
-            6,
-            &mut None,
-        );
+        let out = serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 6, &mut None);
         assert_eq!(out.served, 6);
         assert_eq!(out.to_cdn, 3);
         // v1 fully served, v2 partially (1 of 3), v3 unserved but not placed
@@ -104,15 +96,8 @@ mod tests {
     #[test]
     fn cache_limit_spills_to_cdn() {
         let mut d = SlotDecision::new(1);
-        let out = serve_locally(
-            &mut d,
-            HotspotId(0),
-            &demand(),
-            &HashSet::new(),
-            1,
-            100,
-            &mut None,
-        );
+        let out =
+            serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 1, 100, &mut None);
         assert_eq!(out.served, 5);
         assert_eq!(out.to_cdn, 4);
         assert_eq!(d.placements[0], vec![VideoId(1)]);
@@ -122,8 +107,7 @@ mod tests {
     fn already_placed_videos_consume_no_cache_slot() {
         let mut d = SlotDecision::new(1);
         let pinned: HashSet<VideoId> = [VideoId(2)].into_iter().collect();
-        let out =
-            serve_locally(&mut d, HotspotId(0), &demand(), &pinned, 1, 100, &mut None);
+        let out = serve_locally(&mut d, HotspotId(0), &demand(), &pinned, 1, 100, &mut None);
         // v1 takes the single slot; v2 rides the pinned placement; v3 spills.
         assert_eq!(out.served, 8);
         assert_eq!(out.to_cdn, 1);
@@ -134,15 +118,8 @@ mod tests {
     fn replication_budget_caps_new_placements() {
         let mut d = SlotDecision::new(1);
         let mut budget = Some(1);
-        let out = serve_locally(
-            &mut d,
-            HotspotId(0),
-            &demand(),
-            &HashSet::new(),
-            10,
-            100,
-            &mut budget,
-        );
+        let out =
+            serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 100, &mut budget);
         assert_eq!(d.placements[0].len(), 1);
         assert_eq!(out.served, 5);
         assert_eq!(out.to_cdn, 4);
@@ -152,15 +129,7 @@ mod tests {
     #[test]
     fn zero_capacity_serves_nothing_and_places_nothing() {
         let mut d = SlotDecision::new(1);
-        let out = serve_locally(
-            &mut d,
-            HotspotId(0),
-            &demand(),
-            &HashSet::new(),
-            10,
-            0,
-            &mut None,
-        );
+        let out = serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 0, &mut None);
         assert_eq!(out.served, 0);
         assert_eq!(out.to_cdn, 9);
         assert!(d.placements[0].is_empty());

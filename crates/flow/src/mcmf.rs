@@ -555,8 +555,7 @@ mod tests {
                 }
             }
             let r = net.min_cost_max_flow(0, n - 1, McmfAlgorithm::SspDijkstra).unwrap();
-            let recomputed: f64 =
-                net.edges().iter().map(|e| e.flow as f64 * e.cost).sum();
+            let recomputed: f64 = net.edges().iter().map(|e| e.flow as f64 * e.cost).sum();
             assert!((recomputed - r.cost).abs() < 1e-6);
             // Conservation at interior nodes.
             for v in 1..n - 1 {

@@ -52,10 +52,7 @@ impl GridIndex {
     where
         I: IntoIterator<Item = Point>,
     {
-        assert!(
-            cell_km.is_finite() && cell_km > 0.0,
-            "cell size must be positive and finite"
-        );
+        assert!(cell_km.is_finite() && cell_km > 0.0, "cell size must be positive and finite");
         let points: Vec<Point> = points.into_iter().collect();
         for (i, p) in points.iter().enumerate() {
             assert!(p.is_finite(), "point {i} has non-finite coordinates");

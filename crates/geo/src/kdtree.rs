@@ -126,11 +126,8 @@ impl KdTree {
         }
         let axis = depth % 2;
         let diff = if axis == 0 { query.x - p.x } else { query.y - p.y };
-        let (near, far) = if diff < 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if let Some(n) = near {
             self.nearest_rec(n, depth + 1, query, best);
         }

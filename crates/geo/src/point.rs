@@ -17,7 +17,6 @@ use std::ops::{Add, Div, Mul, Sub};
 /// assert_eq!(a.distance(b), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Point {
     /// Easting coordinate in kilometres.
     pub x: f64,

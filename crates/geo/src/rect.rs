@@ -18,7 +18,6 @@ use std::fmt;
 /// assert!((region.diagonal() - 20.248).abs() < 1e-3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     min: Point,
     max: Point,

@@ -234,8 +234,7 @@ impl LpProblem {
             // or drop its row if it is all zeros over non-artificials.
             for r in 0..m {
                 if basis[r] >= n + n_slack {
-                    let pivot_col = (0..n + n_slack)
-                        .find(|&c| tableau[r][c].abs() > EPS);
+                    let pivot_col = (0..n + n_slack).find(|&c| tableau[r][c].abs() > EPS);
                     if let Some(c) = pivot_col {
                         pivot(&mut tableau, &mut basis, r, c);
                     }
@@ -318,8 +317,7 @@ fn simplex_min(
                 let better = match leave {
                     None => true,
                     Some((lr, lratio)) => {
-                        ratio < lratio - EPS
-                            || (ratio < lratio + EPS && basis[r] < basis[lr])
+                        ratio < lratio - EPS || (ratio < lratio + EPS && basis[r] < basis[lr])
                     }
                 };
                 if better {
@@ -523,9 +521,7 @@ mod tests {
         lines.push((0.0, 1.0, 0.0));
         let mut best: Option<f64> = None;
         let feasible = |x: f64, y: f64| {
-            x >= -1e-9
-                && y >= -1e-9
-                && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
+            x >= -1e-9 && y >= -1e-9 && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
         };
         let mut candidates = vec![(0.0, 0.0)];
         for i in 0..lines.len() {

@@ -82,10 +82,7 @@ impl SlotDemand {
     ///
     /// Panics if the two vectors differ in length, or a base distance is
     /// negative/non-finite.
-    pub fn from_parts(
-        per_video: Vec<Vec<VideoDemand>>,
-        mean_base_distances: Vec<f64>,
-    ) -> Self {
+    pub fn from_parts(per_video: Vec<Vec<VideoDemand>>, mean_base_distances: Vec<f64>) -> Self {
         assert_eq!(
             per_video.len(),
             mean_base_distances.len(),
@@ -214,12 +211,7 @@ mod tests {
     }
 
     fn req(x: f64, y: f64, video: u32) -> Request {
-        Request {
-            user: UserId(0),
-            video: VideoId(video),
-            timeslot: 0,
-            location: Point::new(x, y),
-        }
+        Request { user: UserId(0), video: VideoId(video), timeslot: 0, location: Point::new(x, y) }
     }
 
     #[test]
@@ -285,8 +277,7 @@ mod tests {
         for slot in 0..trace.slot_count {
             let d = SlotDemand::aggregate(trace.slot_requests(slot), &geo);
             assert_eq!(d.loads().iter().sum::<u64>(), d.total_requests());
-            let per_video_total: u64 =
-                d.per_video().map(|(_, vd)| vd.count).sum();
+            let per_video_total: u64 = d.per_video().map(|(_, vd)| vd.count).sum();
             assert_eq!(per_video_total, d.total_requests());
             sum += d.total_requests();
         }

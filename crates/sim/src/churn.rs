@@ -1,21 +1,18 @@
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use crate::failure::{check_probability, iid_mask};
+use crate::{FailureModel, SimConfigError};
 
-/// Per-slot hotspot churn injection.
+/// Per-slot i.i.d. hotspot churn (legacy shim).
 ///
-/// Crowdsourced-CDN hotspots are consumer devices (smart Wi-Fi APs in
-/// people's homes) and go offline without notice. The paper's evaluation
-/// assumes a stable deployment; this model is our failure-injection
-/// extension: each slot, every hotspot is independently offline with
-/// probability `offline_probability`, and an offline hotspot has zero
-/// service and cache capacity for that slot. Schedulers must then shift
-/// its aggregated demand elsewhere (requests still *aggregate* to the
-/// nearest hotspot geographically — the device's neighbourhood still
-/// exists — but it cannot serve them).
+/// Superseded by [`FailureModel`], which adds sticky (Markov) sessions,
+/// spatially-correlated outages, and cache-wipe semantics in the online
+/// runner. [`FailureModel::iid`] reproduces this model's masks exactly
+/// (same per-`(seed, slot)` liveness), so migrating changes no numbers.
 ///
 /// # Examples
 ///
 /// ```
-/// use ccdn_sim::ChurnModel;
+/// #![allow(deprecated)]
+/// use ccdn_sim::{ChurnModel, FailureModel};
 ///
 /// let churn = ChurnModel::new(0.25, 7).unwrap();
 /// let alive = churn.alive_mask(0, 100);
@@ -23,22 +20,28 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// // Deterministic per (seed, slot):
 /// assert_eq!(alive, churn.alive_mask(0, 100));
 /// assert_ne!(alive, churn.alive_mask(1, 100));
+/// // The replacement model produces the identical mask.
+/// let model = FailureModel::from(churn);
+/// assert_eq!(model.availability(), 0.75);
 /// ```
+#[deprecated(since = "0.1.0", note = "use FailureModel::iid, which produces identical masks")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     offline_probability: f64,
     seed: u64,
 }
 
+#[allow(deprecated)]
 impl ChurnModel {
     /// Creates a churn model; `offline_probability ∈ [0, 1]`.
     ///
-    /// Returns `None` for probabilities outside `[0, 1]` or non-finite.
-    pub fn new(offline_probability: f64, seed: u64) -> Option<Self> {
-        if !(0.0..=1.0).contains(&offline_probability) {
-            return None;
-        }
-        Some(ChurnModel { offline_probability, seed })
+    /// # Errors
+    ///
+    /// [`SimConfigError::ProbabilityOutOfRange`] for probabilities
+    /// outside `[0, 1]` or non-finite.
+    pub fn new(offline_probability: f64, seed: u64) -> Result<Self, SimConfigError> {
+        let p = check_probability("offline_probability", offline_probability)?;
+        Ok(ChurnModel { offline_probability: p, seed })
     }
 
     /// The configured offline probability.
@@ -49,23 +52,30 @@ impl ChurnModel {
     /// Liveness of each of `hotspot_count` hotspots in `slot`
     /// (`true` = online). Deterministic in `(seed, slot)`.
     pub fn alive_mask(&self, slot: u32, hotspot_count: usize) -> Vec<bool> {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ (u64::from(slot).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-        (0..hotspot_count).map(|_| rng.gen_range(0.0..1.0) >= self.offline_probability).collect()
+        iid_mask(self.seed, self.offline_probability, slot, hotspot_count)
+    }
+}
+
+#[allow(deprecated)]
+impl From<ChurnModel> for FailureModel {
+    fn from(churn: ChurnModel) -> FailureModel {
+        FailureModel::iid(churn.offline_probability, churn.seed)
+            .expect("ChurnModel validated the probability at construction")
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
     fn probability_validation() {
-        assert!(ChurnModel::new(-0.1, 0).is_none());
-        assert!(ChurnModel::new(1.5, 0).is_none());
-        assert!(ChurnModel::new(f64::NAN, 0).is_none());
-        assert!(ChurnModel::new(0.0, 0).is_some());
-        assert!(ChurnModel::new(1.0, 0).is_some());
+        assert!(ChurnModel::new(-0.1, 0).is_err());
+        assert!(ChurnModel::new(1.5, 0).is_err());
+        assert!(ChurnModel::new(f64::NAN, 0).is_err());
+        assert!(ChurnModel::new(0.0, 0).is_ok());
+        assert!(ChurnModel::new(1.0, 0).is_ok());
     }
 
     #[test]
@@ -96,5 +106,22 @@ mod tests {
     fn masks_differ_across_slots() {
         let churn = ChurnModel::new(0.5, 2).unwrap();
         assert_ne!(churn.alive_mask(0, 64), churn.alive_mask(1, 64));
+    }
+
+    #[test]
+    fn failure_model_iid_reproduces_churn_masks_exactly() {
+        for (p, seed) in [(0.0, 1u64), (0.2, 7), (0.5, 42), (0.9, 3)] {
+            let churn = ChurnModel::new(p, seed).unwrap();
+            let trace = ccdn_trace::TraceConfig::small_test().with_hotspot_count(80).generate();
+            let geo = crate::HotspotGeometry::new(trace.region, &trace.hotspots);
+            let mut process = FailureModel::from(churn).process();
+            for slot in 0..12 {
+                assert_eq!(
+                    process.advance(slot, &geo),
+                    churn.alive_mask(slot, 80),
+                    "mask drift at p={p} seed={seed} slot={slot}"
+                );
+            }
+        }
     }
 }

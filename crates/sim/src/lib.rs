@@ -55,6 +55,7 @@
 
 mod aggregate;
 mod churn;
+mod failure;
 mod geometry;
 mod metrics;
 mod online;
@@ -63,10 +64,16 @@ mod runner;
 mod scheme;
 
 pub use aggregate::{SlotDemand, VideoDemand};
+#[allow(deprecated)]
 pub use churn::ChurnModel;
+pub use failure::{FailureModel, FailureProcess, SimConfigError};
 pub use geometry::HotspotGeometry;
-pub use metrics::{served_loads, utilization_fairness, MetricsTotals, SlotMetrics, ValidationError};
-pub use online::{OnlineReport, OnlineRunner, OnlineSlotOutcome};
+pub use metrics::{
+    served_loads, utilization_fairness, MetricsTotals, SlotMetrics, ValidationError,
+};
+pub use online::{
+    route_with_failover, CacheState, FailoverStats, OnlineReport, OnlineRunner, OnlineSlotOutcome,
+};
 pub use predict::{Ewma, HoltLinear, LastSlot, PopularityPredictor, SeasonalNaive, WindowMean};
 pub use runner::{RunReport, Runner, SlotOutcome};
 pub use scheme::{Assignment, Scheme, SlotDecision, SlotInput, Target};

@@ -164,8 +164,7 @@ impl SlotMetrics {
                     served_at[j.0] += a.count;
                     hotspot_served += a.count;
                     let base = input.demand.mean_base_distance(a.from);
-                    let hop =
-                        if j == a.from { 0.0 } else { input.geometry.distance(a.from, j) };
+                    let hop = if j == a.from { 0.0 } else { input.geometry.distance(a.from, j) };
                     distance_sum += a.count as f64 * (base + hop);
                 }
                 Target::Cdn => {
@@ -266,10 +265,7 @@ pub fn served_loads(hotspot_count: usize, decision: &SlotDecision) -> Vec<u64> {
 /// The paper motivates RBCAer with the skew of this very distribution
 /// (Fig. 2); a balanced scheduler should push the index up relative to
 /// Nearest routing.
-pub fn utilization_fairness(
-    service_capacity: &[u64],
-    decision: &SlotDecision,
-) -> Option<f64> {
+pub fn utilization_fairness(service_capacity: &[u64], decision: &SlotDecision) -> Option<f64> {
     let served = served_loads(service_capacity.len(), decision);
     let utilization: Vec<f64> = served
         .iter()
@@ -467,10 +463,7 @@ mod tests {
         d.assign(HotspotId(0), VideoId(1), Target::Cdn, 5); // only 3 demanded
         d.assign(HotspotId(0), VideoId(2), Target::Cdn, 1);
         let err = SlotMetrics::evaluate(&input, &d).unwrap_err();
-        assert!(matches!(
-            err,
-            ValidationError::DemandMismatch { demanded: 3, assigned: 5, .. }
-        ));
+        assert!(matches!(err, ValidationError::DemandMismatch { demanded: 3, assigned: 5, .. }));
     }
 
     #[test]
@@ -585,12 +578,7 @@ mod tests {
         let mut balanced = SlotDecision::new(3);
         let mut skewed = SlotDecision::new(3);
         for h in 0..3 {
-            balanced.assign(
-                HotspotId(h),
-                VideoId(1),
-                Target::Hotspot(HotspotId(h)),
-                5,
-            );
+            balanced.assign(HotspotId(h), VideoId(1), Target::Hotspot(HotspotId(h)), 5);
         }
         skewed.assign(HotspotId(0), VideoId(1), Target::Hotspot(HotspotId(0)), 10);
         let fb = utilization_fairness(&capacity, &balanced).unwrap();

@@ -1,4 +1,5 @@
-//! Online (prediction-driven) simulation with persistent caches.
+//! Online (prediction-driven) simulation with persistent caches and
+//! failure-aware serving.
 //!
 //! The offline [`Runner`](crate::Runner) lets a scheme see the slot's
 //! realized demand before placing content — fine for comparing schedulers
@@ -17,11 +18,29 @@
 //!    is only the **delta** — videos newly pushed into a cache this slot
 //!    (the CDN does not re-push what a hotspot already holds).
 //!
+//! With a [`FailureModel`] attached ([`OnlineRunner::with_failures`]) the
+//! loop gains the planning/serving information gap of a real deployment:
+//!
+//! - **planning sees stale liveness** — the scheme plans slot `t` with
+//!   the liveness mask of slot `t − 1` (capacity it believes exists),
+//!   because a controller cannot know who will fail *during* the slot;
+//! - **serving sees the truth** — requests are routed against the slot's
+//!   realized mask: an offline hotspot serves nothing and its cached
+//!   content is unreachable;
+//! - **failover routing** — a request whose planned server is down is
+//!   redirected to the nearest alive radius-neighbour caching the video,
+//!   else to the CDN; the per-slot [`failed_over`](OnlineSlotOutcome) and
+//!   [`orphaned`](OnlineSlotOutcome) counters tally both outcomes;
+//! - **cache wipe** — an offline hotspot loses its cache; when it comes
+//!   back the scheme's next placement is charged in full as delta
+//!   replication (the re-push is real traffic).
+//!
 //! Runnable examples live on [`OnlineRunner`].
 
 use crate::{
-    HotspotGeometry, MetricsTotals, PopularityPredictor, Scheme, SlotDecision, SlotDemand,
-    SlotInput, SlotMetrics, Target, ValidationError,
+    failure::check_radius, FailureModel, HotspotGeometry, MetricsTotals, PopularityPredictor,
+    Scheme, SimConfigError, SlotDecision, SlotDemand, SlotInput, SlotMetrics, Target,
+    ValidationError,
 };
 use ccdn_trace::{Trace, VideoId};
 use std::collections::HashSet;
@@ -39,6 +58,14 @@ pub struct OnlineSlotOutcome {
     /// (0 = perfect, larger = worse; 2.0 would mean everything was both
     /// missed and hallucinated).
     pub forecast_error: f64,
+    /// Hotspots offline in this slot's realized mask.
+    pub offline_hotspots: u32,
+    /// Requests whose planned server was offline but that an alive
+    /// neighbour caching the video still served.
+    pub failed_over: u64,
+    /// Requests whose planned server was offline and that fell through
+    /// to the CDN (no alive cacher with capacity in radius).
+    pub orphaned: u64,
 }
 
 /// Report of an online run.
@@ -52,6 +79,71 @@ pub struct OnlineReport {
     pub slots: Vec<OnlineSlotOutcome>,
     /// Request-weighted totals (replication is delta-based).
     pub total: MetricsTotals,
+    /// Total failed-over requests across slots.
+    pub failed_over: u64,
+    /// Total orphaned requests across slots.
+    pub orphaned: u64,
+}
+
+/// Per-hotspot cache contents persisted across slots, producing the
+/// delta-replication charge.
+///
+/// The online runner owns one of these; it is public so the wipe/delta
+/// semantics can be tested (and reused) in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_sim::CacheState;
+/// use ccdn_trace::VideoId;
+///
+/// let mut caches = CacheState::new(1);
+/// assert_eq!(caches.apply(0, &[VideoId(1), VideoId(2)]), 2); // cold push
+/// assert_eq!(caches.apply(0, &[VideoId(2), VideoId(3)]), 1); // only v3 new
+/// caches.wipe(0); // hotspot went offline
+/// assert_eq!(caches.apply(0, &[VideoId(2), VideoId(3)]), 2); // full re-push
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CacheState {
+    cached: Vec<HashSet<VideoId>>,
+}
+
+impl CacheState {
+    /// Empty caches for `hotspot_count` hotspots.
+    pub fn new(hotspot_count: usize) -> Self {
+        CacheState { cached: vec![HashSet::new(); hotspot_count] }
+    }
+
+    /// Clears hotspot `h`'s cache (the device failed; its disk contents
+    /// are gone for scheduling purposes).
+    pub fn wipe(&mut self, h: usize) {
+        self.cached[h].clear();
+    }
+
+    /// Replaces hotspot `h`'s cache with `placement` and returns how many
+    /// of the videos are *new* — the delta the CDN must push this slot.
+    pub fn apply(&mut self, h: usize, placement: &[VideoId]) -> u64 {
+        let next: HashSet<VideoId> = placement.iter().copied().collect();
+        let delta = next.difference(&self.cached[h]).count() as u64;
+        self.cached[h] = next;
+        delta
+    }
+
+    /// Current contents of hotspot `h`'s cache.
+    pub fn cached(&self, h: usize) -> &HashSet<VideoId> {
+        &self.cached[h]
+    }
+}
+
+/// Failover tallies of one routed slot (see [`route_with_failover`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailoverStats {
+    /// Requests rescued by an alive neighbour after their planned server
+    /// went down.
+    pub failed_over: u64,
+    /// Requests that fell through to the CDN after their planned server
+    /// went down.
+    pub orphaned: u64,
 }
 
 /// Drives the predict → place → route loop over a trace.
@@ -59,7 +151,7 @@ pub struct OnlineReport {
 /// # Examples
 ///
 /// ```
-/// use ccdn_sim::{Ewma, OnlineRunner, Runner, Scheme, SlotDecision, SlotInput, Target};
+/// use ccdn_sim::{Ewma, FailureModel, OnlineRunner, Scheme, SlotDecision, SlotInput, Target};
 /// use ccdn_trace::TraceConfig;
 ///
 /// /// Caches each hotspot's most demanded videos (toy placement policy).
@@ -89,9 +181,12 @@ pub struct OnlineReport {
 ///
 /// let trace = TraceConfig::small_test().generate();
 /// let report = OnlineRunner::new(&trace)
+///     .with_failures(FailureModel::markov(8.0, 2.0, 42).unwrap())
 ///     .run(&mut TopLocal, &mut Ewma::new(0.5))
 ///     .unwrap();
 /// assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
+/// // Failure injection produces some disruption over a whole trace.
+/// assert!(report.slots.iter().any(|s| s.offline_hotspots > 0));
 /// ```
 #[derive(Debug)]
 pub struct OnlineRunner<'a> {
@@ -102,29 +197,37 @@ pub struct OnlineRunner<'a> {
     /// When true (default), slot 0 is planned from its realized demand
     /// (standing in for "yesterday's" history before the trace begins).
     warm_start: bool,
+    failures: Option<FailureModel>,
 }
 
 impl<'a> OnlineRunner<'a> {
     /// Creates the runner with the paper's 1.5 km cooperation radius.
     pub fn new(trace: &'a Trace) -> Self {
         let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
-        OnlineRunner { trace, geometry, radius_km: 1.5, warm_start: true }
+        OnlineRunner { trace, geometry, radius_km: 1.5, warm_start: true, failures: None }
     }
 
     /// Sets the routing cooperation radius.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the radius is negative or non-finite.
-    pub fn with_radius_km(mut self, radius_km: f64) -> Self {
-        assert!(radius_km.is_finite() && radius_km >= 0.0, "radius must be >= 0");
-        self.radius_km = radius_km;
-        self
+    /// [`SimConfigError::InvalidRadius`] if the radius is negative or
+    /// non-finite.
+    pub fn with_radius_km(mut self, radius_km: f64) -> Result<Self, SimConfigError> {
+        self.radius_km = check_radius(radius_km)?;
+        Ok(self)
     }
 
     /// Disables the warm start: slot 0 gets empty caches.
     pub fn with_cold_start(mut self) -> Self {
         self.warm_start = false;
+        self
+    }
+
+    /// Enables failure injection (see the module docs for the stale-mask
+    /// planning, failover routing, and cache-wipe semantics).
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = Some(failures);
         self
     }
 
@@ -134,7 +237,11 @@ impl<'a> OnlineRunner<'a> {
     ///
     /// Propagates a [`ValidationError`] if the constructed routing ever
     /// violates the model constraints (a bug, not a data condition).
-    pub fn run<S, P>(&self, scheme: &mut S, predictor: &mut P) -> Result<OnlineReport, ValidationError>
+    pub fn run<S, P>(
+        &self,
+        scheme: &mut S,
+        predictor: &mut P,
+    ) -> Result<OnlineReport, ValidationError>
     where
         S: Scheme + ?Sized,
         P: PopularityPredictor + ?Sized,
@@ -153,6 +260,8 @@ impl<'a> OnlineRunner<'a> {
 
     /// Runs the loop with a perfect oracle: placements are planned from
     /// each slot's realized demand (the upper bound predictors chase).
+    /// Failure injection still applies — the oracle knows the demand, not
+    /// the future liveness.
     ///
     /// # Errors
     ///
@@ -179,22 +288,35 @@ impl<'a> OnlineRunner<'a> {
         let cache: Vec<u64> =
             self.trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
 
-        let mut previous_cache: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+        let mut process = self.failures.as_ref().map(FailureModel::process);
+        // Planning for slot t sees slot t−1's liveness; before the trace
+        // begins the controller believes everyone is up.
+        let mut stale_alive = vec![true; n];
+        let mut caches = CacheState::new(n);
         let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
         let mut total = MetricsTotals::default();
+        let mut total_failed_over = 0u64;
+        let mut total_orphaned = 0u64;
 
         for slot in 0..self.trace.slot_count {
+            let true_alive = match &mut process {
+                Some(p) => p.advance(slot, &self.geometry),
+                None => vec![true; n],
+            };
             let actual = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
             let plan_demand = plan_for(&actual, slot);
 
-            // Plan placements against the forecast.
+            // Plan placements against the forecast, under the *stale*
+            // liveness mask: capacity the controller believes exists.
+            let plan_service = masked(&service, &stale_alive);
+            let plan_cache = masked(&cache, &stale_alive);
             let placements: Vec<Vec<VideoId>> = match &plan_demand {
                 Some(forecast) => {
                     let input = SlotInput {
                         geometry: &self.geometry,
                         demand: forecast,
-                        service_capacity: &service,
-                        cache_capacity: &cache,
+                        service_capacity: &plan_service,
+                        cache_capacity: &plan_cache,
                         video_count: self.trace.video_count,
                     };
                     scheme.schedule(&input).placements
@@ -202,30 +324,37 @@ impl<'a> OnlineRunner<'a> {
                 None => vec![Vec::new(); n],
             };
 
-            // Route the real slot against the fixed placement.
-            let decision = route_against_placements(
+            // Route the real slot against the fixed placement under the
+            // *true* mask: offline hotspots serve nothing.
+            let serve_service = masked(&service, &true_alive);
+            let serve_cache = masked(&cache, &true_alive);
+            let (decision, failover) = route_with_failover(
                 &self.geometry,
                 &actual,
-                &service,
+                &serve_service,
                 placements,
+                &true_alive,
                 self.radius_km,
             );
             let input = SlotInput {
                 geometry: &self.geometry,
                 demand: &actual,
-                service_capacity: &service,
-                cache_capacity: &cache,
+                service_capacity: &serve_service,
+                cache_capacity: &serve_cache,
                 video_count: self.trace.video_count,
             };
             let mut metrics = SlotMetrics::evaluate(&input, &decision)?;
 
-            // Persistent caches: replication delta only.
+            // Persistent caches: offline hotspots are wiped (their next
+            // placement is a full re-push); alive ones are charged the
+            // delta against what they already hold.
             let mut delta = 0u64;
-            for (h, placement) in decision.placements.iter().enumerate() {
-                let current: HashSet<VideoId> = placement.iter().copied().collect();
-                delta +=
-                    current.difference(&previous_cache[h]).count() as u64;
-                previous_cache[h] = current;
+            for (h, &alive) in true_alive.iter().enumerate() {
+                if alive {
+                    delta += caches.apply(h, &decision.placements[h]);
+                } else {
+                    caches.wipe(h);
+                }
             }
             metrics.replicas = delta;
 
@@ -235,29 +364,79 @@ impl<'a> OnlineRunner<'a> {
             };
 
             total.add(&metrics);
-            slots.push(OnlineSlotOutcome { slot, metrics, forecast_error });
+            total_failed_over += failover.failed_over;
+            total_orphaned += failover.orphaned;
+            slots.push(OnlineSlotOutcome {
+                slot,
+                metrics,
+                forecast_error,
+                offline_hotspots: true_alive.iter().filter(|&&a| !a).count() as u32,
+                failed_over: failover.failed_over,
+                orphaned: failover.orphaned,
+            });
+            stale_alive = true_alive;
         }
 
-        Ok(OnlineReport { scheme: scheme.name().to_owned(), predictor: predictor_name, slots, total })
+        Ok(OnlineReport {
+            scheme: scheme.name().to_owned(),
+            predictor: predictor_name,
+            slots,
+            total,
+            failed_over: total_failed_over,
+            orphaned: total_orphaned,
+        })
     }
 }
 
-/// Greedy routing of realized demand against a fixed placement:
-/// nearest hotspot first, then radius neighbours holding the video (by
-/// distance), then the CDN.
-fn route_against_placements(
+/// Applies a liveness mask to per-hotspot capacities.
+fn masked(capacity: &[u64], alive: &[bool]) -> Vec<u64> {
+    capacity.iter().zip(alive).map(|(&c, &a)| if a { c } else { 0 }).collect()
+}
+
+/// Greedy failover routing of realized demand against planned placements
+/// under a liveness mask.
+///
+/// The serving chain per `(hotspot, video)` batch is: the aggregation
+/// hotspot itself if it caches the video, then radius neighbours caching
+/// it in ascending-distance order, then the CDN — skipping offline or
+/// capacity-exhausted hotspots. The returned decision's placements are
+/// the *effective* ones (offline hotspots emptied: their cache is
+/// unreachable and, per the wipe semantics, gone).
+///
+/// [`FailoverStats`] tallies the requests whose **planned** server — the
+/// first chain candidate caching the video under the planned placements,
+/// ignoring liveness — was offline: those an alive cacher rescued
+/// (`failed_over`) and those that fell to the CDN (`orphaned`).
+///
+/// `service` must already be zeroed for offline hotspots (it is re-masked
+/// defensively). With an all-alive mask this is exactly the baseline
+/// greedy routing and the stats are zero.
+pub fn route_with_failover(
     geometry: &HotspotGeometry,
     actual: &SlotDemand,
     service: &[u64],
-    placements: Vec<Vec<VideoId>>,
+    planned_placements: Vec<Vec<VideoId>>,
+    alive: &[bool],
     radius_km: f64,
-) -> SlotDecision {
-    let n = placements.len();
+) -> (SlotDecision, FailoverStats) {
+    let n = planned_placements.len();
+    let planned_cached: Vec<HashSet<VideoId>> =
+        planned_placements.iter().map(|p| p.iter().copied().collect()).collect();
+
+    // Effective placements: an offline hotspot's cache is unreachable.
+    let mut placements = planned_placements;
+    for (h, &a) in alive.iter().enumerate() {
+        if !a {
+            placements[h].clear();
+        }
+    }
     let cached: Vec<HashSet<VideoId>> =
         placements.iter().map(|p| p.iter().copied().collect()).collect();
+
     let mut decision = SlotDecision::new(n);
     decision.placements = placements;
-    let mut capacity_left: Vec<u64> = service.to_vec();
+    let mut capacity_left = masked(service, alive);
+    let mut stats = FailoverStats::default();
 
     for h in 0..n {
         let hid = ccdn_trace::HotspotId(h);
@@ -273,13 +452,24 @@ fn route_against_placements(
         let mut vids: Vec<_> = actual.videos(hid).to_vec();
         vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
         for vd in vids {
+            // The planned server: first chain candidate caching the
+            // video as the scheme intended, liveness unknown to it.
+            let planned = if planned_cached[h].contains(&vd.video) {
+                Some(h)
+            } else {
+                neighbours.iter().map(|&(_, j)| j).find(|&j| planned_cached[j].contains(&vd.video))
+            };
+            let disrupted = planned.is_some_and(|j| !alive[j]);
+
             let mut remaining = vd.count;
+            let mut hotspot_served = 0u64;
             // Local first.
             if cached[h].contains(&vd.video) && capacity_left[h] > 0 {
                 let m = remaining.min(capacity_left[h]);
                 decision.assign(hid, vd.video, Target::Hotspot(hid), m);
                 capacity_left[h] -= m;
                 remaining -= m;
+                hotspot_served += m;
             }
             // Then neighbours in distance order.
             for &(_, j) in &neighbours {
@@ -291,14 +481,19 @@ fn route_against_placements(
                     decision.assign(hid, vd.video, Target::Hotspot(ccdn_trace::HotspotId(j)), m);
                     capacity_left[j] -= m;
                     remaining -= m;
+                    hotspot_served += m;
                 }
             }
             if remaining > 0 {
                 decision.assign(hid, vd.video, Target::Cdn, remaining);
             }
+            if disrupted {
+                stats.failed_over += hotspot_served;
+                stats.orphaned += remaining;
+            }
         }
     }
-    decision
+    (decision, stats)
 }
 
 /// Total absolute per-(hotspot, video) forecast error, normalized by
@@ -366,7 +561,12 @@ mod tests {
         assert!(report.total.hotspot_serving_ratio() > 0.0);
         for s in &report.slots {
             assert_eq!(s.forecast_error, 0.0, "oracle has no forecast error");
+            assert_eq!(s.offline_hotspots, 0);
+            assert_eq!(s.failed_over, 0);
+            assert_eq!(s.orphaned, 0);
         }
+        assert_eq!(report.failed_over, 0);
+        assert_eq!(report.orphaned, 0);
     }
 
     #[test]
@@ -398,12 +598,10 @@ mod tests {
     #[test]
     fn persistent_caches_charge_only_deltas() {
         let t = trace();
-        let report =
-            OnlineRunner::new(&t).run(&mut TopLocal, &mut LastSlot::new()).unwrap();
+        let report = OnlineRunner::new(&t).run(&mut TopLocal, &mut LastSlot::new()).unwrap();
         // Summed deltas can never exceed slots × total cache capacity, and
         // for stable demand they are far below the naive per-slot refill.
-        let naive_per_slot: u64 =
-            t.hotspots.iter().map(|h| u64::from(h.cache_capacity)).sum();
+        let naive_per_slot: u64 = t.hotspots.iter().map(|h| u64::from(h.cache_capacity)).sum();
         let slots = report.slots.len() as u64;
         assert!(report.total.sums.replicas < naive_per_slot * slots / 2);
     }
@@ -431,14 +629,131 @@ mod tests {
         let t = trace();
         let narrow = OnlineRunner::new(&t)
             .with_radius_km(0.0)
+            .unwrap()
             .run_with_oracle(&mut TopLocal)
             .unwrap();
         let wide = OnlineRunner::new(&t)
             .with_radius_km(6.0)
+            .unwrap()
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        assert!(wide.total.hotspot_serving_ratio() >= narrow.total.hotspot_serving_ratio() - 1e-9);
+    }
+
+    #[test]
+    fn invalid_radius_is_rejected() {
+        let t = trace();
+        assert_eq!(
+            OnlineRunner::new(&t).with_radius_km(-1.0).unwrap_err(),
+            SimConfigError::InvalidRadius { value: -1.0 }
+        );
+        assert!(OnlineRunner::new(&t).with_radius_km(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn failures_degrade_serving_and_are_counted() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut TopLocal).unwrap();
+        let failing = OnlineRunner::new(&t)
+            .with_failures(FailureModel::markov(6.0, 3.0, 19).unwrap())
             .run_with_oracle(&mut TopLocal)
             .unwrap();
         assert!(
-            wide.total.hotspot_serving_ratio() >= narrow.total.hotspot_serving_ratio() - 1e-9
+            failing.total.hotspot_serving_ratio() < healthy.total.hotspot_serving_ratio(),
+            "failures did not hurt serving"
         );
+        assert!(failing.slots.iter().any(|s| s.offline_hotspots > 0));
+        assert!(failing.failed_over + failing.orphaned > 0, "no disruption recorded despite churn");
+    }
+
+    /// Pins the same small video set at every hotspot that has cache
+    /// capacity this slot. Under persistent caches the healthy run pays
+    /// for the pins exactly once.
+    struct PinnedSet(u64);
+
+    impl Scheme for PinnedSet {
+        fn name(&self) -> &'static str {
+            "pinned-set"
+        }
+
+        fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+            let mut d = SlotDecision::new(input.hotspot_count());
+            for h in 0..input.hotspot_count() {
+                let k = self.0.min(input.cache_capacity[h]);
+                for v in 0..k {
+                    d.place(ccdn_trace::HotspotId(h), VideoId(v as u32));
+                }
+            }
+            d
+        }
+    }
+
+    #[test]
+    fn failures_inflate_replication_via_cache_wipes() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut PinnedSet(5)).unwrap();
+        // With static placements the healthy run pushes once, then rides
+        // the persistent caches for free.
+        assert_eq!(healthy.total.sums.replicas, 5 * t.hotspots.len() as u64);
+        let failing = OnlineRunner::new(&t)
+            .with_failures(FailureModel::markov(8.0, 2.0, 23).unwrap())
+            .run_with_oracle(&mut PinnedSet(5))
+            .unwrap();
+        assert!(
+            failing.total.sums.replicas > healthy.total.sums.replicas,
+            "returning hotspots must re-pay the push: {} vs {}",
+            failing.total.sums.replicas,
+            healthy.total.sums.replicas
+        );
+    }
+
+    #[test]
+    fn all_down_slots_serve_everything_from_cdn() {
+        let t = trace();
+        let report = OnlineRunner::new(&t)
+            .with_failures(FailureModel::iid(1.0, 2).unwrap())
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        assert_eq!(report.total.hotspot_serving_ratio(), 0.0);
+        assert_eq!(report.total.sums.replicas, 0, "nothing alive to push to");
+        for s in &report.slots {
+            assert_eq!(s.offline_hotspots, t.hotspots.len() as u32);
+        }
+    }
+
+    #[test]
+    fn route_with_failover_matches_baseline_when_all_alive() {
+        let t = trace();
+        let geo = HotspotGeometry::new(t.region, &t.hotspots);
+        let actual = SlotDemand::aggregate(t.slot_requests(5), &geo);
+        let service: Vec<u64> = t.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+        let mut scheme = TopLocal;
+        let input = SlotInput {
+            geometry: &geo,
+            demand: &actual,
+            service_capacity: &service,
+            cache_capacity: &t
+                .hotspots
+                .iter()
+                .map(|h| u64::from(h.cache_capacity))
+                .collect::<Vec<_>>(),
+            video_count: t.video_count,
+        };
+        let placements = scheme.schedule(&input).placements;
+        let alive = vec![true; t.hotspots.len()];
+        let (_, stats) = route_with_failover(&geo, &actual, &service, placements, &alive, 1.5);
+        assert_eq!(stats, FailoverStats::default());
+    }
+
+    #[test]
+    fn cache_state_wipe_forces_full_repush() {
+        let mut caches = CacheState::new(2);
+        let p: Vec<VideoId> = (0..5).map(VideoId).collect();
+        assert_eq!(caches.apply(0, &p), 5);
+        assert_eq!(caches.apply(0, &p), 0, "unchanged placement is free");
+        caches.wipe(0);
+        assert!(caches.cached(0).is_empty());
+        assert_eq!(caches.apply(0, &p), 5, "wipe makes the re-push a full push");
+        assert_eq!(caches.apply(1, &p[..2]), 2, "hotspots are independent");
     }
 }

@@ -34,13 +34,7 @@ pub trait PopularityPredictor {
 
 fn demand_to_rates(demand: &SlotDemand) -> Vec<HashMap<VideoId, f64>> {
     (0..demand.hotspot_count())
-        .map(|h| {
-            demand
-                .videos(HotspotId(h))
-                .iter()
-                .map(|vd| (vd.video, vd.count as f64))
-                .collect()
-        })
+        .map(|h| demand.videos(HotspotId(h)).iter().map(|vd| (vd.video, vd.count as f64)).collect())
         .collect()
 }
 
@@ -138,9 +132,8 @@ impl PopularityPredictor for Ewma {
 
     fn observe(&mut self, demand: &SlotDemand) {
         let observed = demand_to_rates(demand);
-        self.base = (0..demand.hotspot_count())
-            .map(|h| demand.mean_base_distance(HotspotId(h)))
-            .collect();
+        self.base =
+            (0..demand.hotspot_count()).map(|h| demand.mean_base_distance(HotspotId(h))).collect();
         match &mut self.rates {
             None => self.rates = Some(observed),
             Some(rates) => {
@@ -190,9 +183,8 @@ impl PopularityPredictor for WindowMean {
     }
 
     fn observe(&mut self, demand: &SlotDemand) {
-        self.base = (0..demand.hotspot_count())
-            .map(|h| demand.mean_base_distance(HotspotId(h)))
-            .collect();
+        self.base =
+            (0..demand.hotspot_count()).map(|h| demand.mean_base_distance(HotspotId(h))).collect();
         self.history.push_back(demand_to_rates(demand));
         while self.history.len() > self.window {
             self.history.pop_front();
@@ -309,9 +301,8 @@ impl PopularityPredictor for HoltLinear {
 
     fn observe(&mut self, demand: &SlotDemand) {
         let observed = demand_to_rates(demand);
-        self.base = (0..demand.hotspot_count())
-            .map(|h| demand.mean_base_distance(HotspotId(h)))
-            .collect();
+        self.base =
+            (0..demand.hotspot_count()).map(|h| demand.mean_base_distance(HotspotId(h))).collect();
         match &mut self.state {
             None => {
                 self.state = Some(
@@ -327,10 +318,9 @@ impl PopularityPredictor for HoltLinear {
                     pairs.retain(|video, (level, trend)| {
                         let observation = obs.get(video).copied().unwrap_or(0.0);
                         let prev_level = *level;
-                        *level = self.alpha * observation
-                            + (1.0 - self.alpha) * (prev_level + *trend);
-                        *trend =
-                            self.beta * (*level - prev_level) + (1.0 - self.beta) * *trend;
+                        *level =
+                            self.alpha * observation + (1.0 - self.alpha) * (prev_level + *trend);
+                        *trend = self.beta * (*level - prev_level) + (1.0 - self.beta) * *trend;
                         *level > 0.25 || observation > 0.0
                     });
                     // Admit newly seen videos.
@@ -367,9 +357,7 @@ mod tests {
     fn demands() -> Vec<SlotDemand> {
         let trace = TraceConfig::small_test().with_request_count(4_000).generate();
         let geo = HotspotGeometry::new(trace.region, &trace.hotspots);
-        (0..trace.slot_count)
-            .map(|s| SlotDemand::aggregate(trace.slot_requests(s), &geo))
-            .collect()
+        (0..trace.slot_count).map(|s| SlotDemand::aggregate(trace.slot_requests(s), &geo)).collect()
     }
 
     #[test]
@@ -396,11 +384,7 @@ mod tests {
         let predicted = ewma.predict().unwrap();
         assert_eq!(predicted.total_requests(), ds[12].total_requests());
         for h in 0..predicted.hotspot_count() {
-            assert_eq!(
-                predicted.videos(HotspotId(h)),
-                ds[12].videos(HotspotId(h)),
-                "hotspot {h}"
-            );
+            assert_eq!(predicted.videos(HotspotId(h)), ds[12].videos(HotspotId(h)), "hotspot {h}");
         }
     }
 

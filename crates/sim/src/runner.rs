@@ -1,5 +1,5 @@
 use crate::{
-    ChurnModel, HotspotGeometry, MetricsTotals, Scheme, SlotDemand, SlotInput, SlotMetrics,
+    FailureModel, HotspotGeometry, MetricsTotals, Scheme, SlotDemand, SlotInput, SlotMetrics,
     ValidationError,
 };
 use ccdn_trace::Trace;
@@ -40,20 +40,30 @@ pub struct RunReport {
 pub struct Runner<'a> {
     trace: &'a Trace,
     geometry: HotspotGeometry,
-    churn: Option<ChurnModel>,
+    failures: Option<FailureModel>,
 }
 
 impl<'a> Runner<'a> {
     /// Creates a runner for `trace`.
     pub fn new(trace: &'a Trace) -> Self {
         let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
-        Runner { trace, geometry, churn: None }
+        Runner { trace, geometry, failures: None }
     }
 
-    /// Enables hotspot churn injection.
-    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
-        self.churn = Some(churn);
+    /// Enables failure injection: offline hotspots have zero service and
+    /// cache capacity for the slot (the scheme sees the true mask — the
+    /// offline runner has no planning/serving gap; for stale-information
+    /// planning use [`OnlineRunner`](crate::OnlineRunner)).
+    pub fn with_failures(mut self, failures: FailureModel) -> Self {
+        self.failures = Some(failures);
         self
+    }
+
+    /// Enables hotspot churn injection (legacy shim).
+    #[deprecated(since = "0.1.0", note = "use with_failures(FailureModel::iid(..)) instead")]
+    #[allow(deprecated)]
+    pub fn with_churn(self, churn: crate::ChurnModel) -> Self {
+        self.with_failures(churn.into())
     }
 
     /// The geometry the runner uses (shared with measurement tooling).
@@ -71,12 +81,13 @@ impl<'a> Runner<'a> {
         let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
         let mut total = MetricsTotals::default();
         let mut scheduling_time = Duration::ZERO;
+        let mut process = self.failures.as_ref().map(FailureModel::process);
         for slot in 0..self.trace.slot_count {
             let demand = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
-            let alive = self
-                .churn
-                .map(|c| c.alive_mask(slot, n))
-                .unwrap_or_else(|| vec![true; n]);
+            let alive = match &mut process {
+                Some(p) => p.advance(slot, &self.geometry),
+                None => vec![true; n],
+            };
             let service_capacity: Vec<u64> = self
                 .trace
                 .hotspots
@@ -166,11 +177,24 @@ mod tests {
     }
 
     #[test]
-    fn churn_zeroes_capacities_but_cdn_scheme_unaffected() {
+    fn failures_zero_capacities_but_cdn_scheme_unaffected() {
         let trace = TraceConfig::small_test().generate();
-        let churn = ChurnModel::new(1.0, 3).unwrap();
-        let report = Runner::new(&trace).with_churn(churn).run(&mut CdnOnly).unwrap();
+        let failures = FailureModel::iid(1.0, 3).unwrap();
+        let report = Runner::new(&trace).with_failures(failures).run(&mut CdnOnly).unwrap();
         assert_eq!(report.total.cdn_server_load(), 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_churn_matches_with_failures() {
+        let trace = TraceConfig::small_test().generate();
+        let churn = crate::ChurnModel::new(0.4, 9).unwrap();
+        let old = Runner::new(&trace).with_churn(churn).run(&mut CdnOnly).unwrap();
+        let new = Runner::new(&trace)
+            .with_failures(FailureModel::iid(0.4, 9).unwrap())
+            .run(&mut CdnOnly)
+            .unwrap();
+        assert_eq!(old.total, new.total);
     }
 
     #[test]

@@ -18,7 +18,6 @@ use std::fmt;
 /// assert!(cdf.fraction_at_most(40.0) >= 0.8);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

@@ -185,10 +185,7 @@ mod tests {
 
     #[test]
     fn autocorrelation_needs_enough_samples() {
-        assert_eq!(
-            autocorrelation(&[1.0, 2.0, 3.0], 2),
-            Err(CorrelationError::TooFewSamples)
-        );
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 2), Err(CorrelationError::TooFewSamples));
         assert!(autocorrelation(&[1.0, 2.0, 3.0, 4.0], 2).is_ok());
     }
 

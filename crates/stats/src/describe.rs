@@ -13,7 +13,6 @@ use std::fmt;
 /// assert_eq!(s.std_dev, 2.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -83,7 +82,6 @@ impl fmt::Display for Summary {
 /// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -126,11 +124,7 @@ impl Histogram {
     /// `(bin_midpoint, count)` pairs, for plotting.
     pub fn midpoints(&self) -> Vec<(f64, u64)> {
         let w = (self.hi - self.lo) / self.counts.len() as f64;
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
-            .collect()
+        self.counts.iter().enumerate().map(|(i, &c)| (self.lo + w * (i as f64 + 0.5), c)).collect()
     }
 }
 
@@ -160,8 +154,7 @@ pub fn gini(values: &[f64]) -> Option<f64> {
     let mut sorted = values.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
     let n = sorted.len() as f64;
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v).sum();
     Some((2.0 * weighted) / (n * sum) - (n + 1.0) / n)
 }
 

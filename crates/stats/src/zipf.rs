@@ -169,11 +169,7 @@ mod tests {
         }
         for k in 0..20 {
             let freq = counts[k] as f64 / n as f64;
-            assert!(
-                (freq - z.pmf(k)).abs() < 0.01,
-                "rank {k}: freq {freq} pmf {}",
-                z.pmf(k)
-            );
+            assert!((freq - z.pmf(k)).abs() < 0.01, "rank {k}: freq {freq} pmf {}", z.pmf(k));
         }
     }
 

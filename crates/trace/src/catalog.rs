@@ -80,8 +80,7 @@ impl VideoCatalog {
     /// popularity head — the high-similarity tail of the paper's Fig. 3b)
     /// while others are strongly niche (the low end).
     pub fn cluster_locality(&self, cluster: usize) -> f64 {
-        let u = mix(cluster as u64 + 1, self.seed.rotate_left(7)) as f64
-            / u64::MAX as f64;
+        let u = mix(cluster as u64 + 1, self.seed.rotate_left(7)) as f64 / u64::MAX as f64;
         (2.0 * self.locality * u).min(1.0)
     }
 
@@ -119,8 +118,7 @@ impl VideoCatalog {
             // 4 Feistel rounds.
             let (mut l, mut r) = (x >> half, x & mask_low);
             for round in 0..4u64 {
-                let f = mix(r ^ key.wrapping_add(round.wrapping_mul(0x9E37_79B9)), key)
-                    & mask_low;
+                let f = mix(r ^ key.wrapping_add(round.wrapping_mul(0x9E37_79B9)), key) & mask_low;
                 let nl = r;
                 r = l ^ f;
                 l = nl;

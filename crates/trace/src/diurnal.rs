@@ -21,7 +21,6 @@ use rand::Rng;
 /// assert!(office.weight(10) > home.weight(10));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiurnalProfile {
     weights: [f64; 24],
 }

@@ -1,6 +1,5 @@
 use crate::{
-    DiurnalProfile, Hotspot, HotspotId, PopulationModel, Request, Trace, UserId,
-    VideoCatalog,
+    DiurnalProfile, Hotspot, HotspotId, PopulationModel, Request, Trace, UserId, VideoCatalog,
 };
 use ccdn_geo::Rect;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -348,14 +347,11 @@ impl TraceConfig {
         let users: Vec<UserRecord> = (0..self.user_count)
             .map(|_| {
                 let (home, cluster) = population.sample(&mut rng);
-                let profile =
-                    cluster.map_or(&background_profile, |c| &profiles[c]);
+                let profile = cluster.map_or(&background_profile, |c| &profiles[c]);
                 let shift = rng.gen_range(-6i32..=6);
                 let k = rng.gen_range(1usize..=3);
                 let hours: Vec<u32> = (0..k)
-                    .map(|_| {
-                        (profile.sample_hour(&mut rng) as i32 + shift).rem_euclid(24) as u32
-                    })
+                    .map(|_| (profile.sample_hour(&mut rng) as i32 + shift).rem_euclid(24) as u32)
                     .collect();
                 // Pareto-ish activity: a few heavy watchers dominate.
                 let u: f64 = rng.gen_range(0.0f64..1.0);
@@ -376,14 +372,9 @@ impl TraceConfig {
                 let day = if self.days == 1 {
                     0
                 } else {
-                    let residentialish = user
-                        .cluster
-                        .is_none_or(|c| {
-                            matches!(
-                                population.clusters()[c].kind,
-                                crate::ClusterKind::Residential
-                            )
-                        });
+                    let residentialish = user.cluster.is_none_or(|c| {
+                        matches!(population.clusters()[c].kind, crate::ClusterKind::Residential)
+                    });
                     loop {
                         let d = rng.gen_range(0..self.days);
                         let weekend = matches!(d % 7, 5 | 6);
@@ -402,9 +393,8 @@ impl TraceConfig {
                 // Watch near home: a small wander radius around it.
                 let dx = rng.gen_range(-0.25f64..0.25);
                 let dy = rng.gen_range(-0.25f64..0.25);
-                let location = self
-                    .region
-                    .clamp(ccdn_geo::Point::new(user.home.x + dx, user.home.y + dy));
+                let location =
+                    self.region.clamp(ccdn_geo::Point::new(user.home.x + dx, user.home.y + dy));
                 Request {
                     user: UserId(idx as u32),
                     video: catalog.sample(user.cluster, &mut rng),
@@ -536,20 +526,12 @@ mod tests {
 
     #[test]
     fn multi_day_traces_span_all_days() {
-        let t = TraceConfig::small_test()
-            .with_days(3)
-            .with_request_count(6_000)
-            .generate();
+        let t = TraceConfig::small_test().with_days(3).with_request_count(6_000).generate();
         assert_eq!(t.slot_count, 72);
         assert_eq!(t.slots_per_day, 24);
         for day in 0..3 {
-            let day_requests: usize = (0..24)
-                .map(|h| t.slot_requests(day * 24 + h).len())
-                .sum();
-            assert!(
-                day_requests > 1_000,
-                "day {day} underpopulated: {day_requests} requests"
-            );
+            let day_requests: usize = (0..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
+            assert!(day_requests > 1_000, "day {day} underpopulated: {day_requests} requests");
         }
         let total: usize = (0..72).map(|s| t.slot_requests(s).len()).sum();
         assert_eq!(total, 6_000);
@@ -565,10 +547,8 @@ mod tests {
             .with_seed(9)
             .generate();
         let share_evening = |day: u32| {
-            let day_total: usize =
-                (0..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
-            let evening: usize =
-                (19..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
+            let day_total: usize = (0..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
+            let evening: usize = (19..24).map(|h| t.slot_requests(day * 24 + h).len()).sum();
             evening as f64 / day_total.max(1) as f64
         };
         let weekday: f64 = (0..5).map(share_evening).sum::<f64>() / 5.0;

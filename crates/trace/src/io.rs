@@ -169,8 +169,7 @@ impl Trace {
             let id: usize = parse_field(fields.next(), "id", HFILE, lineno)?;
             let x: f64 = parse_field(fields.next(), "x_km", HFILE, lineno)?;
             let y: f64 = parse_field(fields.next(), "y_km", HFILE, lineno)?;
-            let service: u32 =
-                parse_field(fields.next(), "service_capacity", HFILE, lineno)?;
+            let service: u32 = parse_field(fields.next(), "service_capacity", HFILE, lineno)?;
             let cache: u32 = parse_field(fields.next(), "cache_capacity", HFILE, lineno)?;
             parsed_hotspots.push(Hotspot {
                 id: HotspotId(id),
@@ -317,8 +316,7 @@ mod tests {
 
     #[test]
     fn non_dense_hotspot_ids_are_rejected() {
-        let hotspots =
-            "id,x_km,y_km,service_capacity,cache_capacity\n0,1,1,5,5\n2,2,2,5,5\n";
+        let hotspots = "id,x_km,y_km,service_capacity,cache_capacity\n0,1,1,5,5\n2,2,2,5,5\n";
         let err = Trace::read_csv(
             ccdn_geo::Rect::paper_eval_region(),
             10,

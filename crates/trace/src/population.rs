@@ -28,7 +28,6 @@ mod rand_distr_normal {
 ///
 /// [`DiurnalProfile`]: crate::DiurnalProfile
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ClusterKind {
     /// Homes: evening/night viewing peak.
     Residential,
@@ -38,7 +37,6 @@ pub enum ClusterKind {
 
 /// One spatial Gaussian population cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PopulationCluster {
     /// Cluster centre.
     pub center: Point,
@@ -71,7 +69,6 @@ pub struct PopulationCluster {
 /// assert!(cluster.is_none() || cluster.unwrap() < model.clusters().len());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PopulationModel {
     region: Rect,
     clusters: Vec<PopulationCluster>,
@@ -94,10 +91,7 @@ impl PopulationModel {
             (0.0..1.0).contains(&background) || (background == 1.0 && clusters.is_empty()),
             "background must be in [0, 1]"
         );
-        assert!(
-            !clusters.is_empty() || background > 0.0,
-            "need clusters or a positive background"
-        );
+        assert!(!clusters.is_empty() || background > 0.0, "need clusters or a positive background");
         for c in &clusters {
             assert!(c.weight.is_finite() && c.weight > 0.0, "cluster weights must be > 0");
             assert!(c.sigma_km.is_finite() && c.sigma_km > 0.0, "sigma must be > 0");
@@ -129,11 +123,7 @@ impl PopulationModel {
                     // population skew (and drives the paper's Fig. 2
                     // heavy-tailed hotspot workload).
                     weight: (-rng.gen_range(0.0f64..4.5)).exp(),
-                    kind: if i % 2 == 0 {
-                        ClusterKind::Residential
-                    } else {
-                        ClusterKind::Business
-                    },
+                    kind: if i % 2 == 0 { ClusterKind::Residential } else { ClusterKind::Business },
                 }
             })
             .collect();

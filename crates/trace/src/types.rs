@@ -6,7 +6,6 @@ use std::fmt;
 /// Videos are unit-sized, matching the paper's model where "each video has
 /// an identical size 1" (§III — videos can be split into equal chunks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VideoId(pub u32);
 
 impl fmt::Display for VideoId {
@@ -18,7 +17,6 @@ impl fmt::Display for VideoId {
 /// Identifier of a content hotspot (an edge device such as a smart Wi-Fi
 /// AP). Indexes into [`Trace::hotspots`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HotspotId(pub usize);
 
 impl fmt::Display for HotspotId {
@@ -29,7 +27,6 @@ impl fmt::Display for HotspotId {
 
 /// Identifier of a user.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UserId(pub u32);
 
 impl fmt::Display for UserId {
@@ -42,7 +39,6 @@ impl fmt::Display for UserId {
 /// cache capacity, mirroring `s_h` and `c_h` of the paper's system model
 /// (§III-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hotspot {
     /// The hotspot's id (equal to its index in [`Trace::hotspots`]).
     pub id: HotspotId,
@@ -58,7 +54,6 @@ pub struct Hotspot {
 /// timeslot. Mirrors the fields of the paper's session trace (user id,
 /// timestamp, video title, GPS location).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Request {
     /// The requesting user.
     pub user: UserId,
@@ -73,7 +68,6 @@ pub struct Request {
 /// A complete synthetic trace: the region, the hotspot deployment, the
 /// request log, and catalog metadata.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     /// Evaluation region.
     pub region: Rect,

@@ -28,10 +28,7 @@ fn schemes() -> Vec<Box<dyn Scheme>> {
 
 fn main() {
     println!("target: serve {TARGET_SERVING_RATIO:.0}% of requests at the edge\n");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8}",
-        "capacity", "RBCAer", "Nearest", "Random"
-    );
+    println!("{:<10} {:>8} {:>8} {:>8}", "capacity", "RBCAer", "Nearest", "Random");
 
     // Quarter-scale single-slot instance of the paper evaluation.
     let base = TraceConfig::paper_eval()

@@ -63,10 +63,7 @@ fn main() {
     println!("\n2. hourly workload correlation between pairs < 5 km:");
     println!("   pairs                  {:>8}", corr_cdf.len());
     println!("   median Spearman        {:>8.2}", corr_cdf.median());
-    println!(
-        "   fraction below 0.4     {:>8.2}   (paper: ~0.70)",
-        corr_cdf.fraction_at_most(0.4)
-    );
+    println!("   fraction below 0.4     {:>8.2}   (paper: ~0.70)", corr_cdf.fraction_at_most(0.4));
 
     // 3. Content similarity between nearby hotspots (Fig. 3b).
     let sets: Vec<Vec<VideoId>> = content
@@ -93,7 +90,10 @@ fn main() {
     println!("\n3. Jaccard similarity of Top-20% content sets, pairs < 5 km:");
     println!("   p10                    {:>8.2}", sim_cdf.quantile(0.1));
     println!("   median                 {:>8.2}", sim_cdf.median());
-    println!("   p90                    {:>8.2}   (paper: diverse, ~0.1-0.8)", sim_cdf.quantile(0.9));
+    println!(
+        "   p90                    {:>8.2}   (paper: diverse, ~0.1-0.8)",
+        sim_cdf.quantile(0.9)
+    );
 
     println!("\nTakeaway: loads are skewed, neighbours peak at different hours, and");
     println!("content overlap varies widely — so request balancing must be content-");

@@ -43,12 +43,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut options = HashMap::new();
     let mut rest = &argv[1..];
     while let Some(flag) = rest.first() {
-        let key = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-        let value = rest
-            .get(1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        let key =
+            flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = rest.get(1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         if options.insert(key.to_string(), value.to_string()).is_some() {
             return Err(format!("duplicate flag --{key}"));
         }
@@ -230,8 +227,7 @@ mod tests {
     fn preset_and_scheme_lookup() {
         assert!(preset("eval").is_ok());
         assert!(preset("nope").is_err());
-        for name in ["rbcaer", "rbcaer-balance-only", "hierarchical", "nearest", "random", "lp"]
-        {
+        for name in ["rbcaer", "rbcaer-balance-only", "hierarchical", "nearest", "random", "lp"] {
             assert!(scheme_by_name(name).is_ok(), "{name}");
         }
         assert!(scheme_by_name("bogus").is_err());

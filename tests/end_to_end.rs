@@ -3,7 +3,7 @@
 
 use crowdsourced_cdn::core::{LocalRandom, LpBased, LpBasedConfig, Nearest, Rbcaer, RbcaerConfig};
 use crowdsourced_cdn::sim::{
-    ChurnModel, Ewma, OnlineRunner, RunReport, Runner, Scheme, SeasonalNaive,
+    Ewma, FailureModel, OnlineRunner, RunReport, Runner, Scheme, SeasonalNaive,
 };
 use crowdsourced_cdn::trace::{Trace, TraceConfig};
 
@@ -34,9 +34,9 @@ fn every_scheme_validates_and_conserves_requests() {
     let trace = mid_trace();
     let runner = Runner::new(&trace);
     for mut scheme in all_schemes() {
-        let report = runner.run(scheme.as_mut()).unwrap_or_else(|e| {
-            panic!("{} produced an invalid decision: {e}", scheme.name())
-        });
+        let report = runner
+            .run(scheme.as_mut())
+            .unwrap_or_else(|e| panic!("{} produced an invalid decision: {e}", scheme.name()));
         assert_eq!(
             report.total.sums.total_requests,
             trace.requests.len() as u64,
@@ -53,11 +53,7 @@ fn every_scheme_validates_and_conserves_requests() {
         let ratio = report.total.hotspot_serving_ratio();
         assert!((0.0..=1.0).contains(&ratio), "{}: ratio {ratio}", report.scheme);
         let dist = report.total.average_distance_km();
-        assert!(
-            (0.0..=20.0 + 1e-9).contains(&dist),
-            "{}: distance {dist}",
-            report.scheme
-        );
+        assert!((0.0..=20.0 + 1e-9).contains(&dist), "{}: distance {dist}", report.scheme);
         assert!(report.total.replication_cost() >= 0.0);
         assert!(report.total.cdn_server_load() >= 0.0);
     }
@@ -85,9 +81,7 @@ fn rbcaer_dominates_nearest_on_the_paper_metrics() {
     let runner = Runner::new(&trace);
     let nearest = runner.run(&mut Nearest::new()).unwrap();
     let rbcaer = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
-    assert!(
-        rbcaer.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9
-    );
+    assert!(rbcaer.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9);
     assert!(rbcaer.total.average_distance_km() <= nearest.total.average_distance_km() + 1e-9);
     assert!(rbcaer.total.cdn_server_load() <= nearest.total.cdn_server_load() + 0.05);
 }
@@ -96,14 +90,28 @@ fn rbcaer_dominates_nearest_on_the_paper_metrics() {
 fn schemes_survive_heavy_churn() {
     let trace = mid_trace();
     for p in [0.25, 0.5, 0.9] {
-        let churn = ChurnModel::new(p, 3).unwrap();
-        let runner = Runner::new(&trace).with_churn(churn);
+        let failures = FailureModel::iid(p, 3).unwrap();
+        let runner = Runner::new(&trace).with_failures(failures);
         for mut scheme in all_schemes() {
-            let report = runner.run(scheme.as_mut()).unwrap_or_else(|e| {
-                panic!("{} invalid under churn {p}: {e}", scheme.name())
-            });
+            let report = runner
+                .run(scheme.as_mut())
+                .unwrap_or_else(|e| panic!("{} invalid under churn {p}: {e}", scheme.name()));
             assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
         }
+    }
+}
+
+#[test]
+fn schemes_survive_markov_failures_with_regional_outages() {
+    let trace = mid_trace();
+    let failures =
+        FailureModel::markov(6.0, 3.0, 7).unwrap().with_regional_outages(0.2, 2.0).unwrap();
+    let runner = Runner::new(&trace).with_failures(failures);
+    for mut scheme in all_schemes() {
+        let report = runner
+            .run(scheme.as_mut())
+            .unwrap_or_else(|e| panic!("{} invalid under outages: {e}", scheme.name()));
+        assert_eq!(report.total.sums.total_requests, trace.requests.len() as u64);
     }
 }
 
@@ -112,9 +120,9 @@ fn churn_degrades_serving_monotonically_for_rbcaer() {
     let trace = mid_trace();
     let mut last = f64::INFINITY;
     for p in [0.0, 0.3, 0.6, 0.95] {
-        let churn = ChurnModel::new(p, 11).unwrap();
+        let failures = FailureModel::iid(p, 11).unwrap();
         let report = Runner::new(&trace)
-            .with_churn(churn)
+            .with_failures(failures)
             .run(&mut Rbcaer::new(RbcaerConfig::default()))
             .unwrap();
         let ratio = report.total.hotspot_serving_ratio();
@@ -128,10 +136,7 @@ fn churn_degrades_serving_monotonically_for_rbcaer() {
 
 #[test]
 fn single_slot_trace_schedules_the_whole_day_at_once() {
-    let trace = TraceConfig::small_test()
-        .with_slot_count(1)
-        .with_request_count(5_000)
-        .generate();
+    let trace = TraceConfig::small_test().with_slot_count(1).with_request_count(5_000).generate();
     assert_eq!(trace.slot_count, 1);
     assert_eq!(trace.slot_requests(0).len(), 5_000);
     let report = Runner::new(&trace).run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
@@ -157,15 +162,12 @@ fn online_loop_with_rbcaer_and_predictors() {
     let ewma = runner.run(&mut scheduler, &mut Ewma::new(0.4)).unwrap();
     assert_eq!(ewma.total.sums.total_requests, trace.requests.len() as u64);
     // Real prediction cannot beat the oracle bound.
-    assert!(
-        ewma.total.hotspot_serving_ratio() <= oracle.total.hotspot_serving_ratio() + 0.02
-    );
+    assert!(ewma.total.hotspot_serving_ratio() <= oracle.total.hotspot_serving_ratio() + 0.02);
     // Persistent caches: delta replication well below a full refill per slot.
     let full_refill: u64 = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).sum();
     assert!(ewma.total.sums.replicas < full_refill * u64::from(trace.slot_count) / 2);
 
-    let seasonal = runner
-        .run(&mut scheduler, &mut SeasonalNaive::new(trace.slots_per_day as usize))
-        .unwrap();
+    let seasonal =
+        runner.run(&mut scheduler, &mut SeasonalNaive::new(trace.slots_per_day as usize)).unwrap();
     assert_eq!(seasonal.total.sums.total_requests, trace.requests.len() as u64);
 }

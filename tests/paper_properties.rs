@@ -62,10 +62,7 @@ fn workload_correlation_matches_fig3a() {
     assert!(total > 100, "too few nearby pairs ({total}) to assess");
     let fraction = below as f64 / total as f64;
     // Paper: ≈70 % below 0.4. Accept a generous band around it.
-    assert!(
-        fraction > 0.5,
-        "only {fraction:.2} of pairs weakly correlated (paper ~0.7)"
-    );
+    assert!(fraction > 0.5, "only {fraction:.2} of pairs weakly correlated (paper ~0.7)");
 }
 
 fn top_sets(trace: &Trace, geo: &HotspotGeometry, fraction: f64) -> Vec<Vec<VideoId>> {
@@ -149,11 +146,8 @@ fn multi_day_demand_has_daily_seasonality() {
     // city-wide hourly series must dominate off-period lags — the
     // structure that makes the paper's "popularity changes slowly /
     // predictable" assumption (and our seasonal-naive predictor) valid.
-    let trace = TraceConfig::small_test()
-        .with_days(3)
-        .with_request_count(30_000)
-        .with_seed(4)
-        .generate();
+    let trace =
+        TraceConfig::small_test().with_days(3).with_request_count(30_000).with_seed(4).generate();
     let series: Vec<f64> =
         (0..trace.slot_count).map(|s| trace.slot_requests(s).len() as f64).collect();
     let daily = crowdsourced_cdn::stats::autocorrelation(&series, 24).unwrap();

@@ -24,8 +24,7 @@ fn rbcaer_never_serves_less_than_nearest_across_seeds() {
         let nearest = runner.run(&mut Nearest::new()).unwrap();
         let rbcaer = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
         assert!(
-            rbcaer.total.hotspot_serving_ratio()
-                >= nearest.total.hotspot_serving_ratio() - 1e-9,
+            rbcaer.total.hotspot_serving_ratio() >= nearest.total.hotspot_serving_ratio() - 1e-9,
             "seed {seed}: rbcaer {} < nearest {}",
             rbcaer.total.hotspot_serving_ratio(),
             nearest.total.hotspot_serving_ratio()
@@ -53,8 +52,7 @@ fn both_mcmf_algorithms_give_identical_rbcaer_metrics() {
         // Optimal MCMF values coincide; the realized schedules may differ
         // in tie-breaking, so compare the headline metrics loosely.
         assert!(
-            (dij.total.hotspot_serving_ratio() - spfa.total.hotspot_serving_ratio()).abs()
-                < 0.02,
+            (dij.total.hotspot_serving_ratio() - spfa.total.hotspot_serving_ratio()).abs() < 0.02,
             "seed {seed}"
         );
         assert!(
@@ -84,10 +82,8 @@ fn widening_theta_never_reduces_balanced_flow() {
     let runner = Runner::new(&trace);
     let geometry = runner.geometry();
     let demand = SlotDemand::aggregate(trace.slot_requests(20), geometry);
-    let service: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
-    let cache: Vec<u64> =
-        trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
     let input = SlotInput {
         geometry,
         demand: &demand,
@@ -171,10 +167,7 @@ fn empty_and_degenerate_traces_do_not_break_schemes() {
     }
 
     // One hotspot, everything lands on it.
-    let single = TraceConfig::small_test()
-        .with_hotspot_count(1)
-        .with_request_count(500)
-        .generate();
+    let single = TraceConfig::small_test().with_hotspot_count(1).with_request_count(500).generate();
     let runner = Runner::new(&single);
     let report = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
     assert_eq!(report.total.sums.total_requests, 500);

@@ -1,0 +1,403 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace's
+//! property tests: the [`proptest!`] macro, range / tuple / `prop_map`
+//! strategies, `prop::collection::{vec, btree_set}`, `prop::sample::select`,
+//! `any::<T>()`, and `prop_assert!`/`prop_assert_eq!`. Failing cases are
+//! reported with the generated inputs via `Debug`, but there is **no
+//! shrinking** — failures reproduce deterministically instead (the case
+//! RNG is seeded from the test name and case index).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising the input space. Override per-test with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy generating uniformly random `bool`s.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_via_full_range {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_via_full_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy combinators namespace (mirrors `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::BTreeSet;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.size.min..=self.size.max);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>` with size drawn from `size`
+        /// (best effort: duplicates shrink the realized size, as upstream
+        /// permits for saturated domains).
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let want = rng.gen_range(self.size.min..=self.size.max);
+                let mut set = BTreeSet::new();
+                // Cap draws so saturated element domains terminate.
+                for _ in 0..want.saturating_mul(4).max(8) {
+                    if set.len() >= want {
+                        break;
+                    }
+                    set.insert(self.element.new_value(rng));
+                }
+                set
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+
+        /// Strategy returned by [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn new_value(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Deterministic per-(test, case) RNG so failures replay without shrinking.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Everything a property test needs.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` running the body over random strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $pat = $crate::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0usize..10,
+            y in (0.0f64..1.0).prop_map(|v| v * 2.0),
+            flag in any::<bool>(),
+            pick in prop::sample::select(vec![1u32, 3, 5]),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..2.0).contains(&y));
+            let _: bool = flag;
+            prop_assert!(pick % 2 == 1);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..100, 3..7),
+            s in prop::collection::btree_set(0u32..1000, 0..10),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+        }
+    }
+}
