@@ -1,5 +1,29 @@
 use ccdn_cluster::Linkage;
 use ccdn_flow::McmfAlgorithm;
+use std::fmt;
+
+/// A scheduler configuration rejected by validation, carrying a
+/// description of the first problem found.
+///
+/// Returned by [`RbcaerConfig::validate`], [`RobustConfig::validate`],
+/// and the `try_new` constructors; the panicking `new` constructors
+/// format it into their panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError(message.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the cost of a flow-guide arc (`n_kj → j`) is computed.
 ///
@@ -78,18 +102,18 @@ impl Default for RobustConfig {
 
 impl RobustConfig {
     /// Validates the knobs, returning a description of the first problem.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.expected_availability > 0.0 && self.expected_availability <= 1.0) {
-            return Err("expected availability must be in (0, 1]".into());
+            return Err(ConfigError::new("expected availability must be in (0, 1]"));
         }
         if !(self.cache_reserve.is_finite() && (0.0..1.0).contains(&self.cache_reserve)) {
-            return Err("cache reserve must be in [0, 1)".into());
+            return Err(ConfigError::new("cache reserve must be in [0, 1)"));
         }
         if self.redundancy == 0 {
-            return Err("redundancy must be at least 1 peer copy".into());
+            return Err(ConfigError::new("redundancy must be at least 1 peer copy"));
         }
         if self.hot_videos == 0 {
-            return Err("hot video count must be at least 1".into());
+            return Err(ConfigError::new("hot video count must be at least 1"));
         }
         Ok(())
     }
@@ -167,21 +191,21 @@ impl Default for RbcaerConfig {
 impl RbcaerConfig {
     /// Validates the configuration, returning a description of the first
     /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.theta1_km.is_finite() && self.theta1_km >= 0.0) {
-            return Err("theta1 must be finite and >= 0".into());
+            return Err(ConfigError::new("theta1 must be finite and >= 0"));
         }
         if !(self.theta2_km.is_finite() && self.theta2_km >= self.theta1_km) {
-            return Err("theta2 must be finite and >= theta1".into());
+            return Err(ConfigError::new("theta2 must be finite and >= theta1"));
         }
         if !(self.delta_km.is_finite() && self.delta_km > 0.0) {
-            return Err("delta must be finite and > 0".into());
+            return Err(ConfigError::new("delta must be finite and > 0"));
         }
         if !(self.top_fraction > 0.0 && self.top_fraction <= 1.0) {
-            return Err("top fraction must be in (0, 1]".into());
+            return Err(ConfigError::new("top fraction must be in (0, 1]"));
         }
         if !(self.cluster_threshold.is_finite() && (0.0..=1.0).contains(&self.cluster_threshold)) {
-            return Err("cluster threshold must be in [0, 1]".into());
+            return Err(ConfigError::new("cluster threshold must be in [0, 1]"));
         }
         if let Some(robustness) = &self.robustness {
             robustness.validate()?;

@@ -3,7 +3,7 @@ use crate::rbcaer::{balancing, clustering, procedure};
 use ccdn_geo::Rect;
 use ccdn_sim::{Scheme, SlotDecision, SlotInput};
 use ccdn_trace::HotspotId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A grid partition of the deployment region into `rows × cols`
 /// rectangular regions; every hotspot belongs to exactly one region.
@@ -101,13 +101,32 @@ impl HierarchicalRbcaer {
     ///
     /// # Panics
     ///
-    /// Panics if `config` is invalid or the grid is empty.
+    /// Panics if `config` is invalid or the grid is empty; use
+    /// [`HierarchicalRbcaer::try_new`] for the fallible form.
     pub fn new(config: RbcaerConfig, rows: usize, cols: usize) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid RBCAer configuration: {e}");
+        match Self::try_new(config, rows, cols) {
+            Ok(scheduler) => scheduler,
+            // lint: allow(no-panic): documented constructor contract; try_new is the typed path
+            Err(e) => panic!("invalid hierarchical RBCAer configuration: {e}"),
         }
-        assert!(rows > 0 && cols > 0, "partition must have at least one region");
-        HierarchicalRbcaer { config, rows, cols, cross_region: true }
+    }
+
+    /// Fallible form of [`HierarchicalRbcaer::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `config` fails
+    /// [`RbcaerConfig::validate`] or the region grid is empty.
+    pub fn try_new(
+        config: RbcaerConfig,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        if rows == 0 || cols == 0 {
+            return Err(crate::ConfigError::new("partition must have at least one region"));
+        }
+        Ok(HierarchicalRbcaer { config, rows, cols, cross_region: true })
     }
 
     /// Disables the level-2 cross-region pass (pure intra-region RBCAer).
@@ -211,9 +230,11 @@ impl Scheme for HierarchicalRbcaer {
             let mut pair_edges = Vec::new();
             for r in 0..regions {
                 if over_by_region[r] > 0 {
+                    // lint: allow(no-panic): zero cost, positive capacity, in-range nodes
                     net.add_edge(source, over_node(r), over_by_region[r], 0.0).expect("valid edge");
                 }
                 if under_by_region[r] > 0 {
+                    // lint: allow(no-panic): zero cost, positive capacity, in-range nodes
                     net.add_edge(under_node(r), sink, under_by_region[r], 0.0).expect("valid edge");
                 }
             }
@@ -231,10 +252,12 @@ impl Scheme for HierarchicalRbcaer {
                     }
                     let d = center(a).distance(center(b));
                     let cap = over_by_region[a].min(under_by_region[b]);
+                    // lint: allow(no-panic): cost is a finite non-negative centroid distance
                     let e = net.add_edge(over_node(a), under_node(b), cap, d).expect("valid edge");
                     pair_edges.push((e, a, b));
                 }
             }
+            // lint: allow(no-panic): source and sink are the distinct nodes 0 and 1
             let _ = net.min_cost_max_flow(source, sink, self.config.mcmf).expect("endpoints");
 
             // Expand region flows to hotspot pairs: largest residuals
@@ -284,7 +307,7 @@ impl Scheme for HierarchicalRbcaer {
 /// Statistics helper for the scalability bench: flows grouped by whether
 /// they stay within a region.
 pub fn split_flows_by_region(
-    flows: &HashMap<(HotspotId, HotspotId), u64>,
+    flows: &BTreeMap<(HotspotId, HotspotId), u64>,
     region_of: &[usize],
 ) -> (u64, u64) {
     let mut intra = 0;
@@ -387,7 +410,7 @@ mod tests {
 
     #[test]
     fn split_flows_partitions_totals() {
-        let mut flows = HashMap::new();
+        let mut flows = BTreeMap::new();
         flows.insert((HotspotId(0), HotspotId(1)), 5u64);
         flows.insert((HotspotId(0), HotspotId(2)), 3u64);
         let region_of = vec![0, 0, 1];

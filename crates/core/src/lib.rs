@@ -62,8 +62,9 @@ mod nearest;
 mod random;
 mod rbcaer;
 mod serving;
+pub mod validate;
 
-pub use config::{GuideCost, RbcaerConfig, RobustConfig};
+pub use config::{ConfigError, GuideCost, RbcaerConfig, RobustConfig};
 pub use hierarchical::{split_flows_by_region, HierarchicalRbcaer, RegionPartition};
 pub use lp_based::{LpBased, LpBasedConfig};
 pub use nearest::Nearest;

@@ -1,8 +1,8 @@
 use crate::serving::serve_locally;
-use ccdn_lp::{LpProblem, Relation};
+use ccdn_lp::{LpError, LpProblem, Relation};
 use ccdn_sim::{Scheme, SlotDecision, SlotInput, Target};
 use ccdn_trace::{HotspotId, VideoId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration for the [`LpBased`] baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +79,82 @@ impl LpBased {
     pub fn config(&self) -> &LpBasedConfig {
         &self.config
     }
+
+    /// Assembles problem *U*'s relaxation for the selected pairs.
+    ///
+    /// Constraints are emitted in a fixed order (pair order, then sorted
+    /// hotspot order for the capacity rows): simplex pivoting is
+    /// order-sensitive, and under degeneracy a different row order can
+    /// round to a different plan, breaking seeded reproduction.
+    fn build_lp(&self, input: &SlotInput<'_>, layout: &LpLayout<'_>) -> Result<LpProblem, LpError> {
+        let LpLayout { selected, candidates, x_index, cdn_index, y_index, y_keys, var_count } =
+            *layout;
+        let mut lp = LpProblem::minimize(var_count);
+        // Objective: latency (base + hop for hotspots, flat for CDN) + β·y.
+        for (p, &(i, _, _)) in selected.iter().enumerate() {
+            let base = input.demand.mean_base_distance(i);
+            for (c, &j) in candidates[p].iter().enumerate() {
+                let hop = if j == i { 0.0 } else { input.geometry.distance(i, j) };
+                lp.set_objective_coefficient(x_index[p][c], base + hop)?;
+            }
+            lp.set_objective_coefficient(cdn_index[p], input.geometry.cdn_distance())?;
+        }
+        for key in y_keys {
+            lp.set_objective_coefficient(y_index[key], self.config.beta)?;
+        }
+        // Coverage: Σ_t x = λ_iv (Eq. 4).
+        for (p, &(_, _, count)) in selected.iter().enumerate() {
+            let mut coeffs: Vec<(usize, f64)> = x_index[p].iter().map(|&v| (v, 1.0)).collect();
+            coeffs.push((cdn_index[p], 1.0));
+            lp.add_constraint(&coeffs, Relation::Eq, count as f64)?;
+        }
+        // Linking: x ≤ λ_iv · y (Eq. 5) and y ≤ 1.
+        for (p, &(_, v, count)) in selected.iter().enumerate() {
+            for (c, &j) in candidates[p].iter().enumerate() {
+                let y = y_index[&(v, j)];
+                lp.add_constraint(
+                    &[(x_index[p][c], 1.0), (y, -(count as f64))],
+                    Relation::Le,
+                    0.0,
+                )?;
+            }
+        }
+        for key in y_keys {
+            lp.add_constraint(&[(y_index[key], 1.0)], Relation::Le, 1.0)?;
+        }
+        // Service capacity (Eq. 6); the ordered map fixes the row order.
+        let mut per_target: BTreeMap<HotspotId, Vec<(usize, f64)>> = BTreeMap::new();
+        for (p, cands) in candidates.iter().enumerate() {
+            for (c, &j) in cands.iter().enumerate() {
+                per_target.entry(j).or_default().push((x_index[p][c], 1.0));
+            }
+        }
+        for (j, coeffs) in &per_target {
+            lp.add_constraint(coeffs, Relation::Le, input.service_capacity[j.0] as f64)?;
+        }
+        // Cache capacity (Eq. 7).
+        let mut per_cache: BTreeMap<HotspotId, Vec<(usize, f64)>> = BTreeMap::new();
+        for key in y_keys {
+            per_cache.entry(key.1).or_default().push((y_index[key], 1.0));
+        }
+        for (j, coeffs) in &per_cache {
+            lp.add_constraint(coeffs, Relation::Le, input.cache_capacity[j.0] as f64)?;
+        }
+        Ok(lp)
+    }
+}
+
+/// Variable layout shared between [`LpBased::build_lp`] and the rounding
+/// pass.
+#[derive(Clone, Copy)]
+struct LpLayout<'a> {
+    selected: &'a [(HotspotId, VideoId, u64)],
+    candidates: &'a [Vec<HotspotId>],
+    x_index: &'a [Vec<usize>],
+    cdn_index: &'a [usize],
+    y_index: &'a BTreeMap<(VideoId, HotspotId), usize>,
+    y_keys: &'a [(VideoId, HotspotId)],
+    var_count: usize,
 }
 
 impl Scheme for LpBased {
@@ -96,7 +172,7 @@ impl Scheme for LpBased {
         pairs.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
         let selected: Vec<(HotspotId, VideoId, u64)> =
             pairs.iter().take(self.config.max_pairs).copied().collect();
-        let selected_set: HashSet<(HotspotId, VideoId)> =
+        let selected_set: BTreeSet<(HotspotId, VideoId)> =
             selected.iter().map(|&(h, v, _)| (h, v)).collect();
 
         // Candidate targets per pair: the pair's own hotspot plus the
@@ -122,7 +198,7 @@ impl Scheme for LpBased {
         // pair, then y vars per distinct (video, hotspot) pair.
         let mut x_index: Vec<Vec<usize>> = Vec::with_capacity(selected.len());
         let mut cdn_index: Vec<usize> = Vec::with_capacity(selected.len());
-        let mut y_index: HashMap<(VideoId, HotspotId), usize> = HashMap::new();
+        let mut y_index: BTreeMap<(VideoId, HotspotId), usize> = BTreeMap::new();
         let mut next = 0usize;
         for (p, &(_, v, _)) in selected.iter().enumerate() {
             let mut row = Vec::new();
@@ -138,74 +214,30 @@ impl Scheme for LpBased {
             cdn_index.push(next);
             next += 1;
         }
-        let mut y_keys: Vec<(VideoId, HotspotId)> = y_index.keys().copied().collect();
-        y_keys.sort_unstable();
+        let y_keys: Vec<(VideoId, HotspotId)> = y_index.keys().copied().collect();
         for key in &y_keys {
             y_index.insert(*key, next);
             next += 1;
         }
 
-        let mut lp = LpProblem::minimize(next);
-        // Objective: latency (base + hop for hotspots, flat for CDN) + β·y.
-        for (p, &(i, _, _)) in selected.iter().enumerate() {
-            let base = input.demand.mean_base_distance(i);
-            for (c, &j) in candidates[p].iter().enumerate() {
-                let hop = if j == i { 0.0 } else { input.geometry.distance(i, j) };
-                lp.set_objective_coefficient(x_index[p][c], base + hop).expect("valid variable");
-            }
-            lp.set_objective_coefficient(cdn_index[p], input.geometry.cdn_distance())
-                .expect("valid variable");
-        }
-        for key in &y_keys {
-            lp.set_objective_coefficient(y_index[key], self.config.beta).expect("valid variable");
-        }
-        // Coverage: Σ_t x = λ_iv (Eq. 4).
-        for (p, &(_, _, count)) in selected.iter().enumerate() {
-            let mut coeffs: Vec<(usize, f64)> = x_index[p].iter().map(|&v| (v, 1.0)).collect();
-            coeffs.push((cdn_index[p], 1.0));
-            lp.add_constraint(&coeffs, Relation::Eq, count as f64).expect("valid constraint");
-        }
-        // Linking: x ≤ λ_iv · y (Eq. 5) and y ≤ 1.
-        for (p, &(_, v, count)) in selected.iter().enumerate() {
-            for (c, &j) in candidates[p].iter().enumerate() {
-                let y = y_index[&(v, j)];
-                lp.add_constraint(&[(x_index[p][c], 1.0), (y, -(count as f64))], Relation::Le, 0.0)
-                    .expect("valid constraint");
-            }
-        }
-        for key in &y_keys {
-            lp.add_constraint(&[(y_index[key], 1.0)], Relation::Le, 1.0).expect("valid constraint");
-        }
-        // Service capacity (Eq. 6).
-        let mut per_target: HashMap<HotspotId, Vec<(usize, f64)>> = HashMap::new();
-        for (p, cands) in candidates.iter().enumerate() {
-            for (c, &j) in cands.iter().enumerate() {
-                per_target.entry(j).or_default().push((x_index[p][c], 1.0));
-            }
-        }
-        for (j, coeffs) in &per_target {
-            lp.add_constraint(coeffs, Relation::Le, input.service_capacity[j.0] as f64)
-                .expect("valid constraint");
-        }
-        // Cache capacity (Eq. 7).
-        let mut per_cache: HashMap<HotspotId, Vec<(usize, f64)>> = HashMap::new();
-        for key in &y_keys {
-            per_cache.entry(key.1).or_default().push((y_index[key], 1.0));
-        }
-        for (j, coeffs) in &per_cache {
-            lp.add_constraint(coeffs, Relation::Le, input.cache_capacity[j.0] as f64)
-                .expect("valid constraint");
-        }
-
-        let solution = lp.solve().ok();
+        let layout = LpLayout {
+            selected: &selected,
+            candidates: &candidates,
+            x_index: &x_index,
+            cdn_index: &cdn_index,
+            y_index: &y_index,
+            y_keys: &y_keys,
+            var_count: next,
+        };
+        let solution = self.build_lp(input, &layout).and_then(|lp| lp.solve()).ok();
 
         // Round: per pair, hand out demand to targets by descending
         // fractional x, respecting integral capacity and cache feasibility.
         let mut capacity_left: Vec<u64> = input.service_capacity.to_vec();
         let mut cache_left: Vec<u64> = input.cache_capacity.to_vec();
-        let mut placed: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+        let mut placed: Vec<BTreeSet<VideoId>> = vec![BTreeSet::new(); n];
         // Local (non-redirected) demand per hotspot, filled as we round.
-        let mut local_remaining: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); n];
+        let mut local_remaining: Vec<BTreeMap<VideoId, u64>> = vec![BTreeMap::new(); n];
 
         for (p, &(i, v, count)) in selected.iter().enumerate() {
             let mut remaining = count;

@@ -1,7 +1,7 @@
 use crate::serving::serve_locally;
 use ccdn_sim::{Scheme, SlotDecision, SlotInput};
 use ccdn_trace::HotspotId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The **Nearest** routing baseline (§V-A).
 ///
@@ -41,7 +41,7 @@ impl Scheme for Nearest {
 
     fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
         let mut decision = SlotDecision::new(input.hotspot_count());
-        let empty = HashSet::new();
+        let empty = BTreeSet::new();
         for h in 0..input.hotspot_count() {
             let h = HotspotId(h);
             let demand: Vec<_> =

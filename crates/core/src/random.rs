@@ -1,7 +1,7 @@
 use ccdn_sim::{Scheme, SlotDecision, SlotInput, Target};
 use ccdn_trace::{HotspotId, VideoId};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The **Local Random** routing baseline (§V-A; the paper's "Random
 /// scheme", after \[5\], \[7\]).
@@ -63,13 +63,13 @@ impl Scheme for LocalRandom {
         // 1. Neighbourhood-popularity caching: each hotspot aggregates the
         //    demand of every hotspot within the radius and caches the top
         //    videos that fit.
-        let mut placed: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+        let mut placed: Vec<BTreeSet<VideoId>> = vec![BTreeSet::new(); n];
         for j in 0..n {
             if input.cache_capacity[j] == 0 || input.service_capacity[j] == 0 {
                 continue;
             }
             let hj = HotspotId(j);
-            let mut agg: HashMap<VideoId, u64> = HashMap::new();
+            let mut agg: BTreeMap<VideoId, u64> = BTreeMap::new();
             for vd in input.demand.videos(hj) {
                 *agg.entry(vd.video).or_insert(0) += vd.count;
             }
@@ -89,7 +89,7 @@ impl Scheme for LocalRandom {
         // 2. Random routing among radius neighbours holding the video.
         let mut capacity_left: Vec<u64> = input.service_capacity.to_vec();
         // (from, video, target) → count, to emit compact assignments.
-        let mut batches: HashMap<(HotspotId, VideoId, Target), u64> = HashMap::new();
+        let mut batches: BTreeMap<(HotspotId, VideoId, Target), u64> = BTreeMap::new();
         for i in 0..n {
             let hi = HotspotId(i);
             // Neighbour list once per source hotspot.

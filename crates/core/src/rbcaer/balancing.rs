@@ -5,14 +5,16 @@ use crate::config::{GuideCost, RbcaerConfig};
 use ccdn_flow::{EdgeId, FlowNetwork};
 use ccdn_sim::SlotInput;
 use ccdn_trace::HotspotId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of the balancing stage: how many requests each overloaded
 /// hotspot redirects to each under-utilized hotspot.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BalanceOutcome {
     /// `f_ij > 0` entries: requests redirected from hotspot `i` to `j`.
-    pub flows: HashMap<(HotspotId, HotspotId), u64>,
+    /// Ordered so that downstream consumers (Procedure 1, region
+    /// splitting) iterate deterministically under a fixed seed.
+    pub flows: BTreeMap<(HotspotId, HotspotId), u64>,
     /// Total requests moved (`Σ f_ij`).
     pub moved: u64,
     /// The upper bound `maxflow = min(Σ_{Hs} φ_i, Σ_{Ht} φ_j)` of
@@ -74,8 +76,10 @@ impl GdStats {
         }
         let edges = builder.pair_edges.len();
         let mut net = builder.net;
-        let maxflow_at_theta =
-            net.max_flow_dinic(builder.source, builder.sink).expect("valid endpoints") as u64;
+        let maxflow_at_theta = net
+            .max_flow_dinic(builder.source, builder.sink)
+            // lint: allow(no-panic): builder endpoints are two distinct freshly added nodes
+            .expect("valid endpoints") as u64;
         GdStats {
             theta_km,
             hotspot_count: input.hotspot_count(),
@@ -144,6 +148,7 @@ impl GraphBuilder {
             .iter()
             .map(|&(_, phi)| {
                 let node = net.add_node();
+                // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
                 net.add_edge(source, node, phi as i64, 0.0).expect("valid edge");
                 node
             })
@@ -153,6 +158,7 @@ impl GraphBuilder {
             .iter()
             .map(|&(_, phi)| {
                 let node = net.add_node();
+                // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
                 net.add_edge(node, sink, phi as i64, 0.0).expect("valid edge");
                 node
             })
@@ -165,6 +171,7 @@ impl GraphBuilder {
         let e = self
             .net
             .add_edge(self.s_nodes[si], self.t_nodes[ti], capacity as i64, cost_km)
+            // lint: allow(no-panic): cost is a finite non-negative geometry distance
             .expect("valid edge");
         self.pair_edges.push((e, si, ti));
     }
@@ -181,12 +188,16 @@ impl GraphBuilder {
     ) {
         let guide = self.net.add_node();
         for &(si, cap) in sources {
-            let e =
-                self.net.add_edge(self.s_nodes[si], guide, cap as i64, 0.0).expect("valid edge");
+            let e = self
+                .net
+                .add_edge(self.s_nodes[si], guide, cap as i64, 0.0)
+                // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
+                .expect("valid edge");
             self.pair_edges.push((e, si, ti));
         }
         self.net
             .add_edge(guide, self.t_nodes[ti], out_capacity as i64, out_cost)
+            // lint: allow(no-panic): guide cost is a finite non-negative mean of distances
             .expect("valid edge");
     }
 }
@@ -215,7 +226,7 @@ pub(crate) fn balance_filtered(
     let max_movable = parts.max_movable();
     let mut phi_s: Vec<u64> = parts.overloaded.iter().map(|&(_, p)| p).collect();
     let mut phi_t: Vec<u64> = parts.under.iter().map(|&(_, p)| p).collect();
-    let mut flows: HashMap<(HotspotId, HotspotId), u64> = HashMap::new();
+    let mut flows: BTreeMap<(HotspotId, HotspotId), u64> = BTreeMap::new();
     let mut moved = 0u64;
 
     if max_movable > 0 {
@@ -311,16 +322,15 @@ fn solve_round(
         }
         let j_hotspot = parts.under[ti].0;
         let j_cluster = cluster_of.get(j_hotspot).copied().unwrap_or(usize::MAX);
-        // Group candidate sources by content cluster.
-        let mut by_cluster: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+        // Group candidate sources by content cluster; the ordered map
+        // fixes the guide-node construction order (and with it arc ids).
+        let mut by_cluster: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
         for &(si, d) in cands {
             let i_hotspot = parts.overloaded[si].0;
             let i_cluster = cluster_of.get(i_hotspot).copied().unwrap_or(usize::MAX);
             by_cluster.entry(i_cluster).or_default().push((si, d));
         }
-        let mut grouped: Vec<(usize, Vec<(usize, f64)>)> = by_cluster.into_iter().collect();
-        grouped.sort_by_key(|&(k, _)| k);
-        for (k, members) in grouped {
+        for (k, members) in by_cluster {
             let phi_sum: u64 = members.iter().map(|&(si, _)| phi_s[si].min(phi_j)).sum();
             let eligible = phi_sum * 2 >= phi_j || k == j_cluster;
             if eligible && members.len() > 1 {
@@ -344,8 +354,10 @@ fn solve_round(
 
     let pair_edges = std::mem::take(&mut builder.pair_edges);
     let mut net = builder.net;
-    let _ =
-        net.min_cost_max_flow(builder.source, builder.sink, config.mcmf).expect("valid endpoints");
+    let _ = net
+        .min_cost_max_flow(builder.source, builder.sink, config.mcmf)
+        // lint: allow(no-panic): builder endpoints are two distinct freshly added nodes
+        .expect("valid endpoints");
     pair_edges
         .into_iter()
         .filter_map(|(e, si, ti)| {
@@ -360,7 +372,7 @@ fn apply_round(
     round: &[((usize, usize), u64)],
     phi_s: &mut [u64],
     phi_t: &mut [u64],
-    flows: &mut HashMap<(HotspotId, HotspotId), u64>,
+    flows: &mut BTreeMap<(HotspotId, HotspotId), u64>,
     moved: &mut u64,
 ) {
     for &((si, ti), f) in round {

@@ -7,7 +7,7 @@ pub(crate) mod procedure;
 use crate::config::{RbcaerConfig, RobustConfig};
 use ccdn_sim::{Scheme, SlotDecision, SlotInput};
 use ccdn_trace::HotspotId;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The paper's **Request-Balancing and Content-Aggregation** scheduler.
 ///
@@ -56,12 +56,25 @@ impl Rbcaer {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`RbcaerConfig::validate`].
+    /// Panics if `config` fails [`RbcaerConfig::validate`]; use
+    /// [`Rbcaer::try_new`] for the fallible form.
     pub fn new(config: RbcaerConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid RBCAer configuration: {e}");
+        match Self::try_new(config) {
+            Ok(scheduler) => scheduler,
+            // lint: allow(no-panic): documented constructor contract; try_new is the typed path
+            Err(e) => panic!("invalid RBCAer configuration: {e}"),
         }
-        Rbcaer { config }
+    }
+
+    /// Fallible form of [`Rbcaer::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`](crate::ConfigError) when `config` fails
+    /// [`RbcaerConfig::validate`].
+    pub fn try_new(config: RbcaerConfig) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        Ok(Rbcaer { config })
     }
 
     /// The active configuration.
@@ -83,10 +96,39 @@ impl Rbcaer {
         }
     }
 
+    /// Runs the full clustering → balancing → Procedure 1 pipeline on one
+    /// slot and returns the decision, without the robustness post-pass.
+    /// Every output satisfies the plan-feasibility invariants of
+    /// [`crate::validate`]; with the `strict-invariants` feature they are
+    /// asserted here.
+    pub fn plan(&self, input: &SlotInput<'_>) -> SlotDecision {
+        let clusters = self.clusters(input);
+        self.plan_with_clusters(input, &clusters)
+    }
+
+    /// Like [`Rbcaer::plan`], but also returns the intermediate balancing
+    /// outcome — the pair [`crate::validate::check_plan`] consumes.
+    /// Exposed so tests and external validators can audit a plan against
+    /// the flows that produced it.
+    pub fn plan_parts(&self, input: &SlotInput<'_>) -> (balancing::BalanceOutcome, SlotDecision) {
+        let clusters = self.clusters(input);
+        let outcome = balancing::balance(input, &self.config, &clusters);
+        let decision = procedure::content_aggregation_replication(input, &outcome, &self.config);
+        (outcome, decision)
+    }
+
     /// The full pipeline on one (possibly capacity-discounted) input.
-    fn plan(&self, input: &SlotInput<'_>, clusters: &[usize]) -> SlotDecision {
+    fn plan_with_clusters(&self, input: &SlotInput<'_>, clusters: &[usize]) -> SlotDecision {
         let outcome = balancing::balance(input, &self.config, clusters);
-        procedure::content_aggregation_replication(input, &outcome, &self.config)
+        let decision = procedure::content_aggregation_replication(input, &outcome, &self.config);
+        #[cfg(feature = "strict-invariants")]
+        if let Err(violation) =
+            crate::validate::check_plan(input, &self.config, &outcome, &decision)
+        {
+            // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+            panic!("strict-invariants: RBCAer plan violates feasibility: {violation}");
+        }
+        decision
     }
 
     /// Pins each hotspot's hottest videos at `robust.redundancy` nearby
@@ -103,7 +145,7 @@ impl Rbcaer {
         let n = input.hotspot_count();
         let mut budget =
             self.config.replication_budget.map(|b| b.saturating_sub(decision.replica_count()));
-        let mut cached: Vec<HashSet<_>> =
+        let mut cached: Vec<BTreeSet<_>> =
             decision.placements.iter().map(|p| p.iter().copied().collect()).collect();
         let mut spare: Vec<u64> = (0..n)
             .map(|h| input.cache_capacity[h].saturating_sub(cached[h].len() as u64))
@@ -159,7 +201,7 @@ impl Scheme for Rbcaer {
     fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
         let clusters = self.clusters(input);
         match self.config.robustness {
-            None => self.plan(input, &clusters),
+            None => self.plan_with_clusters(input, &clusters),
             Some(robust) => {
                 // Plan with headroom: capacity the expected failures will
                 // eat is not promised, and a cache reserve keeps room for
@@ -181,7 +223,7 @@ impl Scheme for Rbcaer {
                     cache_capacity: &cache,
                     video_count: input.video_count,
                 };
-                let mut decision = self.plan(&planning, &clusters);
+                let mut decision = self.plan_with_clusters(&planning, &clusters);
                 self.add_redundancy(input, &clusters, &robust, &mut decision);
                 decision
             }
@@ -404,7 +446,7 @@ mod tests {
             let scheme =
                 Rbcaer::new(RbcaerConfig { replication_budget: Some(budget), ..robust_config() });
             let clusters = scheme.clusters(&input);
-            let mut decision = scheme.plan(&input, &clusters);
+            let mut decision = scheme.plan_with_clusters(&input, &clusters);
             let planned = decision.replica_count();
             scheme.add_redundancy(&input, &clusters, &RobustConfig::default(), &mut decision);
             let added = decision.replica_count() - planned;
@@ -416,7 +458,7 @@ mod tests {
         // With no budget the pass does add copies.
         let scheme = Rbcaer::new(robust_config());
         let clusters = scheme.clusters(&input);
-        let mut decision = scheme.plan(&input, &clusters);
+        let mut decision = scheme.plan_with_clusters(&input, &clusters);
         let planned = decision.replica_count();
         scheme.add_redundancy(&input, &clusters, &RobustConfig::default(), &mut decision);
         assert!(decision.replica_count() > planned, "unbounded redundancy pass added nothing");

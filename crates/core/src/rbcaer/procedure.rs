@@ -8,7 +8,7 @@ use crate::rbcaer::balancing::BalanceOutcome;
 use crate::serving::serve_locally;
 use ccdn_sim::{SlotDecision, SlotInput, Target};
 use ccdn_trace::{HotspotId, VideoId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Executes Procedure 1 and assembles the slot decision.
 pub(crate) fn content_aggregation_replication(
@@ -20,13 +20,13 @@ pub(crate) fn content_aggregation_replication(
     let mut decision = SlotDecision::new(n);
 
     // Remaining local demand per hotspot, mutated as videos redirect away.
-    let mut remaining: Vec<HashMap<VideoId, u64>> = (0..n)
+    let mut remaining: Vec<BTreeMap<VideoId, u64>> = (0..n)
         .map(|h| input.demand.videos(HotspotId(h)).iter().map(|vd| (vd.video, vd.count)).collect())
         .collect();
 
     // Residual flows f_ij, plus per-target source lists.
-    let mut f: HashMap<(HotspotId, HotspotId), u64> = balance.flows.clone();
-    let mut sources_of: HashMap<HotspotId, Vec<HotspotId>> = HashMap::new();
+    let mut f: BTreeMap<(HotspotId, HotspotId), u64> = balance.flows.clone();
+    let mut sources_of: BTreeMap<HotspotId, Vec<HotspotId>> = BTreeMap::new();
     for &(i, j) in f.keys() {
         sources_of.entry(j).or_default().push(i);
     }
@@ -42,7 +42,7 @@ pub(crate) fn content_aggregation_replication(
     // the per-pair greedy phase below — i.e. pure load balancing with
     // arbitrary video selection.
     let mut eu: Vec<((VideoId, HotspotId), u64)> = if config.content_aggregation {
-        let mut acc: HashMap<(VideoId, HotspotId), u64> = HashMap::new();
+        let mut acc: BTreeMap<(VideoId, HotspotId), u64> = BTreeMap::new();
         for (&(i, j), &fij) in &f {
             for (&video, &demand) in &remaining[i.0] {
                 let ef = fij.min(demand);
@@ -59,12 +59,12 @@ pub(crate) fn content_aggregation_replication(
     eu.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     // Placement bookkeeping.
-    let mut placed: Vec<HashSet<VideoId>> = vec![HashSet::new(); n];
+    let mut placed: Vec<BTreeSet<VideoId>> = vec![BTreeSet::new(); n];
     let mut cache_left: Vec<u64> = input.cache_capacity.to_vec();
     let mut incoming: Vec<u64> = vec![0; n];
     let mut budget = config.replication_budget;
     // Aggregated redirection batches (i, v, j) → count.
-    let mut redirects: HashMap<(HotspotId, VideoId, HotspotId), u64> = HashMap::new();
+    let mut redirects: BTreeMap<(HotspotId, VideoId, HotspotId), u64> = BTreeMap::new();
 
     // Phase 1: consume the e_u-ranked list (lines 8–13). Redirecting
     // (v', j') moves v'-demand from *all* of j'-s sources at once,
@@ -78,17 +78,17 @@ pub(crate) fn content_aggregation_replication(
         }
         let mut moved_any = false;
         for &i in sources {
-            let fij = f.get_mut(&(i, j)).expect("source list is in sync");
+            let Some(fij) = f.get_mut(&(i, j)) else { continue };
             if *fij == 0 {
                 continue;
             }
-            let demand = remaining[i.0].get_mut(&video).map_or(0, |d| *d);
-            let m = (*fij).min(demand);
+            let Some(demand) = remaining[i.0].get_mut(&video) else { continue };
+            let m = (*fij).min(*demand);
             if m == 0 {
                 continue;
             }
             *fij -= m;
-            *remaining[i.0].get_mut(&video).expect("demand exists") -= m;
+            *demand -= m;
             *redirects.entry((i, video, j)).or_insert(0) += m;
             incoming[j.0] += m;
             moved_any = true;
@@ -145,7 +145,9 @@ pub(crate) fn content_aggregation_replication(
             let Some((video, demand, cached)) = best else { break };
             let m = fij.min(demand);
             fij -= m;
-            *remaining[i.0].get_mut(&video).expect("demand exists") -= m;
+            if let Some(d) = remaining[i.0].get_mut(&video) {
+                *d -= m;
+            }
             *redirects.entry((i, video, j)).or_insert(0) += m;
             incoming[j.0] += m;
             if !cached {
@@ -159,10 +161,9 @@ pub(crate) fn content_aggregation_replication(
         }
     }
 
-    // Emit redirection assignments deterministically.
-    let mut batches: Vec<_> = redirects.into_iter().collect();
-    batches.sort_unstable_by_key(|&((i, v, j), _)| (i, v, j));
-    for ((i, video, j), count) in batches {
+    // Emit redirection assignments; `BTreeMap` iteration is already
+    // (i, v, j)-ordered, so the emission order is deterministic.
+    for ((i, video, j), count) in redirects {
         decision.assign(i, video, Target::Hotspot(j), count);
     }
 
@@ -244,7 +245,7 @@ mod tests {
     }
 
     fn flows(entries: &[(usize, usize, u64)]) -> BalanceOutcome {
-        let mut f = HashMap::new();
+        let mut f = BTreeMap::new();
         let mut moved = 0;
         for &(i, j, m) in entries {
             f.insert((HotspotId(i), HotspotId(j)), m);

@@ -1,6 +1,6 @@
 use ccdn_sim::{SlotDecision, Target};
 use ccdn_trace::{HotspotId, VideoId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Outcome of [`serve_locally`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,7 +28,7 @@ pub(crate) fn serve_locally(
     decision: &mut SlotDecision,
     h: HotspotId,
     demand: &[(VideoId, u64)],
-    already_placed: &HashSet<VideoId>,
+    already_placed: &BTreeSet<VideoId>,
     mut cache_slots_left: u64,
     mut capacity_left: u64,
     replication_budget: &mut Option<u64>,
@@ -84,7 +84,8 @@ mod tests {
     #[test]
     fn serves_most_popular_first_under_tight_capacity() {
         let mut d = SlotDecision::new(1);
-        let out = serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 6, &mut None);
+        let out =
+            serve_locally(&mut d, HotspotId(0), &demand(), &BTreeSet::new(), 10, 6, &mut None);
         assert_eq!(out.served, 6);
         assert_eq!(out.to_cdn, 3);
         // v1 fully served, v2 partially (1 of 3), v3 unserved but not placed
@@ -97,7 +98,7 @@ mod tests {
     fn cache_limit_spills_to_cdn() {
         let mut d = SlotDecision::new(1);
         let out =
-            serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 1, 100, &mut None);
+            serve_locally(&mut d, HotspotId(0), &demand(), &BTreeSet::new(), 1, 100, &mut None);
         assert_eq!(out.served, 5);
         assert_eq!(out.to_cdn, 4);
         assert_eq!(d.placements[0], vec![VideoId(1)]);
@@ -106,7 +107,7 @@ mod tests {
     #[test]
     fn already_placed_videos_consume_no_cache_slot() {
         let mut d = SlotDecision::new(1);
-        let pinned: HashSet<VideoId> = [VideoId(2)].into_iter().collect();
+        let pinned: BTreeSet<VideoId> = [VideoId(2)].into_iter().collect();
         let out = serve_locally(&mut d, HotspotId(0), &demand(), &pinned, 1, 100, &mut None);
         // v1 takes the single slot; v2 rides the pinned placement; v3 spills.
         assert_eq!(out.served, 8);
@@ -119,7 +120,7 @@ mod tests {
         let mut d = SlotDecision::new(1);
         let mut budget = Some(1);
         let out =
-            serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 100, &mut budget);
+            serve_locally(&mut d, HotspotId(0), &demand(), &BTreeSet::new(), 10, 100, &mut budget);
         assert_eq!(d.placements[0].len(), 1);
         assert_eq!(out.served, 5);
         assert_eq!(out.to_cdn, 4);
@@ -129,7 +130,8 @@ mod tests {
     #[test]
     fn zero_capacity_serves_nothing_and_places_nothing() {
         let mut d = SlotDecision::new(1);
-        let out = serve_locally(&mut d, HotspotId(0), &demand(), &HashSet::new(), 10, 0, &mut None);
+        let out =
+            serve_locally(&mut d, HotspotId(0), &demand(), &BTreeSet::new(), 10, 0, &mut None);
         assert_eq!(out.served, 0);
         assert_eq!(out.to_cdn, 9);
         assert!(d.placements[0].is_empty());
@@ -142,7 +144,7 @@ mod tests {
             &mut d,
             HotspotId(0),
             &[(VideoId(1), 0)],
-            &HashSet::new(),
+            &BTreeSet::new(),
             10,
             10,
             &mut None,

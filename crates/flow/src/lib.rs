@@ -44,6 +44,7 @@
 mod dinic;
 mod mcmf;
 mod network;
+pub mod validate;
 
 pub use mcmf::{McmfAlgorithm, McmfResult};
 pub use network::{EdgeId, EdgeView, FlowError, FlowNetwork};

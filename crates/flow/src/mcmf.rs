@@ -99,15 +99,25 @@ impl FlowNetwork {
         algorithm: McmfAlgorithm,
     ) -> Result<McmfResult, FlowError> {
         self.check_endpoints(source, sink)?;
-        match algorithm {
-            McmfAlgorithm::SspDijkstra => Ok(self.mcmf_dijkstra(source, sink)),
-            McmfAlgorithm::Spfa => Ok(self.mcmf_spfa(source, sink)),
-            McmfAlgorithm::CycleCanceling => Ok(self.mcmf_cycle_canceling(source, sink)),
+        let result = match algorithm {
+            McmfAlgorithm::SspDijkstra => self.mcmf_dijkstra(source, sink),
+            McmfAlgorithm::Spfa => self.mcmf_spfa(source, sink),
+            McmfAlgorithm::CycleCanceling => self.mcmf_cycle_canceling(source, sink)?,
+        };
+        #[cfg(feature = "strict-invariants")]
+        if let Err(violation) = crate::validate::check_mcmf_optimal(self, source, sink) {
+            // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+            panic!("strict-invariants: MCMF solution is not optimal: {violation}");
         }
+        Ok(result)
     }
 
-    fn mcmf_cycle_canceling(&mut self, source: usize, sink: usize) -> McmfResult {
-        let flow = self.max_flow_dinic(source, sink).expect("endpoints pre-validated");
+    fn mcmf_cycle_canceling(
+        &mut self,
+        source: usize,
+        sink: usize,
+    ) -> Result<McmfResult, FlowError> {
+        let flow = self.max_flow_dinic(source, sink)?;
         let n = self.node_count();
         // Cancel negative residual cycles found by Bellman–Ford from a
         // virtual super-source (distance 0 to every node).
@@ -172,7 +182,7 @@ impl FlowNetwork {
         }
         // Recompute the cost from the recorded edge flows.
         let cost = self.edges().iter().map(|e| e.flow as f64 * e.cost).sum();
-        McmfResult { flow, cost }
+        Ok(McmfResult { flow, cost })
     }
 
     /// Computes a **minimum-cost flow of value at most `limit`** from
@@ -214,7 +224,13 @@ impl FlowNetwork {
         if limit < 0 {
             return Err(FlowError::NegativeCapacity);
         }
-        Ok(self.mcmf_dijkstra_bounded(source, sink, limit))
+        let result = self.mcmf_dijkstra_bounded(source, sink, limit);
+        #[cfg(feature = "strict-invariants")]
+        if let Err(violation) = crate::validate::check_min_cost_flow(self, source, sink) {
+            // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+            panic!("strict-invariants: bounded min-cost flow is not optimal: {violation}");
+        }
+        Ok(result)
     }
 
     fn mcmf_dijkstra(&mut self, source: usize, sink: usize) -> McmfResult {

@@ -296,6 +296,7 @@ fn simplex_min(
     for r in 0..m {
         let b = basis[r];
         let factor = obj_row[b];
+        // lint: allow(float-eq): exact-zero sparsity skip, not a tolerance comparison
         if factor != 0.0 {
             for c in 0..=total {
                 obj_row[c] -= factor * tableau[r][c];
@@ -343,6 +344,7 @@ fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) 
     for r in 0..tableau.len() {
         if r != row {
             let factor = tableau[r][col];
+            // lint: allow(float-eq): exact-zero sparsity skip, not a tolerance comparison
             if factor != 0.0 {
                 for c in 0..=total {
                     tableau[r][c] -= factor * tableau[row][c];
@@ -363,6 +365,7 @@ fn pivot_with_obj(
     pivot(tableau, basis, row, col);
     let total = obj_row.len() - 1;
     let factor = obj_row[col];
+    // lint: allow(float-eq): exact-zero sparsity skip, not a tolerance comparison
     if factor != 0.0 {
         for c in 0..=total {
             obj_row[c] -= factor * tableau[row][c];

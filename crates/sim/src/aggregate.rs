@@ -1,6 +1,6 @@
 use crate::HotspotGeometry;
 use ccdn_trace::{HotspotId, Request, VideoId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Demand for one video at one hotspot during a timeslot — an entry of the
 /// paper's `λ_hv`.
@@ -53,9 +53,11 @@ impl SlotDemand {
         assert!(n > 0 || requests.is_empty(), "cannot aggregate onto zero hotspots");
         let mut per_hotspot = vec![0u64; n];
         let mut base_distance_sum = vec![0.0f64; n];
-        let mut maps: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); n];
+        let mut maps: Vec<BTreeMap<VideoId, u64>> = vec![BTreeMap::new(); n];
         for r in requests {
-            let (h, d) = geometry.nearest(r.location).expect("non-empty geometry");
+            // With no hotspots there is nobody to attribute demand to;
+            // such requests can only ever be CDN-served and are skipped.
+            let Some((h, d)) = geometry.nearest(r.location) else { continue };
             per_hotspot[h.0] += 1;
             base_distance_sum[h.0] += d;
             *maps[h.0].entry(r.video).or_insert(0) += 1;

@@ -60,6 +60,7 @@ impl ChurnModel {
 impl From<ChurnModel> for FailureModel {
     fn from(churn: ChurnModel) -> FailureModel {
         FailureModel::iid(churn.offline_probability, churn.seed)
+            // lint: allow(no-panic): ChurnModel::new validated the probability at construction
             .expect("ChurnModel validated the probability at construction")
     }
 }

@@ -62,6 +62,7 @@ mod online;
 mod predict;
 mod runner;
 mod scheme;
+pub mod validate;
 
 pub use aggregate::{SlotDemand, VideoDemand};
 #[allow(deprecated)]

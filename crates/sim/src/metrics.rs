@@ -1,6 +1,6 @@
 use crate::{SlotDecision, SlotInput, Target};
 use ccdn_trace::{HotspotId, VideoId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A constraint violation detected while scoring a [`SlotDecision`].
@@ -128,10 +128,10 @@ impl SlotMetrics {
         }
 
         // Placement sets, checked for duplicates and cache capacity.
-        let mut cached: Vec<HashMap<VideoId, ()>> = vec![HashMap::new(); n];
+        let mut cached: Vec<BTreeSet<VideoId>> = vec![BTreeSet::new(); n];
         for (h, placement) in decision.placements.iter().enumerate() {
             for &v in placement {
-                if cached[h].insert(v, ()).is_some() {
+                if !cached[h].insert(v) {
                     return Err(ValidationError::DuplicatePlacement {
                         hotspot: HotspotId(h),
                         video: v,
@@ -149,7 +149,7 @@ impl SlotMetrics {
         }
 
         // Aggregate assignments per (from, video) and per target hotspot.
-        let mut assigned: HashMap<(HotspotId, VideoId), u64> = HashMap::new();
+        let mut assigned: BTreeMap<(HotspotId, VideoId), u64> = BTreeMap::new();
         let mut served_at: Vec<u64> = vec![0; n];
         let mut hotspot_served = 0u64;
         let mut cdn_served = 0u64;
@@ -158,7 +158,7 @@ impl SlotMetrics {
             *assigned.entry((a.from, a.video)).or_insert(0) += a.count;
             match a.target {
                 Target::Hotspot(j) => {
-                    if !cached[j.0].contains_key(&a.video) {
+                    if !cached[j.0].contains(&a.video) {
                         return Err(ValidationError::NotCached { hotspot: j, video: a.video });
                     }
                     served_at[j.0] += a.count;

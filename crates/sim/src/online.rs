@@ -43,7 +43,7 @@ use crate::{
     ValidationError,
 };
 use ccdn_trace::{Trace, VideoId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Outcome of one online slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,13 +105,13 @@ pub struct OnlineReport {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CacheState {
-    cached: Vec<HashSet<VideoId>>,
+    cached: Vec<BTreeSet<VideoId>>,
 }
 
 impl CacheState {
     /// Empty caches for `hotspot_count` hotspots.
     pub fn new(hotspot_count: usize) -> Self {
-        CacheState { cached: vec![HashSet::new(); hotspot_count] }
+        CacheState { cached: vec![BTreeSet::new(); hotspot_count] }
     }
 
     /// Clears hotspot `h`'s cache (the device failed; its disk contents
@@ -123,14 +123,14 @@ impl CacheState {
     /// Replaces hotspot `h`'s cache with `placement` and returns how many
     /// of the videos are *new* — the delta the CDN must push this slot.
     pub fn apply(&mut self, h: usize, placement: &[VideoId]) -> u64 {
-        let next: HashSet<VideoId> = placement.iter().copied().collect();
+        let next: BTreeSet<VideoId> = placement.iter().copied().collect();
         let delta = next.difference(&self.cached[h]).count() as u64;
         self.cached[h] = next;
         delta
     }
 
     /// Current contents of hotspot `h`'s cache.
-    pub fn cached(&self, h: usize) -> &HashSet<VideoId> {
+    pub fn cached(&self, h: usize) -> &BTreeSet<VideoId> {
         &self.cached[h]
     }
 }
@@ -377,14 +377,20 @@ impl<'a> OnlineRunner<'a> {
             stale_alive = true_alive;
         }
 
-        Ok(OnlineReport {
+        let report = OnlineReport {
             scheme: scheme.name().to_owned(),
             predictor: predictor_name,
             slots,
             total,
             failed_over: total_failed_over,
             orphaned: total_orphaned,
-        })
+        };
+        #[cfg(feature = "strict-invariants")]
+        if let Err(violation) = crate::validate::check_report(&report) {
+            // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+            panic!("strict-invariants: online report breaks slot accounting: {violation}");
+        }
+        Ok(report)
     }
 }
 
@@ -420,7 +426,7 @@ pub fn route_with_failover(
     radius_km: f64,
 ) -> (SlotDecision, FailoverStats) {
     let n = planned_placements.len();
-    let planned_cached: Vec<HashSet<VideoId>> =
+    let planned_cached: Vec<BTreeSet<VideoId>> =
         planned_placements.iter().map(|p| p.iter().copied().collect()).collect();
 
     // Effective placements: an offline hotspot's cache is unreachable.
@@ -430,7 +436,7 @@ pub fn route_with_failover(
             placements[h].clear();
         }
     }
-    let cached: Vec<HashSet<VideoId>> =
+    let cached: Vec<BTreeSet<VideoId>> =
         placements.iter().map(|p| p.iter().copied().collect()).collect();
 
     let mut decision = SlotDecision::new(n);
@@ -502,7 +508,7 @@ fn forecast_error(forecast: &SlotDemand, actual: &SlotDemand) -> f64 {
     let mut err = 0.0f64;
     for h in 0..actual.hotspot_count() {
         let hid = ccdn_trace::HotspotId(h);
-        let mut f: std::collections::HashMap<VideoId, i64> =
+        let mut f: std::collections::BTreeMap<VideoId, i64> =
             forecast.videos(hid).iter().map(|vd| (vd.video, vd.count as i64)).collect();
         for vd in actual.videos(hid) {
             let predicted = f.remove(&vd.video).unwrap_or(0);

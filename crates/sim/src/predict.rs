@@ -16,7 +16,7 @@
 
 use crate::{SlotDemand, VideoDemand};
 use ccdn_trace::{HotspotId, VideoId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Forecasts the next slot's per-hotspot per-video demand from the
 /// history of observed demand.
@@ -32,13 +32,13 @@ pub trait PopularityPredictor {
     fn predict(&self) -> Option<SlotDemand>;
 }
 
-fn demand_to_rates(demand: &SlotDemand) -> Vec<HashMap<VideoId, f64>> {
+fn demand_to_rates(demand: &SlotDemand) -> Vec<BTreeMap<VideoId, f64>> {
     (0..demand.hotspot_count())
         .map(|h| demand.videos(HotspotId(h)).iter().map(|vd| (vd.video, vd.count as f64)).collect())
         .collect()
 }
 
-fn rates_to_demand(rates: &[HashMap<VideoId, f64>], base: &[f64]) -> SlotDemand {
+fn rates_to_demand(rates: &[BTreeMap<VideoId, f64>], base: &[f64]) -> SlotDemand {
     let per_video: Vec<Vec<VideoDemand>> = rates
         .iter()
         .map(|m| {
@@ -104,7 +104,7 @@ impl PopularityPredictor for LastSlot {
 #[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
-    rates: Option<Vec<HashMap<VideoId, f64>>>,
+    rates: Option<Vec<BTreeMap<VideoId, f64>>>,
     base: Vec<f64>,
 }
 
@@ -161,7 +161,7 @@ impl PopularityPredictor for Ewma {
 #[derive(Debug, Clone)]
 pub struct WindowMean {
     window: usize,
-    history: std::collections::VecDeque<Vec<HashMap<VideoId, f64>>>,
+    history: std::collections::VecDeque<Vec<BTreeMap<VideoId, f64>>>,
     base: Vec<f64>,
 }
 
@@ -196,7 +196,7 @@ impl PopularityPredictor for WindowMean {
             return None;
         }
         let n = self.history[0].len();
-        let mut mean: Vec<HashMap<VideoId, f64>> = vec![HashMap::new(); n];
+        let mut mean: Vec<BTreeMap<VideoId, f64>> = vec![BTreeMap::new(); n];
         for slot in &self.history {
             for (acc, obs) in mean.iter_mut().zip(slot) {
                 for (&video, &count) in obs {
@@ -277,7 +277,7 @@ impl PopularityPredictor for SeasonalNaive {
 pub struct HoltLinear {
     alpha: f64,
     beta: f64,
-    state: Option<Vec<HashMap<VideoId, (f64, f64)>>>,
+    state: Option<Vec<BTreeMap<VideoId, (f64, f64)>>>,
     base: Vec<f64>,
 }
 
@@ -334,7 +334,7 @@ impl PopularityPredictor for HoltLinear {
 
     fn predict(&self) -> Option<SlotDemand> {
         self.state.as_ref().map(|state| {
-            let rates: Vec<HashMap<VideoId, f64>> = state
+            let rates: Vec<BTreeMap<VideoId, f64>> = state
                 .iter()
                 .map(|pairs| {
                     pairs
@@ -435,7 +435,7 @@ mod tests {
         let mut expected = 0u64;
         for h in 0..predicted.hotspot_count() {
             let hid = HotspotId(h);
-            let mut union: std::collections::HashMap<VideoId, f64> = HashMap::new();
+            let mut union: BTreeMap<VideoId, f64> = BTreeMap::new();
             for d in [&ds[21], &ds[22]] {
                 for vd in d.videos(hid) {
                     *union.entry(vd.video).or_insert(0.0) += vd.count as f64 / 2.0;

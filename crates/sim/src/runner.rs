@@ -114,6 +114,11 @@ impl<'a> Runner<'a> {
             let elapsed = start.elapsed();
             scheduling_time += elapsed;
             let metrics = SlotMetrics::evaluate(&input, &decision)?;
+            #[cfg(feature = "strict-invariants")]
+            if let Err(violation) = crate::validate::check_slot_accounting(&metrics) {
+                // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+                panic!("strict-invariants: slot {slot} breaks demand conservation: {violation}");
+            }
             total.add(&metrics);
             slots.push(SlotOutcome { slot, metrics, scheduling_time: elapsed });
         }

@@ -2,7 +2,7 @@ use crate::{HotspotGeometry, SlotDemand};
 use ccdn_trace::{HotspotId, VideoId};
 
 /// Where a batch of requests is served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Target {
     /// Served by an edge hotspot (possibly the one the requests
     /// aggregated at).

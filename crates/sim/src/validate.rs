@@ -1,0 +1,180 @@
+//! Slot-accounting validators for simulation results.
+//!
+//! Every request in a slot is served somewhere — by a hotspot or by the
+//! CDN (the paper's Eq. 4) — so the scored tallies must conserve demand
+//! exactly. These checks catch accounting bugs (double counting, dropped
+//! batches) that the per-decision constraint validation cannot see:
+//!
+//! - [`check_slot_accounting`] — `hotspot_served + cdn_served =
+//!   total_requests` on a scored [`SlotMetrics`];
+//! - [`check_slot_outcome`] — the same, plus the failover tallies of an
+//!   online slot: rescued requests (`failed_over`) are a subset of the
+//!   hotspot-served ones and orphaned requests a subset of the
+//!   CDN-served ones;
+//! - [`check_report`] — a whole [`OnlineReport`]: every slot passes, and
+//!   the report's totals equal the per-slot sums.
+//!
+//! The functions are always available; with the `strict-invariants`
+//! feature the runners also execute them on every slot and abort on
+//! violation.
+
+use crate::{OnlineReport, OnlineSlotOutcome, SlotMetrics};
+use std::fmt;
+
+/// A violated accounting invariant, with context for debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountingViolation(String);
+
+impl AccountingViolation {
+    fn new(msg: impl Into<String>) -> Self {
+        AccountingViolation(msg.into())
+    }
+}
+
+impl fmt::Display for AccountingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for AccountingViolation {}
+
+/// Checks demand conservation on one scored slot: every request is
+/// served by exactly one of hotspot or CDN.
+///
+/// # Errors
+///
+/// [`AccountingViolation`] when the tallies do not sum to the demand.
+pub fn check_slot_accounting(metrics: &SlotMetrics) -> Result<(), AccountingViolation> {
+    let served = metrics.hotspot_served + metrics.cdn_served;
+    if served != metrics.total_requests {
+        return Err(AccountingViolation::new(format!(
+            "hotspot_served {} + cdn_served {} = {served} ≠ total_requests {}",
+            metrics.hotspot_served, metrics.cdn_served, metrics.total_requests
+        )));
+    }
+    if !metrics.distance_sum_km.is_finite() || metrics.distance_sum_km < 0.0 {
+        return Err(AccountingViolation::new(format!(
+            "distance sum {} km is not a finite non-negative number",
+            metrics.distance_sum_km
+        )));
+    }
+    Ok(())
+}
+
+/// Checks one online slot: demand conservation plus failover-tally
+/// bounds. Disrupted requests either failed over to an alive hotspot (so
+/// they are hotspot-served) or fell to the CDN (so they are CDN-served).
+///
+/// # Errors
+///
+/// The first [`AccountingViolation`] found, if any.
+pub fn check_slot_outcome(outcome: &OnlineSlotOutcome) -> Result<(), AccountingViolation> {
+    check_slot_accounting(&outcome.metrics)?;
+    if outcome.failed_over > outcome.metrics.hotspot_served {
+        return Err(AccountingViolation::new(format!(
+            "slot {}: failed_over {} exceeds hotspot_served {}",
+            outcome.slot, outcome.failed_over, outcome.metrics.hotspot_served
+        )));
+    }
+    if outcome.orphaned > outcome.metrics.cdn_served {
+        return Err(AccountingViolation::new(format!(
+            "slot {}: orphaned {} exceeds cdn_served {}",
+            outcome.slot, outcome.orphaned, outcome.metrics.cdn_served
+        )));
+    }
+    Ok(())
+}
+
+/// Checks a full online report: every slot passes
+/// [`check_slot_outcome`], and the report-level totals are exactly the
+/// per-slot sums.
+///
+/// # Errors
+///
+/// The first [`AccountingViolation`] found, if any.
+pub fn check_report(report: &OnlineReport) -> Result<(), AccountingViolation> {
+    let mut requests = 0u64;
+    let mut hotspot = 0u64;
+    let mut cdn = 0u64;
+    let mut failed_over = 0u64;
+    let mut orphaned = 0u64;
+    for outcome in &report.slots {
+        check_slot_outcome(outcome)?;
+        requests += outcome.metrics.total_requests;
+        hotspot += outcome.metrics.hotspot_served;
+        cdn += outcome.metrics.cdn_served;
+        failed_over += outcome.failed_over;
+        orphaned += outcome.orphaned;
+    }
+    if report.total.slots as usize != report.slots.len() {
+        return Err(AccountingViolation::new(format!(
+            "totals accumulated {} slots but the report lists {}",
+            report.total.slots,
+            report.slots.len()
+        )));
+    }
+    let sums = &report.total.sums;
+    if (sums.total_requests, sums.hotspot_served, sums.cdn_served) != (requests, hotspot, cdn) {
+        return Err(AccountingViolation::new(format!(
+            "report totals ({}, {}, {}) disagree with per-slot sums ({requests}, {hotspot}, {cdn})",
+            sums.total_requests, sums.hotspot_served, sums.cdn_served
+        )));
+    }
+    if (report.failed_over, report.orphaned) != (failed_over, orphaned) {
+        return Err(AccountingViolation::new(format!(
+            "report failover totals ({}, {}) disagree with per-slot sums \
+             ({failed_over}, {orphaned})",
+            report.failed_over, report.orphaned
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(total: u64, hotspot: u64, cdn: u64) -> SlotMetrics {
+        SlotMetrics {
+            total_requests: total,
+            hotspot_served: hotspot,
+            cdn_served: cdn,
+            replicas: 0,
+            distance_sum_km: 0.0,
+            video_count: 10,
+        }
+    }
+
+    #[test]
+    fn balanced_slot_passes() {
+        check_slot_accounting(&metrics(10, 7, 3)).unwrap();
+    }
+
+    #[test]
+    fn dropped_requests_are_caught() {
+        assert!(check_slot_accounting(&metrics(10, 6, 3)).is_err());
+    }
+
+    #[test]
+    fn double_counted_requests_are_caught() {
+        assert!(check_slot_accounting(&metrics(10, 7, 4)).is_err());
+    }
+
+    #[test]
+    fn failover_tally_bounds() {
+        let ok = OnlineSlotOutcome {
+            slot: 0,
+            metrics: metrics(10, 7, 3),
+            forecast_error: 0.0,
+            offline_hotspots: 1,
+            failed_over: 7,
+            orphaned: 3,
+        };
+        check_slot_outcome(&ok).unwrap();
+        let bad = OnlineSlotOutcome { failed_over: 8, ..ok.clone() };
+        assert!(check_slot_outcome(&bad).is_err());
+        let bad = OnlineSlotOutcome { orphaned: 4, ..ok };
+        assert!(check_slot_outcome(&bad).is_err());
+    }
+}

@@ -88,6 +88,7 @@ impl Cdf {
     /// Panics if `q` is outside `[0, 1]` or NaN.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        // lint: allow(float-eq): exact sentinel — q = 0 must short-circuit before rank arithmetic
         if q == 0.0 {
             return self.sorted[0];
         }
@@ -114,6 +115,7 @@ impl Cdf {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
+        // lint: allow(no-panic): Cdf construction rejects empty samples, so `sorted` is non-empty
         *self.sorted.last().expect("cdf is never empty")
     }
 
@@ -144,6 +146,7 @@ impl Cdf {
     /// median", §II-A). Returns `None` when the median is zero.
     pub fn quantile_to_median_ratio(&self, q: f64) -> Option<f64> {
         let m = self.median();
+        // lint: allow(float-eq): division-by-zero guard; any nonzero median is a valid divisor
         (m != 0.0).then(|| self.quantile(q) / m)
     }
 }

@@ -76,6 +76,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, CorrelationError> {
         sxx += dx * dx;
         syy += dy * dy;
     }
+    // lint: allow(float-eq): exact-zero variance makes the correlation undefined; not a tolerance
     if sxx == 0.0 || syy == 0.0 {
         return Err(CorrelationError::ZeroVariance);
     }

@@ -48,12 +48,14 @@ impl Summary {
             std_dev: var.sqrt(),
             min: v[0],
             median: v[v.len().div_ceil(2) - 1],
+            // lint: allow(no-panic): the empty-input case returned None above
             max: *v.last().expect("non-empty"),
         })
     }
 
     /// Coefficient of variation (`std_dev / mean`); `None` when mean is 0.
     pub fn coefficient_of_variation(&self) -> Option<f64> {
+        // lint: allow(float-eq): division-by-zero guard; any nonzero mean is a valid divisor
         (self.mean != 0.0).then(|| self.std_dev / self.mean)
     }
 }
@@ -148,6 +150,7 @@ pub fn gini(values: &[f64]) -> Option<f64> {
         return None;
     }
     let sum: f64 = values.iter().sum();
+    // lint: allow(float-eq): exact-zero guard — the Gini index is undefined for all-zero input
     if sum == 0.0 {
         return None;
     }
@@ -178,6 +181,7 @@ pub fn jain_fairness(values: &[f64]) -> Option<f64> {
     }
     let sum: f64 = values.iter().sum();
     let sq: f64 = values.iter().map(|v| v * v).sum();
+    // lint: allow(float-eq): exact-zero guard — Jain fairness is undefined for all-zero input
     if sq == 0.0 {
         return None;
     }

@@ -85,6 +85,7 @@ impl Zipf {
     ///
     /// Panics if `k` is out of range.
     pub fn pmf(&self, k: usize) -> f64 {
+        // lint: allow(no-panic): Zipf::new rejects an empty support, so `cumulative` is non-empty
         let total = *self.cumulative.last().expect("non-empty support");
         let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
         (self.cumulative[k] - prev) / total
@@ -92,6 +93,7 @@ impl Zipf {
 
     /// Samples a rank in `0..support_len()`; rank 0 is the most popular.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // lint: allow(no-panic): Zipf::new rejects an empty support, so `cumulative` is non-empty
         let total = *self.cumulative.last().expect("non-empty support");
         let u = rng.gen_range(0.0..total);
         self.cumulative.partition_point(|&c| c <= u)
@@ -108,6 +110,7 @@ impl Zipf {
     /// Panics if `mass` is outside `[0, 1]`.
     pub fn head_count(&self, mass: f64) -> usize {
         assert!((0.0..=1.0).contains(&mass), "mass must be in [0, 1]");
+        // lint: allow(no-panic): Zipf::new rejects an empty support, so `cumulative` is non-empty
         let total = *self.cumulative.last().expect("non-empty support");
         self.cumulative.partition_point(|&c| c < mass * total) + 1
     }

@@ -54,6 +54,7 @@ impl VideoCatalog {
     pub fn new(count: usize, zipf_alpha: f64, locality: f64, seed: u64) -> Self {
         assert!(count > 0, "catalog must be non-empty");
         assert!((0.0..=1.0).contains(&locality), "locality must be in [0, 1]");
+        // lint: allow(no-panic): documented panic — the constructor's contract rejects invalid alpha
         let zipf = Zipf::new(count, zipf_alpha).expect("valid zipf parameters");
         let global_perm = permutation(count, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         VideoCatalog { count, zipf, locality, seed, global_perm }

@@ -121,6 +121,7 @@ impl DiurnalProfile {
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(h, _)| h as u32)
+            // lint: allow(no-panic): `weights` is a fixed-size [f64; 24], never empty
             .expect("profile has 24 hours")
     }
 }

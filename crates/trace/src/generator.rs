@@ -422,6 +422,7 @@ impl TraceConfig {
     /// Panics when [`try_generate`](Self::try_generate) would error — use
     /// that method when the configuration comes from untrusted input.
     pub fn generate(&self) -> Trace {
+        // lint: allow(no-panic): documented panicking wrapper — callers wanting errors use try_generate
         self.try_generate().expect("valid trace configuration")
     }
 }

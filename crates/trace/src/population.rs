@@ -88,6 +88,7 @@ impl PopulationModel {
     /// `background == 0`.
     pub fn new(region: Rect, clusters: Vec<PopulationCluster>, background: f64) -> Self {
         assert!(
+            // lint: allow(float-eq): exact boundary sentinel — only background = 1.0 exactly may drop clusters
             (0.0..1.0).contains(&background) || (background == 1.0 && clusters.is_empty()),
             "background must be in [0, 1]"
         );

@@ -1,0 +1,63 @@
+//! Workspace automation tasks (`cargo xtask` pattern, offline, std-only).
+//!
+//! Currently one subcommand: `lint`, the ccdn-lint token-level checker.
+//! Run it as `cargo run -p xtask -- lint`. See [`lint`] for the rule set
+//! and the waiver syntax.
+
+mod lint;
+mod source;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [ROOT]");
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  lint    run ccdn-lint over the workspace library sources");
+}
+
+/// Locates the workspace root: the parent of the directory holding this
+/// crate's manifest, falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let manifest = PathBuf::from(dir);
+            match manifest.parent().and_then(|p| p.parent()) {
+                Some(root) => root.to_path_buf(),
+                None => PathBuf::from("."),
+            }
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(workspace_root);
+            match lint::run(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("ccdn-lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for finding in &findings {
+                        println!("{finding}");
+                    }
+                    println!("ccdn-lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("ccdn-lint: error: {err}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}

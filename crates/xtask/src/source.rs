@@ -1,0 +1,285 @@
+//! Source preprocessing for ccdn-lint.
+//!
+//! Turns a Rust source file into two parallel per-line views:
+//!
+//! - the **code view**, with comment bodies and string/char literal
+//!   contents blanked to spaces (so token scans never match inside
+//!   documentation, messages, or literals), and
+//! - the **comment view**, holding only comment text (where `lint:
+//!   allow(...)` waivers live).
+//!
+//! It also marks lines that belong to `#[cfg(test)]`-gated items, which
+//! the lint rules skip entirely. The tokenizer is deliberately small: it
+//! understands line/block comments (nested), string, raw-string, byte
+//! and char literals, and tells lifetimes apart from char literals. That
+//! is enough to scan this workspace; it is not a general Rust lexer.
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text on the line.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits `text` into per-line code/comment views and marks test-gated
+/// lines.
+pub fn preprocess(text: &str) -> Vec<Line> {
+    let mut lines = split_views(text);
+    mark_test_blocks(&mut lines);
+    lines
+}
+
+fn split_views(text: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                    if let Some(len) = raw_string_open(&chars[i..]) {
+                        let hashes = chars[i..i + len].iter().filter(|&&h| h == '#').count();
+                        state = State::RawStr(hashes as u32);
+                        code.push('"');
+                        for _ in 0..len.saturating_sub(1) {
+                            code.push(' ');
+                        }
+                        i += len;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == 'b' && next == Some('"') {
+                    state = State::Str;
+                    code.push_str(" \"");
+                    i += 2;
+                } else if c == 'b' && next == Some('\'') {
+                    state = State::Char;
+                    code.push_str(" '");
+                    i += 2;
+                } else if c == '\'' {
+                    // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                    let is_lifetime = match next {
+                        Some(n) if n.is_alphabetic() || n == '_' => {
+                            chars.get(i + 2).copied() != Some('\'')
+                        }
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        code.push(c);
+                        i += 1;
+                    } else {
+                        state = State::Char;
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth > 1 { State::BlockComment(depth - 1) } else { State::Normal };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Normal;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars[i..], hashes) {
+                    state = State::Normal;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Normal;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment, in_test: false });
+    }
+    lines
+}
+
+/// Length of a raw-string opener (`r"`, `r#"`, `r##"`, ...) at the start
+/// of `chars`, or `None` if this is not one.
+fn raw_string_open(chars: &[char]) -> Option<usize> {
+    let mut i = 1; // past the `r`
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    (chars.get(i) == Some(&'"')).then_some(i + 1)
+}
+
+/// True when the `"` at `chars[0]` is followed by `hashes` `#`s.
+fn closes_raw_string(chars: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// Marks every line belonging to a `#[cfg(test)]`-gated item by tracking
+/// the brace depth of the block that follows the attribute.
+fn mark_test_blocks(lines: &mut [Line]) {
+    let mut pending_attr = false;
+    let mut depth: i64 = 0;
+    let mut in_block = false;
+    for line in lines.iter_mut() {
+        if !in_block && !pending_attr && line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            line.in_test = true;
+            // Attribute and opening brace may share a line.
+        }
+        if pending_attr || in_block {
+            line.in_test = true;
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if pending_attr {
+                            pending_attr = false;
+                            in_block = true;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if in_block && depth == 0 {
+                            in_block = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lines = preprocess("let x = 1; // HashMap here\nlet s = \"unwrap()\";\n");
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].code.contains('"'));
+    }
+
+    #[test]
+    fn strips_block_comments_and_nesting() {
+        let lines = preprocess("a /* x /* y */ z */ b\n");
+        assert!(lines[0].code.contains('a'));
+        assert!(lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains('x'));
+        assert!(!lines[0].code.contains('z'));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let lines =
+            preprocess("let r = r#\"panic!()\"#; let c = '\\''; let l: &'static str = s;\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn marks_cfg_test_blocks() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = preprocess(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+}
