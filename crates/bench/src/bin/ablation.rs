@@ -10,7 +10,7 @@
 //! - replication budget `B_peak`.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 use ccdn_cluster::Linkage;
 use ccdn_core::{GuideCost, Rbcaer, RbcaerConfig};
 use ccdn_flow::McmfAlgorithm;
@@ -18,7 +18,9 @@ use ccdn_sim::Runner;
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== RBCAer ablation study (single-slot eval preset) ==\n");
+    let threads = init_threads();
+    println!("== RBCAer ablation study (single-slot eval preset) ==");
+    println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
     let runner = Runner::new(&trace);
 

@@ -7,62 +7,15 @@
 //! index of utilization (served / capacity) on the single-slot
 //! paper-scale instance.
 
-use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
-use ccdn_core::{LocalRandom, Nearest, Rbcaer, RbcaerConfig};
-use ccdn_sim::{served_loads, utilization_fairness, Scheme, SlotDemand, SlotInput, SlotMetrics};
-use ccdn_stats::Cdf;
+use ccdn_bench::{figures, init_threads};
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Post-scheduling load balance (single-slot eval preset) ==\n");
-    let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
-    let geometry = ccdn_sim::HotspotGeometry::new(trace.region, &trace.hotspots);
-    let demand = SlotDemand::aggregate(trace.slot_requests(0), &geometry);
-    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
-    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
-    let input = SlotInput {
-        geometry: &geometry,
-        demand: &demand,
-        service_capacity: &service,
-        cache_capacity: &cache,
-        video_count: trace.video_count,
-    };
-
-    // The pre-scheduling demand skew (Fig. 2's statistic).
-    let demand_cdf = Cdf::from_samples(demand.loads().iter().map(|&l| l as f64)).expect("loads");
-    println!(
-        "aggregated demand: median {:.0}, p99/median {:.1}x (the skew RBCAer must fix)\n",
-        demand_cdf.median(),
-        demand_cdf.quantile_to_median_ratio(0.99).unwrap_or(f64::NAN)
-    );
-
-    let mut schemes: Vec<Box<dyn Scheme>> = vec![
-        Box::new(Rbcaer::new(RbcaerConfig::default())),
-        Box::new(Nearest::new()),
-        Box::new(LocalRandom::new(1.5, 42)),
-    ];
-    let mut table =
-        Table::new(&["scheme", "served median", "served p99", "p99/median", "jain utilization"]);
-    let mut csv = Vec::new();
-    for scheme in &mut schemes {
-        let decision = scheme.schedule(&input);
-        SlotMetrics::evaluate(&input, &decision).expect("scheme validates");
-        let served = served_loads(input.hotspot_count(), &decision);
-        let cdf = Cdf::from_samples(served.iter().map(|&l| l as f64)).expect("served");
-        let jain = utilization_fairness(&service, &decision).unwrap_or(0.0);
-        table.row(&[
-            scheme.name().to_string(),
-            f3(cdf.median()),
-            f3(cdf.quantile(0.99)),
-            cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into()),
-            f3(jain),
-        ]);
-        csv.push(format!("{},{},{},{}", scheme.name(), cdf.median(), cdf.quantile(0.99), jain));
-    }
-    table.print();
-    let path = write_csv("balance", "scheme,served_median,served_p99,jain", &csv);
-    announce_csv("load balance", &path);
+    let threads = init_threads();
+    println!("== Post-scheduling load balance (single-slot eval preset) ==");
+    println!("threads: {threads}");
+    let report = figures::balance(&TraceConfig::paper_eval().with_slot_count(1));
+    report.print_and_write();
     println!("\nRBCAer narrows the served-load distribution and lifts utilization");
     println!("fairness: overflow that Nearest routes to the CDN instead fills the");
     println!("idle neighbours' capacity.");

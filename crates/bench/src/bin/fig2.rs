@@ -7,63 +7,14 @@
 //! distribution but inflates the content replication cost by ≈10 %
 //! (1 km) / ≈23 % (5 km) over Nearest.
 
-use ccdn_bench::measurement::{nearest_routing, random_routing};
-use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
-use ccdn_sim::HotspotGeometry;
-use ccdn_stats::Cdf;
+use ccdn_bench::{figures, init_threads};
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Fig. 2: hotspot workload distribution (measurement preset) ==\n");
-    let config = TraceConfig::measurement_city();
-    let trace = config.generate();
-    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
-    println!(
-        "trace: {} hotspots, {} requests, {} videos\n",
-        trace.hotspots.len(),
-        trace.requests.len(),
-        trace.video_count
-    );
-
-    let strategies: Vec<(&str, ccdn_bench::measurement::RoutingLoads)> = vec![
-        ("Nearest", nearest_routing(&trace.requests, &geometry)),
-        ("Random-1km", random_routing(&trace.requests, &geometry, 1.0, 2)),
-        ("Random-5km", random_routing(&trace.requests, &geometry, 5.0, 2)),
-    ];
-
-    let mut skew = Table::new(&["strategy", "median", "p99", "p99/median", "max"]);
-    let mut csv_rows = Vec::new();
-    for (name, loads) in &strategies {
-        let cdf =
-            Cdf::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("non-empty loads");
-        skew.row(&[
-            name.to_string(),
-            f3(cdf.median()),
-            f3(cdf.quantile(0.99)),
-            cdf.quantile_to_median_ratio(0.99).map(f3).unwrap_or_else(|| "n/a".into()),
-            f3(cdf.max()),
-        ]);
-        for (x, y) in cdf.curve(200) {
-            csv_rows.push(format!("{name},{x},{y}"));
-        }
-    }
-    skew.print();
-    let path = write_csv("fig2_workload_cdf", "strategy,workload,cdf", &csv_rows);
-    announce_csv("workload CDF series", &path);
-
-    println!("\n-- §II-A replication cost (Σ distinct videos per hotspot, rel. to Nearest) --");
-    let nearest_cost = strategies[0].1.total_replication() as f64;
-    let mut rep = Table::new(&["strategy", "replication", "vs Nearest"]);
-    for (name, loads) in &strategies {
-        let cost = loads.total_replication() as f64;
-        rep.row(&[
-            name.to_string(),
-            format!("{cost:.0}"),
-            format!("{:+.1}%", (cost / nearest_cost - 1.0) * 100.0),
-        ]);
-    }
-    rep.print();
-
+    let threads = init_threads();
+    println!("== Fig. 2: hotspot workload distribution (measurement preset) ==");
+    println!("threads: {threads}");
+    let report = figures::fig2(&TraceConfig::measurement_city());
+    report.print_and_write();
     println!("\npaper: Nearest p99/median ≈ 9x; Random replication +10% (1km) / +23% (5km)");
 }

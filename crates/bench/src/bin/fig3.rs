@@ -8,93 +8,18 @@
 //!   (paper: similarity spreads over ≈0.1–0.8 and *rises* as sampling
 //!   thins the deployment, i.e. as each hotspot covers a larger region).
 
-use ccdn_bench::measurement::{nearest_routing, top_content_sets};
-use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
-use ccdn_cluster::jaccard;
-use ccdn_sim::HotspotGeometry;
-use ccdn_stats::{spearman, Cdf};
-use ccdn_trace::{Hotspot, HotspotId, TraceConfig};
-
-const PAIR_RADIUS_KM: f64 = 5.0;
+use ccdn_bench::{figures, init_threads};
+use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Fig. 3: cooperation potential (measurement preset) ==\n");
-    let trace = TraceConfig::measurement_city().generate();
-    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+    let threads = init_threads();
+    println!("== Fig. 3: cooperation potential (measurement preset) ==");
+    println!("threads: {threads}");
+    let report = figures::fig3(&TraceConfig::measurement_city());
+    report.print_and_write();
     println!(
-        "trace: {} hotspots, {} requests, {} videos",
-        trace.hotspots.len(),
-        trace.requests.len(),
-        trace.video_count
-    );
-
-    // ---- (a) workload correlation ----
-    println!("\n-- Fig. 3a: Spearman workload correlation, pairs < 5 km --");
-    let loads = nearest_routing(&trace.requests, &geometry);
-    let pairs = geometry.pairs_within(PAIR_RADIUS_KM);
-    println!("pairs within {PAIR_RADIUS_KM} km: {}", pairs.len());
-    let mut correlations = Vec::new();
-    for &(a, b) in &pairs {
-        let xa: Vec<f64> = loads.hourly[a.0].iter().map(|&v| v as f64).collect();
-        let xb: Vec<f64> = loads.hourly[b.0].iter().map(|&v| v as f64).collect();
-        if let Ok(r) = spearman(&xa, &xb) {
-            correlations.push(r);
-        }
-    }
-    let cdf = Cdf::from_samples(correlations.iter().copied()).expect("pairs exist");
-    let below_04 = cdf.fraction_at_most(0.4);
-    let mut t = Table::new(&["statistic", "value"]);
-    t.row(&["pairs correlated".into(), cdf.len().to_string()]);
-    t.row(&["median correlation".into(), f3(cdf.median())]);
-    t.row(&["fraction below 0.4".into(), f3(below_04)]);
-    t.print();
-    let rows: Vec<String> = cdf.curve(200).into_iter().map(|(x, y)| format!("{x},{y}")).collect();
-    let path = write_csv("fig3a_workload_correlation_cdf", "correlation,cdf", &rows);
-    announce_csv("correlation CDF", &path);
-    println!("paper: ~70% of pairs below 0.4");
-
-    // ---- (b) content similarity across sample ratios ----
-    println!("\n-- Fig. 3b: Jaccard similarity of Top-20% sets, pairs < 5 km --");
-    let mut table = Table::new(&["sample ratio", "pairs", "p10", "median", "p90"]);
-    let mut csv_rows = Vec::new();
-    let ratios: [(&str, f64); 4] = [("100%", 1.0), ("50%", 0.5), ("15%", 0.15), ("3%", 0.03)];
-    for &(label, ratio) in &ratios {
-        // Deterministic sample: every k-th hotspot.
-        let step = (1.0 / ratio).round() as usize;
-        let sampled: Vec<Hotspot> = trace.hotspots.iter().step_by(step.max(1)).copied().collect();
-        let sub_geometry = HotspotGeometry::new(trace.region, &sampled);
-        let sets = top_content_sets(&trace.requests, &sub_geometry, 0.2);
-        let sub_pairs = sub_geometry.pairs_within(PAIR_RADIUS_KM);
-        let mut sims = Vec::new();
-        for &(a, b) in &sub_pairs {
-            let (a, b): (HotspotId, HotspotId) = (a, b);
-            if sets[a.0].is_empty() && sets[b.0].is_empty() {
-                continue; // two idle hotspots say nothing about content
-            }
-            sims.push(jaccard(&sets[a.0], &sets[b.0]));
-        }
-        if sims.is_empty() {
-            table.row(&[label.to_string(), "0".into()]);
-            continue;
-        }
-        let cdf = Cdf::from_samples(sims.iter().copied()).expect("non-empty");
-        table.row(&[
-            label.to_string(),
-            cdf.len().to_string(),
-            f3(cdf.quantile(0.10)),
-            f3(cdf.median()),
-            f3(cdf.quantile(0.90)),
-        ]);
-        for (x, y) in cdf.curve(200) {
-            csv_rows.push(format!("{label},{x},{y}"));
-        }
-    }
-    table.print();
-    let path = write_csv("fig3b_content_similarity_cdf", "sample_ratio,jaccard,cdf", &csv_rows);
-    announce_csv("similarity CDFs", &path);
-    println!(
-        "paper: similarity diverse (~0.1-0.8) at full density; rises as the\n\
-         sample thins (each hotspot covers a larger region)"
+        "\npaper: ~70% of correlations below 0.4; similarity diverse (~0.1-0.8)\n\
+         at full density and rises as the sample thins (each hotspot covers\n\
+         a larger region)"
     );
 }

@@ -4,39 +4,19 @@
 //! Emits the raw scatter data as CSV and prints a coarse ASCII density map
 //! plus summary statistics of the spatial skew.
 
-use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
-use ccdn_stats::{gini, Summary};
+use ccdn_bench::{figures, init_threads};
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Fig. 5: geo-distribution of requests and hotspots (eval preset) ==\n");
-    let trace = TraceConfig::paper_eval().generate();
-    println!(
-        "trace: {} hotspots, {} requests, {} videos in {:.0} km x {:.0} km\n",
-        trace.hotspots.len(),
-        trace.requests.len(),
-        trace.video_count,
-        trace.region.width(),
-        trace.region.height()
-    );
+    let threads = init_threads();
+    println!("== Fig. 5: geo-distribution of requests and hotspots (eval preset) ==");
+    println!("threads: {threads}");
+    let config = TraceConfig::paper_eval();
+    let report = figures::fig5(&config);
 
-    let hotspot_rows: Vec<String> =
-        trace.hotspots.iter().map(|h| format!("{},{}", h.location.x, h.location.y)).collect();
-    let path = write_csv("fig5_hotspots", "x_km,y_km", &hotspot_rows);
-    announce_csv("hotspot scatter", &path);
-
-    // Subsample requests for the CSV (every 10th), full set for the map.
-    let request_rows: Vec<String> = trace
-        .requests
-        .iter()
-        .step_by(10)
-        .map(|r| format!("{},{}", r.location.x, r.location.y))
-        .collect();
-    let path = write_csv("fig5_requests", "x_km,y_km", &request_rows);
-    announce_csv("request scatter (1:10 sample)", &path);
-
-    // ASCII density map: 34 x 11 cells of 0.5 km x 1 km.
+    // The ASCII density map stays a binary-only nicety (the golden suite
+    // snapshots the CSV blocks, which carry the same grid statistics).
+    let trace = config.generate();
     const COLS: usize = 34;
     const ROWS: usize = 11;
     let mut grid = [[0u64; COLS]; ROWS];
@@ -46,7 +26,7 @@ fn main() {
         grid[cy.min(ROWS - 1)][cx.min(COLS - 1)] += 1;
     }
     let max = grid.iter().flatten().copied().max().unwrap_or(1).max(1);
-    println!("\nrequest density ('.' low → '#' high), hotspots marked at scale:");
+    println!("\nrequest density ('.' low → '#' high):");
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#'];
     for row in (0..ROWS).rev() {
         let line: String = (0..COLS)
@@ -58,13 +38,6 @@ fn main() {
         println!("  |{line}|");
     }
 
-    // Spatial skew statistics of the per-cell request counts.
-    let cells: Vec<f64> = grid.iter().flatten().map(|&v| v as f64).collect();
-    let summary = Summary::from_samples(cells.iter().copied()).expect("cells exist");
-    let mut t = Table::new(&["statistic", "value"]);
-    t.row(&["requests/cell mean".into(), f3(summary.mean)]);
-    t.row(&["requests/cell max".into(), f3(summary.max)]);
-    t.row(&["density gini".into(), gini(&cells).map(f3).unwrap_or_else(|| "n/a".into())]);
-    t.print();
+    report.print_and_write();
     println!("\npaper: requests concentrate in a few dense pockets; hotspots co-locate with them");
 }

@@ -8,10 +8,12 @@
 //! the baselines around capacity 5 %.
 
 use ccdn_bench::evaluation::{print_panels, sweep};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 
 fn main() {
+    let threads = init_threads();
     println!("== Fig. 6: performance vs service capacity (cache fixed at 3%) ==");
+    println!("threads: {threads}");
     let fractions = [0.02, 0.03, 0.04, 0.05, 0.06, 0.07];
     let points = sweep(&fractions, |config, f| {
         config.with_service_capacity_fraction(f).with_cache_capacity_fraction(0.03)

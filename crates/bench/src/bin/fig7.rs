@@ -9,10 +9,12 @@
 //! with RBCAer ≈20 % below the baselines at the sweet spot near 1 %.
 
 use ccdn_bench::evaluation::{print_panels, sweep};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 
 fn main() {
+    let threads = init_threads();
     println!("== Fig. 7: performance vs cache size (capacity fixed at 5%) ==");
+    println!("threads: {threads}");
     let fractions = [0.005, 0.007, 0.009, 0.01, 0.03, 0.05];
     let points = sweep(&fractions, |config, f| {
         config.with_service_capacity_fraction(0.05).with_cache_capacity_fraction(f)

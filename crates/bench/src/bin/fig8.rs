@@ -7,45 +7,26 @@
 //! (orders of magnitude) is the result, not the absolute seconds.
 
 use ccdn_bench::table::Table;
-use ccdn_bench::{announce_csv, write_csv};
-use ccdn_core::{LocalRandom, LpBased, LpBasedConfig, Nearest, Rbcaer, RbcaerConfig};
-use ccdn_sim::{Runner, Scheme};
+use ccdn_bench::{announce_csv, figures, init_threads, write_csv};
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Fig. 8: scheduling running time (single-slot eval preset) ==\n");
-    let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
-    println!(
-        "trace: {} hotspots, {} requests, {} videos\n",
-        trace.hotspots.len(),
-        trace.requests.len(),
-        trace.video_count
-    );
-    let runner = Runner::new(&trace);
+    let threads = init_threads();
+    println!("== Fig. 8: scheduling running time (single-slot eval preset) ==");
+    println!("threads: {threads}");
+    let config = TraceConfig::paper_eval().with_slot_count(1);
+    let (report, times) = figures::fig8(&config);
+    report.print_and_write();
 
-    let mut schemes: Vec<(Box<dyn Scheme>, &str)> = vec![
-        (
-            Box::new(LpBased::new(LpBasedConfig { max_pairs: 400, ..LpBasedConfig::default() })),
-            "LP relaxation capped at the 400 highest-demand (hotspot,video) pairs",
-        ),
-        (Box::new(Rbcaer::new(RbcaerConfig::default())), "full instance"),
-        (Box::new(LocalRandom::new(1.5, 42)), "full instance"),
-        (Box::new(Nearest::new()), "full instance"),
-    ];
-
-    let mut table = Table::new(&["scheme", "time", "serving", "cdn-load", "note"]);
+    // Wall-clock times are inherently non-deterministic, so they live
+    // outside the golden-snapshotted report.
+    let mut table = Table::new(&["scheme", "time"]);
     let mut csv = Vec::new();
-    for (scheme, note) in &mut schemes {
-        let report = runner.run(scheme.as_mut()).expect("scheme validates");
-        table.row(&[
-            report.scheme.clone(),
-            format!("{:?}", report.scheduling_time),
-            format!("{:.3}", report.total.hotspot_serving_ratio()),
-            format!("{:.3}", report.total.cdn_server_load()),
-            note.to_string(),
-        ]);
-        csv.push(format!("{},{}", report.scheme, report.scheduling_time.as_secs_f64()));
+    for (scheme, time) in &times {
+        table.row(&[scheme.clone(), format!("{time:?}")]);
+        csv.push(format!("{scheme},{}", time.as_secs_f64()));
     }
+    println!("\n-- scheduling wall-clock time --");
     table.print();
     let path = write_csv("fig8_running_time", "scheme,seconds", &csv);
     announce_csv("running times", &path);

@@ -9,13 +9,15 @@
 //! cheap without sacrificing balance.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 use ccdn_core::GdStats;
 use ccdn_sim::{Runner, SlotDemand, SlotInput};
 use ccdn_trace::TraceConfig;
 
 fn main() {
-    println!("== Fig. 9: influence of the threshold theta on Gd ==\n");
+    let threads = init_threads();
+    println!("== Fig. 9: influence of the threshold theta on Gd ==");
+    println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
     let runner = Runner::new(&trace);
     let geometry = runner.geometry();
@@ -32,9 +34,11 @@ fn main() {
 
     let mut table = Table::new(&["theta (km)", "edges", "% of |V|^2", "maxflow", "% of maxflow"]);
     let mut csv = Vec::new();
-    let mut theta = 0.0;
-    while theta <= 7.51 {
-        let stats = GdStats::compute(&input, theta);
+    // The sweep points are independent: GdStats::compute_sweep fans them
+    // out over the worker pool and returns them in theta order.
+    let thetas: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+    for stats in GdStats::compute_sweep(&input, &thetas) {
+        let theta = stats.theta_km;
         table.row(&[
             format!("{theta:.1}"),
             stats.edges.to_string(),
@@ -49,7 +53,6 @@ fn main() {
             stats.maxflow_at_theta,
             stats.flow_fraction()
         ));
-        theta += 0.5;
     }
     table.print();
     let path = write_csv(

@@ -8,7 +8,7 @@
 //! predictors (last-slot, EWMA, 4-slot window mean).
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 use ccdn_core::{Nearest, Rbcaer, RbcaerConfig};
 use ccdn_sim::{
     Ewma, HoltLinear, LastSlot, OnlineReport, OnlineRunner, Scheme, SeasonalNaive, WindowMean,
@@ -20,7 +20,9 @@ fn schemes() -> Vec<Box<dyn Scheme>> {
 }
 
 fn main() {
-    println!("== Online simulation: persistent caches + popularity prediction ==\n");
+    let threads = init_threads();
+    println!("== Online simulation: persistent caches + popularity prediction ==");
+    println!("threads: {threads}\n");
     // Per-slot scaling: the full-day capacities of the offline evaluation
     // would leave every hotspot under-loaded within a single hour, so size
     // service capacity to the *hourly* demand (mean ≈ 28 requests/hotspot/

@@ -16,7 +16,7 @@
 //! k-redundant placement of each hotspot's hottest videos.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 use ccdn_core::{Nearest, Rbcaer, RbcaerConfig, RobustConfig};
 use ccdn_sim::{FailureModel, OnlineReport, OnlineRunner, Scheme};
 use ccdn_trace::{Trace, TraceConfig};
@@ -43,7 +43,9 @@ fn run(trace: &Trace, scheme: &mut dyn Scheme, failures: Option<FailureModel>) -
 }
 
 fn main() {
-    println!("== Resilience: degradation under stateful hotspot failures ==\n");
+    let threads = init_threads();
+    println!("== Resilience: degradation under stateful hotspot failures ==");
+    println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval()
         .with_hotspot_count(100)
         .with_request_count(120_000)

@@ -8,13 +8,71 @@
 //! for its runtime headroom.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, write_csv};
+use ccdn_bench::{announce_csv, init_threads, write_csv};
 use ccdn_core::{HierarchicalRbcaer, Nearest, Rbcaer, RbcaerConfig};
 use ccdn_sim::{Runner, Scheme};
 use ccdn_trace::TraceConfig;
+use std::time::Instant;
+
+/// Times one closure in seconds (single shot — the workloads are seconds
+/// long, so run-to-run noise is small relative to the speedup measured).
+fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Parallel speedup of the deterministic worker pool on the two hottest
+/// data-parallel stages: sharded trace synthesis and the θ-sweep `Gd`
+/// construction. Output is bit-identical across thread counts (asserted
+/// here), so the only thing the pool changes is the wall-clock.
+fn parallel_speedup() -> Vec<String> {
+    use ccdn_core::GdStats;
+    use ccdn_sim::{SlotDemand, SlotInput};
+
+    println!("\n== Parallel speedup (deterministic pool, threads 1 vs 4) ==\n");
+    let mut table = Table::new(&["stage", "t1 (s)", "t4 (s)", "speedup"]);
+    let mut csv = Vec::new();
+
+    // Stage 1: sharded trace synthesis.
+    let config = TraceConfig::paper_eval().with_request_count(800_000);
+    let (seq, t1) = time_secs(|| config.clone().with_threads(1).generate());
+    let (par, t4) = time_secs(|| config.clone().with_threads(4).generate());
+    assert_eq!(seq.requests, par.requests, "trace synthesis must be thread-count invariant");
+    table.row(&["trace synthesis".into(), f3(t1), f3(t4), f3(t1 / t4)]);
+    csv.push(format!("trace_synthesis,{t1},{t4},{}", t1 / t4));
+
+    // Stage 2: θ-sweep Gd construction + max flow per point.
+    let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
+    let runner = Runner::new(&trace);
+    let demand = SlotDemand::aggregate(trace.slot_requests(0), runner.geometry());
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    let input = SlotInput {
+        geometry: runner.geometry(),
+        demand: &demand,
+        service_capacity: &service,
+        cache_capacity: &cache,
+        video_count: trace.video_count,
+    };
+    let thetas: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+    ccdn_par::set_threads(1);
+    let (seq, t1) = time_secs(|| GdStats::compute_sweep(&input, &thetas));
+    ccdn_par::set_threads(4);
+    let (par, t4) = time_secs(|| GdStats::compute_sweep(&input, &thetas));
+    ccdn_par::set_threads(0);
+    assert_eq!(seq, par, "theta sweep must be thread-count invariant");
+    table.row(&["theta sweep".into(), f3(t1), f3(t4), f3(t1 / t4)]);
+    csv.push(format!("theta_sweep,{t1},{t4},{}", t1 / t4));
+
+    table.print();
+    csv
+}
 
 fn main() {
-    println!("== Scalability: flat vs hierarchical RBCAer ==\n");
+    let threads = init_threads();
+    println!("== Scalability: flat vs hierarchical RBCAer ==");
+    println!("threads: {threads}\n");
     // A wide cooperation radius makes the flat MCMF dense — the regime
     // where decomposition pays.
     let config = RbcaerConfig { theta2_km: 6.0, ..RbcaerConfig::default() };
@@ -60,4 +118,9 @@ fn main() {
     let path =
         write_csv("scalability", "hotspots,scheme,serving,distance_km,cdn_load,seconds", &csv);
     announce_csv("scalability sweep", &path);
+
+    let speedup_csv = parallel_speedup();
+    let path =
+        write_csv("scalability_speedup", "stage,t1_seconds,t4_seconds,speedup", &speedup_csv);
+    announce_csv("parallel speedup", &path);
 }

@@ -12,6 +12,8 @@ use ccdn_stats::{Cdf, Summary};
 use ccdn_trace::TraceConfig;
 
 fn main() {
+    let threads = ccdn_bench::init_threads();
+    println!("threads: {threads}");
     let args: Vec<String> = std::env::args().collect();
     let mut config = TraceConfig::paper_eval().with_slot_count(1);
     let alpha = args.get(1).and_then(|s| s.parse().ok());

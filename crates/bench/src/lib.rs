@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod evaluation;
+pub mod figures;
 pub mod measurement;
 pub mod table;
 
@@ -53,4 +54,26 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// Prints a one-line pointer to an emitted CSV.
 pub fn announce_csv(what: &str, path: &Path) {
     println!("  [csv] {what} -> {}", path.display());
+}
+
+/// Parses the `--threads N` / `--threads=N` flag every bench binary
+/// shares and installs it as the process-wide worker-pool override (see
+/// [`ccdn_par::set_threads`]); returns the effective thread count.
+///
+/// The flag never changes a figure's numbers — every parallel stage in
+/// the workspace merges in input order, so output is bit-identical for
+/// any value. Only wall-clock time moves.
+pub fn init_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_owned)
+        };
+        if let Some(n) = value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            ccdn_par::set_threads(n);
+        }
+    }
+    ccdn_par::current_threads()
 }

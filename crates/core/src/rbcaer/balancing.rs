@@ -3,6 +3,7 @@
 
 use crate::config::{GuideCost, RbcaerConfig};
 use ccdn_flow::{EdgeId, FlowNetwork};
+use ccdn_par::Threads;
 use ccdn_sim::SlotInput;
 use ccdn_trace::HotspotId;
 use std::collections::BTreeMap;
@@ -87,6 +88,14 @@ impl GdStats {
             maxflow_at_theta,
             max_movable: parts.max_movable(),
         }
+    }
+
+    /// [`GdStats::compute`] over a whole θ sweep: the data points are
+    /// independent, so they fan out over the worker pool and come back in
+    /// `thetas` order (the resolved thread count never changes the
+    /// values, only the wall-clock time).
+    pub fn compute_sweep(input: &SlotInput<'_>, thetas: &[f64]) -> Vec<GdStats> {
+        ccdn_par::par_map(Threads::Auto, thetas, |&theta| GdStats::compute(input, theta))
     }
 }
 
@@ -214,13 +223,24 @@ pub(crate) fn balance(
     balance_filtered(input, config, cluster_of, &|_, _| true)
 }
 
+/// One planned arc of a balancing round, computed per under-utilized slot
+/// in parallel and then applied to the [`GraphBuilder`] sequentially in
+/// `ti` order — edge/node ids (and with them MCMF tie-breaking) stay
+/// identical to the sequential construction.
+enum EdgePlan {
+    /// A direct `i → j` arc.
+    Direct { si: usize, capacity: u64, cost_km: f64 },
+    /// A flow-guide node draining `sources` into `j` (§IV-B).
+    Guide { sources: Vec<(usize, u64)>, out_capacity: u64, out_cost: f64 },
+}
+
 /// [`balance`] restricted to hotspot pairs `allow_pair(i, j)` — the hook
 /// the hierarchical scheduler uses to keep level-1 flows intra-region.
 pub(crate) fn balance_filtered(
     input: &SlotInput<'_>,
     config: &RbcaerConfig,
     cluster_of: &[usize],
-    allow_pair: &dyn Fn(usize, usize) -> bool,
+    allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> BalanceOutcome {
     let parts = Participants::from_input(input);
     let max_movable = parts.max_movable();
@@ -282,54 +302,55 @@ fn solve_round(
     theta: f64,
     with_guides: bool,
     cluster_of: &[usize],
-    allow_pair: &dyn Fn(usize, usize) -> bool,
+    allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> Vec<((usize, usize), u64)> {
     let mut builder = GraphBuilder::new(&Participants {
         overloaded: parts.overloaded.iter().zip(phi_s).map(|(&(h, _), &p)| (h, p)).collect(),
         under: parts.under.iter().zip(phi_t).map(|(&(h, _), &p)| (h, p)).collect(),
     });
 
-    // Candidate edges under the threshold.
-    let mut candidates: Vec<Vec<(usize, f64)>> = vec![Vec::new(); parts.under.len()];
-    for (si, &(i, _)) in parts.overloaded.iter().enumerate() {
-        if phi_s[si] == 0 {
-            continue;
-        }
-        for (ti, &(j, _)) in parts.under.iter().enumerate() {
-            if phi_t[ti] == 0 {
-                continue;
-            }
-            if !allow_pair(i, j) {
-                continue;
-            }
-            let d = input.geometry.distance(HotspotId(i), HotspotId(j));
-            if d < theta {
-                candidates[ti].push((si, d));
-            }
-        }
-    }
-
-    for (ti, cands) in candidates.iter().enumerate() {
+    // The per-under-hotspot subproblem — candidate scan under the
+    // threshold plus flow-guide grouping — is pure, so it fans out over
+    // the worker pool; the resulting plans are applied to the builder
+    // sequentially in `ti` order below, which pins node/edge ids (and
+    // with them MCMF tie-breaking) to the sequential construction.
+    let under_ids: Vec<usize> = (0..parts.under.len()).collect();
+    let plans: Vec<Vec<EdgePlan>> = ccdn_par::par_map(Threads::Auto, &under_ids, |&ti| {
         let phi_j = phi_t[ti];
-        if cands.is_empty() || phi_j == 0 {
-            continue;
+        if phi_j == 0 {
+            return Vec::new();
+        }
+        let j = parts.under[ti].0;
+        // Candidate edges under the threshold, in ascending `si` order.
+        let cands: Vec<(usize, f64)> = parts
+            .overloaded
+            .iter()
+            .enumerate()
+            .filter(|&(si, &(i, _))| phi_s[si] > 0 && allow_pair(i, j))
+            .filter_map(|(si, &(i, _))| {
+                let d = input.geometry.distance(HotspotId(i), HotspotId(j));
+                (d < theta).then_some((si, d))
+            })
+            .collect();
+        if cands.is_empty() {
+            return Vec::new();
         }
         if !with_guides {
-            for &(si, d) in cands {
-                builder.direct_edge(si, ti, phi_s[si].min(phi_j), d);
-            }
-            continue;
+            return cands
+                .into_iter()
+                .map(|(si, d)| EdgePlan::Direct { si, capacity: phi_s[si].min(phi_j), cost_km: d })
+                .collect();
         }
-        let j_hotspot = parts.under[ti].0;
-        let j_cluster = cluster_of.get(j_hotspot).copied().unwrap_or(usize::MAX);
+        let j_cluster = cluster_of.get(j).copied().unwrap_or(usize::MAX);
         // Group candidate sources by content cluster; the ordered map
         // fixes the guide-node construction order (and with it arc ids).
         let mut by_cluster: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
-        for &(si, d) in cands {
+        for &(si, d) in &cands {
             let i_hotspot = parts.overloaded[si].0;
             let i_cluster = cluster_of.get(i_hotspot).copied().unwrap_or(usize::MAX);
             by_cluster.entry(i_cluster).or_default().push((si, d));
         }
+        let mut plan = Vec::new();
         for (k, members) in by_cluster {
             let phi_sum: u64 = members.iter().map(|&(si, _)| phi_s[si].min(phi_j)).sum();
             let eligible = phi_sum * 2 >= phi_j || k == j_cluster;
@@ -343,10 +364,24 @@ fn solve_round(
                     }
                     GuideCost::PaperLiteral => phi_sum as f64 / members.len() as f64,
                 };
-                builder.guide_node(&sources, ti, out_capacity, out_cost);
+                plan.push(EdgePlan::Guide { sources, out_capacity, out_cost });
             } else {
                 for &(si, d) in &members {
-                    builder.direct_edge(si, ti, phi_s[si].min(phi_j), d);
+                    plan.push(EdgePlan::Direct { si, capacity: phi_s[si].min(phi_j), cost_km: d });
+                }
+            }
+        }
+        plan
+    });
+
+    for (ti, plan) in plans.into_iter().enumerate() {
+        for p in plan {
+            match p {
+                EdgePlan::Direct { si, capacity, cost_km } => {
+                    builder.direct_edge(si, ti, capacity, cost_km);
+                }
+                EdgePlan::Guide { sources, out_capacity, out_cost } => {
+                    builder.guide_node(&sources, ti, out_capacity, out_cost);
                 }
             }
         }

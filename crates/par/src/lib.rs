@@ -1,0 +1,265 @@
+//! Deterministic parallel execution for the crowdsourced-CDN workspace.
+//!
+//! Every hot path in the reproduction — per-slot planning, the θ-sweep
+//! `Gd` construction, trace synthesis, figure benches — fans out over
+//! independent work items whose results must merge **in item order** so
+//! that seeded runs stay bit-exact. This crate is the only place in the
+//! workspace allowed to spawn threads (enforced by the `thread-spawn`
+//! ccdn-lint rule): it provides an ordered-join `par_map` built on
+//! `std::thread::scope`, with zero dependencies.
+//!
+//! # Determinism contract
+//!
+//! [`par_map`] and [`par_map_indexed`] return results in input order, and
+//! each result is a pure function of `(index, item)` — never of thread
+//! scheduling. A caller that keeps its closure free of shared mutable
+//! state therefore produces **bit-identical** output for every thread
+//! count, including the sequential `threads = 1` path, which runs the
+//! same chunk-dispenser code on the calling thread rather than a special
+//! case.
+//!
+//! # Thread-count configuration
+//!
+//! Effective thread count resolves in order:
+//!
+//! 1. an explicit [`Threads::Fixed`] passed by the caller (builder APIs
+//!    like `Runner::with_threads` end up here);
+//! 2. the process-wide override set by [`set_threads`] (bench binaries'
+//!    `--threads N` flag);
+//! 3. the `CCDN_THREADS` environment variable (CI matrix);
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = ccdn_par::par_map(ccdn_par::Threads::Fixed(4), &[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! // Same input, sequential path: bit-identical output.
+//! let seq = ccdn_par::par_map(ccdn_par::Threads::Fixed(1), &[1, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, seq);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Thread-count selection for one parallel entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Resolve from the process override, `CCDN_THREADS`, then the
+    /// machine's available parallelism.
+    #[default]
+    Auto,
+    /// Exactly this many worker threads (`0` is treated as `1`;
+    /// `1` runs sequentially on the calling thread).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The effective worker count this selection resolves to (≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => {
+                let o = OVERRIDE.load(Ordering::Relaxed);
+                if o > 0 {
+                    o
+                } else {
+                    *env_default()
+                }
+            }
+        }
+    }
+}
+
+/// Process-wide override (`0` = unset), set by `--threads` style flags.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide thread count used by [`Threads::Auto`]
+/// (`0` clears the override). Bench binaries call this from their
+/// `--threads N` flag before any parallel work starts.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+fn env_default() -> &'static usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    DEFAULT.get_or_init(|| {
+        match std::env::var("CCDN_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// The thread count [`Threads::Auto`] currently resolves to.
+pub fn current_threads() -> usize {
+    Threads::Auto.resolve()
+}
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// input order. Chunking is automatic (a few chunks per worker for load
+/// balance); chunk boundaries never affect results, only scheduling.
+///
+/// With `threads` resolving to 1 the map runs on the calling thread
+/// through the same dispenser code path — output is bit-identical for
+/// every thread count as long as `f` is a pure function of its item.
+pub fn par_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(threads, 0, items, |_, item| f(item))
+}
+
+/// [`par_map`] with the item index passed to the closure and an explicit
+/// `chunk_size` (`0` = automatic). Use a fixed chunk size when the caller
+/// wants work units that are stable across machines (e.g. the trace
+/// generator's seeded shards — though there the *seeding*, not the
+/// chunking, is what fixes the output).
+pub fn par_map_indexed<T, R, F>(threads: Threads, chunk_size: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.resolve();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = if chunk_size > 0 {
+        chunk_size
+    } else {
+        // A few chunks per worker keeps the pool busy when item costs
+        // are uneven without drowning in dispatch overhead.
+        items.len().div_ceil(workers * 4).max(1)
+    };
+    let chunk_count = items.len().div_ceil(chunk);
+
+    // Ordered-join: chunk `c` deposits into slot `c`, so the merged
+    // output is independent of which worker ran it when.
+    let slots: Mutex<Vec<Option<Vec<R>>>> = Mutex::new((0..chunk_count).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= chunk_count {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(items.len());
+            let out: Vec<R> =
+                items[lo..hi].iter().enumerate().map(|(off, item)| f(lo + off, item)).collect();
+            let mut guard = match slots.lock() {
+                Ok(g) => g,
+                // A sibling worker panicked while depositing; the scope
+                // will re-raise its panic — keep our result anyway.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard[c] = Some(out);
+        }
+    };
+
+    let spawned = workers.min(chunk_count);
+    if spawned <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..spawned {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    let slots = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slots
+        .into_iter()
+        .flat_map(|s| {
+            // lint: allow(no-panic): the scope joins every worker, so each chunk slot was filled; a panicking worker already aborted the scope
+            s.expect("chunk completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for t in [1, 2, 3, 8, 64] {
+            let got = par_map(Threads::Fixed(t), &items, |&x| x * 3 + 1);
+            assert_eq!(got, expect, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_true_indices() {
+        let items = vec![10u64; 257];
+        for chunk in [0, 1, 7, 300] {
+            let got = par_map_indexed(Threads::Fixed(4), chunk, &items, |i, &x| i as u64 + x);
+            let expect: Vec<u64> = (0..257).map(|i| i + 10).collect();
+            assert_eq!(got, expect, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<u32> = par_map(Threads::Fixed(8), &[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_is_treated_as_one() {
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        let out = par_map(Threads::Fixed(0), &[1, 2], |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn all_items_are_visited_exactly_once() {
+        let count = AtomicU64::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        let out = par_map(Threads::Fixed(8), &items, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(Threads::Fixed(4), &items, |&x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn set_threads_overrides_auto() {
+        // Runs in its own test to avoid racing other Auto users; the
+        // override is cleared before returning.
+        set_threads(3);
+        assert_eq!(Threads::Auto.resolve(), 3);
+        set_threads(0);
+    }
+}

@@ -42,6 +42,7 @@ use crate::{
     Scheme, SimConfigError, SlotDecision, SlotDemand, SlotInput, SlotMetrics, Target,
     ValidationError,
 };
+use ccdn_par::Threads;
 use ccdn_trace::{Trace, VideoId};
 use std::collections::BTreeSet;
 
@@ -198,13 +199,30 @@ pub struct OnlineRunner<'a> {
     /// (standing in for "yesterday's" history before the trace begins).
     warm_start: bool,
     failures: Option<FailureModel>,
+    threads: Threads,
 }
 
 impl<'a> OnlineRunner<'a> {
     /// Creates the runner with the paper's 1.5 km cooperation radius.
     pub fn new(trace: &'a Trace) -> Self {
         let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
-        OnlineRunner { trace, geometry, radius_km: 1.5, warm_start: true, failures: None }
+        OnlineRunner {
+            trace,
+            geometry,
+            radius_km: 1.5,
+            warm_start: true,
+            failures: None,
+            threads: Threads::Auto,
+        }
+    }
+
+    /// Sets the worker thread count for the pure per-slot phases (demand
+    /// aggregation, failover routing, metric evaluation). The report is
+    /// bit-identical for every value — only wall-clock time changes.
+    /// Planning (predictor + scheme) is stateful and always sequential.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Threads::Fixed(n);
+        self
     }
 
     /// Sets the routing cooperation radius.
@@ -288,23 +306,35 @@ impl<'a> OnlineRunner<'a> {
         let cache: Vec<u64> =
             self.trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
 
+        // Realized demand aggregation is pure per slot: fan out, merge in
+        // slot order (ccdn-par's ordered join keeps the report
+        // bit-identical for every thread count).
+        let slot_ids: Vec<u32> = (0..self.trace.slot_count).collect();
+        let actuals: Vec<SlotDemand> = ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
+            SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
+        });
+
+        // Planning is stateful (predictor history, `&mut S`, the failure
+        // process, the stale-mask chain), so it stays sequential in slot
+        // order.
+        struct PlannedSlot {
+            true_alive: Vec<bool>,
+            forecast: Option<SlotDemand>,
+            placements: Vec<Vec<VideoId>>,
+            serve_service: Vec<u64>,
+            serve_cache: Vec<u64>,
+        }
         let mut process = self.failures.as_ref().map(FailureModel::process);
         // Planning for slot t sees slot t−1's liveness; before the trace
         // begins the controller believes everyone is up.
         let mut stale_alive = vec![true; n];
-        let mut caches = CacheState::new(n);
-        let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
-        let mut total = MetricsTotals::default();
-        let mut total_failed_over = 0u64;
-        let mut total_orphaned = 0u64;
-
-        for slot in 0..self.trace.slot_count {
+        let mut planned = Vec::with_capacity(slot_ids.len());
+        for (&slot, actual) in slot_ids.iter().zip(&actuals) {
             let true_alive = match &mut process {
                 Some(p) => p.advance(slot, &self.geometry),
                 None => vec![true; n],
             };
-            let actual = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
-            let plan_demand = plan_for(&actual, slot);
+            let plan_demand = plan_for(actual, slot);
 
             // Plan placements against the forecast, under the *stale*
             // liveness mask: capacity the controller believes exists.
@@ -323,33 +353,64 @@ impl<'a> OnlineRunner<'a> {
                 }
                 None => vec![Vec::new(); n],
             };
-
-            // Route the real slot against the fixed placement under the
-            // *true* mask: offline hotspots serve nothing.
             let serve_service = masked(&service, &true_alive);
             let serve_cache = masked(&cache, &true_alive);
+            stale_alive = true_alive.clone();
+            planned.push(PlannedSlot {
+                true_alive,
+                forecast: plan_demand,
+                placements,
+                serve_service,
+                serve_cache,
+            });
+        }
+
+        // Routing the realized slot against its fixed placement, scoring
+        // it, and computing the forecast error are pure per slot: fan out.
+        let routed = ccdn_par::par_map_indexed(self.threads, 0, &planned, |i, p| {
+            let actual = &actuals[i];
+            // Route the real slot against the fixed placement under the
+            // *true* mask: offline hotspots serve nothing.
             let (decision, failover) = route_with_failover(
                 &self.geometry,
-                &actual,
-                &serve_service,
-                placements,
-                &true_alive,
+                actual,
+                &p.serve_service,
+                p.placements.clone(),
+                &p.true_alive,
                 self.radius_km,
             );
             let input = SlotInput {
                 geometry: &self.geometry,
-                demand: &actual,
-                service_capacity: &serve_service,
-                cache_capacity: &serve_cache,
+                demand: actual,
+                service_capacity: &p.serve_service,
+                cache_capacity: &p.serve_cache,
                 video_count: self.trace.video_count,
             };
-            let mut metrics = SlotMetrics::evaluate(&input, &decision)?;
+            let metrics = SlotMetrics::evaluate(&input, &decision);
+            let forecast_error = match &p.forecast {
+                Some(f) => forecast_error(f, actual),
+                None => 1.0,
+            };
+            (decision, failover, metrics, forecast_error)
+        });
+
+        // Sequential merge: persistent caches must replay in slot order,
+        // and the first error in slot order propagates.
+        let mut caches = CacheState::new(n);
+        let mut slots = Vec::with_capacity(slot_ids.len());
+        let mut total = MetricsTotals::default();
+        let mut total_failed_over = 0u64;
+        let mut total_orphaned = 0u64;
+        for ((slot, p), (decision, failover, metrics, forecast_error)) in
+            slot_ids.iter().copied().zip(&planned).zip(routed)
+        {
+            let mut metrics = metrics?;
 
             // Persistent caches: offline hotspots are wiped (their next
             // placement is a full re-push); alive ones are charged the
             // delta against what they already hold.
             let mut delta = 0u64;
-            for (h, &alive) in true_alive.iter().enumerate() {
+            for (h, &alive) in p.true_alive.iter().enumerate() {
                 if alive {
                     delta += caches.apply(h, &decision.placements[h]);
                 } else {
@@ -358,11 +419,6 @@ impl<'a> OnlineRunner<'a> {
             }
             metrics.replicas = delta;
 
-            let forecast_error = match &plan_demand {
-                Some(f) => forecast_error(f, &actual),
-                None => 1.0,
-            };
-
             total.add(&metrics);
             total_failed_over += failover.failed_over;
             total_orphaned += failover.orphaned;
@@ -370,11 +426,10 @@ impl<'a> OnlineRunner<'a> {
                 slot,
                 metrics,
                 forecast_error,
-                offline_hotspots: true_alive.iter().filter(|&&a| !a).count() as u32,
+                offline_hotspots: p.true_alive.iter().filter(|&&a| !a).count() as u32,
                 failed_over: failover.failed_over,
                 orphaned: failover.orphaned,
             });
-            stale_alive = true_alive;
         }
 
         let report = OnlineReport {

@@ -2,6 +2,7 @@ use crate::{
     FailureModel, HotspotGeometry, MetricsTotals, Scheme, SlotDemand, SlotInput, SlotMetrics,
     ValidationError,
 };
+use ccdn_par::Threads;
 use ccdn_trace::Trace;
 use std::time::{Duration, Instant};
 
@@ -41,13 +42,23 @@ pub struct Runner<'a> {
     trace: &'a Trace,
     geometry: HotspotGeometry,
     failures: Option<FailureModel>,
+    threads: Threads,
 }
 
 impl<'a> Runner<'a> {
     /// Creates a runner for `trace`.
     pub fn new(trace: &'a Trace) -> Self {
         let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
-        Runner { trace, geometry, failures: None }
+        Runner { trace, geometry, failures: None, threads: Threads::Auto }
+    }
+
+    /// Sets the worker thread count for the pure per-slot phases (demand
+    /// aggregation, metric evaluation). The report is bit-identical for
+    /// every value — only wall-clock time changes. Scheduling itself is
+    /// stateful and always runs sequentially in slot order.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Threads::Fixed(n);
+        self
     }
 
     /// Enables failure injection: offline hotspots have zero service and
@@ -78,12 +89,21 @@ impl<'a> Runner<'a> {
     /// Propagates the first [`ValidationError`] a slot decision violates.
     pub fn run<S: Scheme + ?Sized>(&self, scheme: &mut S) -> Result<RunReport, ValidationError> {
         let n = self.trace.hotspots.len();
-        let mut slots = Vec::with_capacity(self.trace.slot_count as usize);
-        let mut total = MetricsTotals::default();
+        let slot_ids: Vec<u32> = (0..self.trace.slot_count).collect();
+
+        // Demand aggregation is pure per slot: fan out, merge in slot
+        // order (ccdn-par's ordered join keeps the output bit-identical
+        // for every thread count).
+        let demands: Vec<SlotDemand> = ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
+            SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
+        });
+
+        // Scheduling is stateful (`&mut S`, the failure process) and
+        // timed, so it stays sequential in slot order.
         let mut scheduling_time = Duration::ZERO;
         let mut process = self.failures.as_ref().map(FailureModel::process);
-        for slot in 0..self.trace.slot_count {
-            let demand = SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry);
+        let mut scheduled = Vec::with_capacity(slot_ids.len());
+        for (&slot, demand) in slot_ids.iter().zip(&demands) {
             let alive = match &mut process {
                 Some(p) => p.advance(slot, &self.geometry),
                 None => vec![true; n],
@@ -104,7 +124,7 @@ impl<'a> Runner<'a> {
                 .collect();
             let input = SlotInput {
                 geometry: &self.geometry,
-                demand: &demand,
+                demand,
                 service_capacity: &service_capacity,
                 cache_capacity: &cache_capacity,
                 video_count: self.trace.video_count,
@@ -113,14 +133,41 @@ impl<'a> Runner<'a> {
             let decision = scheme.schedule(&input);
             let elapsed = start.elapsed();
             scheduling_time += elapsed;
-            let metrics = SlotMetrics::evaluate(&input, &decision)?;
+            scheduled.push((service_capacity, cache_capacity, decision, elapsed));
+        }
+
+        // Metric evaluation is pure per slot: fan out again.
+        let evaluated = ccdn_par::par_map_indexed(
+            self.threads,
+            0,
+            &scheduled,
+            |i, (service_capacity, cache_capacity, decision, _)| {
+                let input = SlotInput {
+                    geometry: &self.geometry,
+                    demand: &demands[i],
+                    service_capacity,
+                    cache_capacity,
+                    video_count: self.trace.video_count,
+                };
+                SlotMetrics::evaluate(&input, decision)
+            },
+        );
+
+        // Sequential merge: the first error in slot order propagates, so
+        // error reporting matches the sequential path exactly.
+        let mut slots = Vec::with_capacity(slot_ids.len());
+        let mut total = MetricsTotals::default();
+        for ((slot, result), (_, _, _, elapsed)) in
+            slot_ids.iter().copied().zip(evaluated).zip(&scheduled)
+        {
+            let metrics = result?;
             #[cfg(feature = "strict-invariants")]
             if let Err(violation) = crate::validate::check_slot_accounting(&metrics) {
                 // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
                 panic!("strict-invariants: slot {slot} breaks demand conservation: {violation}");
             }
             total.add(&metrics);
-            slots.push(SlotOutcome { slot, metrics, scheduling_time: elapsed });
+            slots.push(SlotOutcome { slot, metrics, scheduling_time: *elapsed });
         }
         Ok(RunReport { scheme: scheme.name().to_owned(), slots, total, scheduling_time })
     }

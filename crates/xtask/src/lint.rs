@@ -18,6 +18,10 @@
 //!   `ccdn-flow` arithmetic; use `try_from` or checked helpers.
 //! - **partial-cmp-unwrap** — no `partial_cmp(..).unwrap()`; use
 //!   `f64::total_cmp`, which is total and panic-free.
+//! - **thread-spawn** — no direct `thread::spawn` / `thread::scope`
+//!   outside `ccdn-par`: ad-hoc threading reintroduces scheduling
+//!   nondeterminism. Fan out through `ccdn_par::par_map`, whose ordered
+//!   join keeps seeded results bit-exact for every thread count.
 //!
 //! A finding is silenced by a waiver comment naming the rule plus a
 //! justification, on the same line or on a comment-only line directly
@@ -34,6 +38,8 @@ use std::path::{Path, PathBuf};
 const HASH_SCOPE: [&str; 4] = ["core", "flow", "sim", "cluster"];
 /// Crates whose arithmetic must not use truncating integer casts.
 const CAST_SCOPE: [&str; 1] = ["flow"];
+/// Crates allowed to spawn threads (the deterministic pool itself).
+const SPAWN_EXEMPT: [&str; 1] = ["par"];
 /// Crate directories that are exempt from linting (bench harness bins
 /// and this tool itself).
 const EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
@@ -128,6 +134,7 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
     let waivers = collect_waivers(&lines);
     let hash_scope = crate_name.is_some_and(|c| HASH_SCOPE.contains(&c));
     let cast_scope = crate_name.is_some_and(|c| CAST_SCOPE.contains(&c));
+    let spawn_scope = !crate_name.is_some_and(|c| SPAWN_EXEMPT.contains(&c));
 
     let mut findings = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
@@ -174,6 +181,19 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
         }
         if let Some(op) = float_eq(code) {
             push("float-eq", format!("floating-point `{op}` comparison; compare with a tolerance"));
+        }
+        if spawn_scope {
+            for token in ["thread::spawn", "thread::scope"] {
+                if code.contains(token) {
+                    push(
+                        "thread-spawn",
+                        format!(
+                            "direct `{token}` outside ccdn-par; use `ccdn_par::par_map` so \
+                             results join deterministically"
+                        ),
+                    );
+                }
+            }
         }
         if cast_scope {
             for ty in lossy_casts(code) {
@@ -484,6 +504,17 @@ mod tests {
         assert!(lint_core(src).is_empty());
         let widen = "fn a(x: i64) -> f64 { x as f64 }\n";
         assert!(lint_file(Path::new("crates/flow/src/x.rs"), Some("flow"), widen).is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_outside_par() {
+        let src = "fn a() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules(&lint_core(src)), ["thread-spawn"]);
+        let scoped = "fn a() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert_eq!(rules(&lint_core(scoped)), ["thread-spawn"]);
+        // The pool crate itself is the one place allowed to spawn.
+        let in_par = lint_file(Path::new("crates/par/src/lib.rs"), Some("par"), src);
+        assert!(in_par.is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`trace`] | `ccdn-trace` | synthetic workload generation |
 //! | [`sim`] | `ccdn-sim` | aggregation, metrics, validation, runner |
 //! | [`core`] | `ccdn-core` | RBCAer + Nearest / Random / LP-based |
+//! | [`par`] | `ccdn-par` | deterministic ordered-join worker pool |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use ccdn_core as core;
 pub use ccdn_flow as flow;
 pub use ccdn_geo as geo;
 pub use ccdn_lp as lp;
+pub use ccdn_par as par;
 pub use ccdn_sim as sim;
 pub use ccdn_stats as stats;
 pub use ccdn_trace as trace;

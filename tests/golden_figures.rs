@@ -1,0 +1,113 @@
+//! Golden-figure regression suite.
+//!
+//! Each test runs a figure core from `ccdn_bench::figures` on the small
+//! pinned config and byte-compares every CSV block against its checked-in
+//! fixture under `tests/golden/`. A drift in any seeded output — trace
+//! synthesis, routing, scheduling, metric evaluation — fails the diff
+//! with the first mismatching line.
+//!
+//! To bless an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_figures
+//! ```
+//!
+//! and commit the rewritten fixtures.
+
+use ccdn_bench::figures::{self, FigureData};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn update_requested() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// First line where `got` and `want` disagree, for a readable failure.
+fn first_diff(got: &str, want: &str) -> String {
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            return format!("line {}: got `{g}`, fixture has `{w}`", i + 1);
+        }
+    }
+    format!(
+        "line count differs: got {} lines, fixture has {}",
+        got.lines().count(),
+        want.lines().count()
+    )
+}
+
+fn check(blocks: &[FigureData]) {
+    assert!(!blocks.is_empty(), "figure produced no CSV blocks");
+    let dir = golden_dir();
+    for block in blocks {
+        let path = dir.join(format!("{}.csv", block.name));
+        let got = block.to_csv();
+        if update_requested() {
+            fs::create_dir_all(&dir).expect("create golden dir");
+            fs::write(&path, &got).expect("write fixture");
+            continue;
+        }
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); generate it with \
+                 `UPDATE_GOLDEN=1 cargo test --test golden_figures`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            want,
+            "golden drift in `{}`: {}\nIf the change is intentional, re-bless with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_figures` and commit the fixture.",
+            block.name,
+            first_diff(&got, &want)
+        );
+    }
+}
+
+#[test]
+fn fig2_matches_golden() {
+    check(&figures::fig2(&figures::golden_config()).csvs);
+}
+
+#[test]
+fn fig3_matches_golden() {
+    check(&figures::fig3(&figures::golden_config()).csvs);
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check(&figures::fig5(&figures::golden_config()).csvs);
+}
+
+#[test]
+fn fig8_matches_golden() {
+    // Wall-clock scheduling times are returned separately and deliberately
+    // not snapshotted — only the deterministic quality metrics are.
+    let (report, _times) = figures::fig8(&figures::golden_config().with_slot_count(1));
+    check(&report.csvs);
+}
+
+#[test]
+fn balance_matches_golden() {
+    check(&figures::balance(&figures::golden_config().with_slot_count(1)).csvs);
+}
+
+/// The harness must fail on drift, not just on missing fixtures: corrupt
+/// one in-memory copy and check the comparison trips.
+#[test]
+fn harness_detects_drift() {
+    if update_requested() {
+        return; // blessing mode rewrites fixtures; nothing to detect
+    }
+    let mut blocks = figures::fig5(&figures::golden_config()).csvs;
+    if let Some(row) = blocks[0].rows.first_mut() {
+        *row = format!("{row},drifted");
+    }
+    let result = std::panic::catch_unwind(|| check(&blocks));
+    assert!(result.is_err(), "a drifted row must fail the golden comparison");
+}
