@@ -10,7 +10,7 @@
 //! - replication budget `B_peak`.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 use ccdn_cluster::Linkage;
 use ccdn_core::{GuideCost, Rbcaer, RbcaerConfig};
 use ccdn_flow::McmfAlgorithm;
@@ -19,6 +19,7 @@ use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== RBCAer ablation study (single-slot eval preset) ==");
     println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
@@ -76,4 +77,7 @@ fn main() {
     println!("nodes + Procedure-1 ordering buy; a finite B_peak prunes the tail");
     println!("placements that otherwise push RBCAer's replication above Nearest's");
     println!("(the Fig. 6c deviation discussed in EXPERIMENTS.md).");
+    if let Some(obs) = obs {
+        obs.finish("ablation");
+    }
 }

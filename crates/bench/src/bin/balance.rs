@@ -7,11 +7,12 @@
 //! index of utilization (served / capacity) on the single-slot
 //! paper-scale instance.
 
-use ccdn_bench::{figures, init_threads};
+use ccdn_bench::{figures, init_threads, obs_init};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Post-scheduling load balance (single-slot eval preset) ==");
     println!("threads: {threads}");
     let report = figures::balance(&TraceConfig::paper_eval().with_slot_count(1));
@@ -19,4 +20,7 @@ fn main() {
     println!("\nRBCAer narrows the served-load distribution and lifts utilization");
     println!("fairness: overflow that Nearest routes to the CDN instead fills the");
     println!("idle neighbours' capacity.");
+    if let Some(obs) = obs {
+        obs.finish("balance");
+    }
 }

@@ -7,14 +7,18 @@
 //! distribution but inflates the content replication cost by ≈10 %
 //! (1 km) / ≈23 % (5 km) over Nearest.
 
-use ccdn_bench::{figures, init_threads};
+use ccdn_bench::{figures, init_threads, obs_init};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 2: hotspot workload distribution (measurement preset) ==");
     println!("threads: {threads}");
     let report = figures::fig2(&TraceConfig::measurement_city());
     report.print_and_write();
     println!("\npaper: Nearest p99/median ≈ 9x; Random replication +10% (1km) / +23% (5km)");
+    if let Some(obs) = obs {
+        obs.finish("fig2");
+    }
 }

@@ -8,11 +8,12 @@
 //!   (paper: similarity spreads over ≈0.1–0.8 and *rises* as sampling
 //!   thins the deployment, i.e. as each hotspot covers a larger region).
 
-use ccdn_bench::{figures, init_threads};
+use ccdn_bench::{figures, init_threads, obs_init};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 3: cooperation potential (measurement preset) ==");
     println!("threads: {threads}");
     let report = figures::fig3(&TraceConfig::measurement_city());
@@ -22,4 +23,7 @@ fn main() {
          at full density and rises as the sample thins (each hotspot covers\n\
          a larger region)"
     );
+    if let Some(obs) = obs {
+        obs.finish("fig3");
+    }
 }

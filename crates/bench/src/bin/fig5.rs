@@ -4,11 +4,12 @@
 //! Emits the raw scatter data as CSV and prints a coarse ASCII density map
 //! plus summary statistics of the spatial skew.
 
-use ccdn_bench::{figures, init_threads};
+use ccdn_bench::{figures, init_threads, obs_init};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 5: geo-distribution of requests and hotspots (eval preset) ==");
     println!("threads: {threads}");
     let config = TraceConfig::paper_eval();
@@ -40,4 +41,7 @@ fn main() {
 
     report.print_and_write();
     println!("\npaper: requests concentrate in a few dense pockets; hotspots co-locate with them");
+    if let Some(obs) = obs {
+        obs.finish("fig5");
+    }
 }

@@ -8,10 +8,11 @@
 //! the baselines around capacity 5 %.
 
 use ccdn_bench::evaluation::{print_panels, sweep};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 6: performance vs service capacity (cache fixed at 3%) ==");
     println!("threads: {threads}");
     let fractions = [0.02, 0.03, 0.04, 0.05, 0.06, 0.07];
@@ -23,4 +24,7 @@ fn main() {
     announce_csv("capacity sweep", &path);
     println!("\npaper: RBCAer leads serving ratio (gap grows with capacity), cuts");
     println!("distance ~42% at capacity 5%, and reduces CDN load ~22%.");
+    if let Some(obs) = obs {
+        obs.finish("fig6");
+    }
 }

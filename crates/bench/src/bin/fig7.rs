@@ -9,10 +9,11 @@
 //! with RBCAer ≈20 % below the baselines at the sweet spot near 1 %.
 
 use ccdn_bench::evaluation::{print_panels, sweep};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 7: performance vs cache size (capacity fixed at 5%) ==");
     println!("threads: {threads}");
     let fractions = [0.005, 0.007, 0.009, 0.01, 0.03, 0.05];
@@ -24,4 +25,7 @@ fn main() {
     announce_csv("cache sweep", &path);
     println!("\npaper: RBCAer hits serving ratio 0.7 with ~0.67% cache (vs 2-3%),");
     println!("halves the access distance, and bottoms the U-shaped CDN load ~20% lower.");
+    if let Some(obs) = obs {
+        obs.finish("fig7");
+    }
 }

@@ -7,11 +7,12 @@
 //! (orders of magnitude) is the result, not the absolute seconds.
 
 use ccdn_bench::table::Table;
-use ccdn_bench::{announce_csv, figures, init_threads, write_csv};
+use ccdn_bench::{announce_csv, figures, init_threads, obs_init, write_csv};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 8: scheduling running time (single-slot eval preset) ==");
     println!("threads: {threads}");
     let config = TraceConfig::paper_eval().with_slot_count(1);
@@ -33,4 +34,7 @@ fn main() {
     println!("\npaper: LP-based > 2.4 h (on a 10K-request sample), RBCAer ~35 s,");
     println!("Random/Nearest sub-second; the ordering and the orders-of-magnitude");
     println!("gaps are the reproducible result.");
+    if let Some(obs) = obs {
+        obs.finish("fig8");
+    }
 }

@@ -9,13 +9,14 @@
 //! cheap without sacrificing balance.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 use ccdn_core::GdStats;
 use ccdn_sim::{Runner, SlotDemand, SlotInput};
 use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Fig. 9: influence of the threshold theta on Gd ==");
     println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval().with_slot_count(1).generate();
@@ -63,4 +64,7 @@ fn main() {
     announce_csv("theta sweep", &path);
     println!("\npaper: theta=1.5km handles ~50% of maxflow; theta=7.5km reaches the");
     println!("full maxflow with ~11% of |V|^2 edges.");
+    if let Some(obs) = obs {
+        obs.finish("fig9");
+    }
 }

@@ -8,7 +8,7 @@
 //! predictors (last-slot, EWMA, 4-slot window mean).
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 use ccdn_core::{Nearest, Rbcaer, RbcaerConfig};
 use ccdn_sim::{
     Ewma, HoltLinear, LastSlot, OnlineReport, OnlineRunner, Scheme, SeasonalNaive, WindowMean,
@@ -21,6 +21,7 @@ fn schemes() -> Vec<Box<dyn Scheme>> {
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Online simulation: persistent caches + popularity prediction ==");
     println!("threads: {threads}\n");
     // Per-slot scaling: the full-day capacities of the offline evaluation
@@ -111,4 +112,7 @@ fn main() {
     println!("\nReading: the oracle bounds what prediction can achieve; EWMA trades a");
     println!("little serving ratio for stability, and persistent caches cut the");
     println!("replication charged to the CDN by an order of magnitude vs per-slot refill.");
+    if let Some(obs) = obs {
+        obs.finish("online");
+    }
 }

@@ -16,7 +16,7 @@
 //! k-redundant placement of each hotspot's hottest videos.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 use ccdn_core::{Nearest, Rbcaer, RbcaerConfig, RobustConfig};
 use ccdn_sim::{FailureModel, OnlineReport, OnlineRunner, Scheme};
 use ccdn_trace::{Trace, TraceConfig};
@@ -44,6 +44,7 @@ fn run(trace: &Trace, scheme: &mut dyn Scheme, failures: Option<FailureModel>) -
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Resilience: degradation under stateful hotspot failures ==");
     println!("threads: {threads}\n");
     let trace = TraceConfig::paper_eval()
@@ -152,4 +153,7 @@ fn main() {
     println!("robust RBCAer decays most gracefully: headroom keeps promised capacity");
     println!("honest and redundant copies keep failover local instead of orphaning");
     println!("requests to the CDN.");
+    if let Some(obs) = obs {
+        obs.finish("resilience");
+    }
 }

@@ -8,18 +8,16 @@
 //! for its runtime headroom.
 
 use ccdn_bench::table::{f3, Table};
-use ccdn_bench::{announce_csv, init_threads, write_csv};
+use ccdn_bench::{announce_csv, init_threads, obs_init, write_csv};
 use ccdn_core::{HierarchicalRbcaer, Nearest, Rbcaer, RbcaerConfig};
 use ccdn_sim::{Runner, Scheme};
 use ccdn_trace::TraceConfig;
-use std::time::Instant;
 
 /// Times one closure in seconds (single shot — the workloads are seconds
 /// long, so run-to-run noise is small relative to the speedup measured).
 fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
+    let (out, elapsed) = ccdn_obs::timed(f);
+    (out, elapsed.as_secs_f64())
 }
 
 /// Parallel speedup of the deterministic worker pool on the two hottest
@@ -71,6 +69,7 @@ fn parallel_speedup() -> Vec<String> {
 
 fn main() {
     let threads = init_threads();
+    let obs = obs_init();
     println!("== Scalability: flat vs hierarchical RBCAer ==");
     println!("threads: {threads}\n");
     // A wide cooperation radius makes the flat MCMF dense — the regime
@@ -123,4 +122,7 @@ fn main() {
     let path =
         write_csv("scalability_speedup", "stage,t1_seconds,t4_seconds,speedup", &speedup_csv);
     announce_csv("parallel speedup", &path);
+    if let Some(obs) = obs {
+        obs.finish("scalability");
+    }
 }

@@ -13,6 +13,7 @@ use ccdn_trace::TraceConfig;
 
 fn main() {
     let threads = ccdn_bench::init_threads();
+    let obs = ccdn_bench::obs_init();
     println!("threads: {threads}");
     let args: Vec<String> = std::env::args().collect();
     let mut config = TraceConfig::paper_eval().with_slot_count(1);
@@ -71,5 +72,8 @@ fn main() {
             f3(cdf.median()),
             f3(cdf.quantile(0.9))
         );
+    }
+    if let Some(obs) = obs {
+        obs.finish("trace_stats");
     }
 }

@@ -77,3 +77,61 @@ pub fn init_threads() -> usize {
     }
     ccdn_par::current_threads()
 }
+
+/// An in-flight observability capture for a bench binary: the baseline
+/// report and a running wall clock, produced by [`obs_init`] and closed
+/// with [`ObsCapture::finish`].
+#[derive(Debug)]
+pub struct ObsCapture {
+    path: PathBuf,
+    base: ccdn_obs::ObsReport,
+    watch: ccdn_obs::Stopwatch,
+}
+
+impl ObsCapture {
+    /// Writes the perf report accumulated since [`obs_init`] to the
+    /// capture's path (JSON object, or one appended line for `.jsonl`)
+    /// and announces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — bench binaries abort loudly.
+    pub fn finish(self, label: &str) {
+        let delta = ccdn_obs::ObsReport::capture().delta(&self.base);
+        delta
+            .write_json(&self.path, label, ccdn_par::current_threads(), Some(self.watch.elapsed()))
+            .expect("write obs perf report");
+        println!("  [obs] {label} -> {}", self.path.display());
+    }
+}
+
+/// Parses the `--obs <path>` / `--obs=<path>` flag (falling back to the
+/// `CCDN_OBS` environment variable) every bench binary shares. When a
+/// path is configured, probes are switched on and an [`ObsCapture`] is
+/// returned; call [`ObsCapture::finish`] after the figure completes to
+/// emit the machine-readable perf report. Returns `None` (probes off)
+/// when neither the flag nor the variable is set.
+///
+/// Like `--threads`, the flag never changes a figure's numbers — probes
+/// are add-only and nothing branches on them.
+pub fn obs_init() -> Option<ObsCapture> {
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--obs" {
+            args.next()
+        } else {
+            arg.strip_prefix("--obs=").map(str::to_owned)
+        };
+        if let Some(p) = value {
+            path = Some(PathBuf::from(p));
+        }
+    }
+    let path = path.or_else(ccdn_obs::env_path)?;
+    ccdn_obs::set_enabled(true);
+    Some(ObsCapture {
+        path,
+        base: ccdn_obs::ObsReport::capture(),
+        watch: ccdn_obs::Stopwatch::start(),
+    })
+}

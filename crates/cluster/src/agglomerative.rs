@@ -1,4 +1,8 @@
 use crate::DistanceMatrix;
+use ccdn_obs::Counter;
+
+/// Pairwise cluster merges performed below the threshold cut.
+static MERGES: Counter = Counter::new("cluster.merges");
 
 /// Inter-cluster distance update rule for agglomerative clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -69,6 +73,7 @@ pub fn hierarchical_cluster(
     let mut active = vec![true; n];
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut sizes = vec![1usize; n];
+    let mut merges = 0u64;
 
     loop {
         // Find the closest active pair.
@@ -114,7 +119,9 @@ pub fn hierarchical_cluster(
         members[a].extend(moved);
         sizes[a] += sizes[b];
         active[b] = false;
+        merges += 1;
     }
+    MERGES.add(merges);
 
     let mut clusters: Vec<Vec<usize>> = members
         .into_iter()

@@ -3,10 +3,20 @@
 
 use crate::config::{GuideCost, RbcaerConfig};
 use ccdn_flow::{EdgeId, FlowNetwork};
+use ccdn_obs::Counter;
 use ccdn_par::Threads;
 use ccdn_sim::SlotInput;
 use ccdn_trace::HotspotId;
 use std::collections::BTreeMap;
+
+/// θ-sweep rounds solved by Algorithm 1 (residual passes excluded).
+static THETA_STEPS: Counter = Counter::new("core.balance.theta_steps");
+/// Residual passes on the plain `Gd` at θ₂ (Algorithm 1 lines 11–13).
+static RESIDUAL_ROUNDS: Counter = Counter::new("core.balance.residual_rounds");
+/// `Gd`/`Gc` pair arcs built (direct arcs plus guide source arcs).
+static GD_EDGES: Counter = Counter::new("core.balance.gd_edges");
+/// Flow-guide nodes inserted for content aggregation (§IV-B).
+static GUIDE_NODES: Counter = Counter::new("core.balance.guide_nodes");
 
 /// Result of the balancing stage: how many requests each overloaded
 /// hotspot redirects to each under-utilized hotspot.
@@ -183,6 +193,7 @@ impl GraphBuilder {
             // lint: allow(no-panic): cost is a finite non-negative geometry distance
             .expect("valid edge");
         self.pair_edges.push((e, si, ti));
+        GD_EDGES.incr();
     }
 
     /// Adds a flow-guide node draining overloaded slots `sources` into
@@ -196,6 +207,7 @@ impl GraphBuilder {
         out_cost: f64,
     ) {
         let guide = self.net.add_node();
+        GUIDE_NODES.incr();
         for &(si, cap) in sources {
             let e = self
                 .net
@@ -203,6 +215,7 @@ impl GraphBuilder {
                 // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
                 .expect("valid edge");
             self.pair_edges.push((e, si, ti));
+            GD_EDGES.incr();
         }
         self.net
             .add_edge(guide, self.t_nodes[ti], out_capacity as i64, out_cost)
@@ -268,6 +281,7 @@ pub(crate) fn balance_filtered(
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
             theta += config.delta_km;
             iterations += 1;
+            THETA_STEPS.incr();
         }
         // Residual pass on the plain Gd at θ₂ (Algorithm 1 lines 11–13):
         // anything still unmoved within the collaboration radius moves on
@@ -285,6 +299,7 @@ pub(crate) fn balance_filtered(
                 allow_pair,
             );
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
+            RESIDUAL_ROUNDS.incr();
         }
     }
 

@@ -6,9 +6,20 @@
 use crate::config::RbcaerConfig;
 use crate::rbcaer::balancing::BalanceOutcome;
 use crate::serving::serve_locally;
+use ccdn_obs::Counter;
 use ccdn_sim::{SlotDecision, SlotInput, Target};
 use ccdn_trace::{HotspotId, VideoId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Requests redirected to balancing targets (Phases 1 and 2 combined).
+static REDIRECTED: Counter = Counter::new("core.procedure.redirected_requests");
+/// Replica placements made for incoming redirections (Phases 1 and 2;
+/// local cache fill is counted separately in `serve_locally`).
+static PLACEMENTS: Counter = Counter::new("core.procedure.placements");
+/// Units of the `B_peak` replication budget consumed by Phases 1 and 2.
+static BUDGET_SPENT: Counter = Counter::new("core.procedure.budget_spent");
+/// `e_u`-ranked candidates skipped because the budget was exhausted.
+static BUDGET_BLOCKED: Counter = Counter::new("core.procedure.budget_blocked");
 
 /// Executes Procedure 1 and assembles the slot decision.
 pub(crate) fn content_aggregation_replication(
@@ -65,15 +76,26 @@ pub(crate) fn content_aggregation_replication(
     let mut budget = config.replication_budget;
     // Aggregated redirection batches (i, v, j) → count.
     let mut redirects: BTreeMap<(HotspotId, VideoId, HotspotId), u64> = BTreeMap::new();
+    // Probe totals, flushed with one atomic add each before returning.
+    let mut obs_redirected = 0u64;
+    let mut obs_placements = 0u64;
+    let mut obs_budget_spent = 0u64;
+    let mut obs_budget_blocked = 0u64;
 
     // Phase 1: consume the e_u-ranked list (lines 8–13). Redirecting
     // (v', j') moves v'-demand from *all* of j'-s sources at once,
     // aggregating one video into one cache slot.
     for &((video, j), _) in &eu {
         let Some(sources) = sources_of.get(&j) else { continue };
-        // Can j cache this video?
+        // Can j cache this video? A *new* placement needs both a free
+        // cache slot and remaining replication budget — `B_peak` bounds
+        // every placement (Procedure 1 line 15), not just local fill.
         let already = placed[j.0].contains(&video);
         if !already && cache_left[j.0] == 0 {
+            continue;
+        }
+        if !already && budget == Some(0) {
+            obs_budget_blocked += 1;
             continue;
         }
         let mut moved_any = false;
@@ -91,14 +113,17 @@ pub(crate) fn content_aggregation_replication(
             *demand -= m;
             *redirects.entry((i, video, j)).or_insert(0) += m;
             incoming[j.0] += m;
+            obs_redirected += m;
             moved_any = true;
         }
         if moved_any && !already {
             placed[j.0].insert(video);
             cache_left[j.0] -= 1;
             decision.place(j, video);
+            obs_placements += 1;
             if let Some(b) = &mut budget {
                 *b = b.saturating_sub(1);
+                obs_budget_spent += 1;
             }
         }
     }
@@ -120,7 +145,10 @@ pub(crate) fn content_aggregation_replication(
                     continue;
                 }
                 let cached = placed[j.0].contains(&video);
-                if !cached && cache_left[j.0] == 0 {
+                // An exhausted budget behaves like a full cache: only
+                // videos j already holds stay candidates, the rest of the
+                // flow is dropped (requests stay home / spill to the CDN).
+                if !cached && (cache_left[j.0] == 0 || budget == Some(0)) {
                     continue;
                 }
                 let better = match best {
@@ -150,12 +178,15 @@ pub(crate) fn content_aggregation_replication(
             }
             *redirects.entry((i, video, j)).or_insert(0) += m;
             incoming[j.0] += m;
+            obs_redirected += m;
             if !cached {
                 placed[j.0].insert(video);
                 cache_left[j.0] -= 1;
                 decision.place(j, video);
+                obs_placements += 1;
                 if let Some(b) = &mut budget {
                     *b = b.saturating_sub(1);
+                    obs_budget_spent += 1;
                 }
             }
         }
@@ -188,6 +219,11 @@ pub(crate) fn content_aggregation_replication(
             &mut budget,
         );
     }
+
+    REDIRECTED.add(obs_redirected);
+    PLACEMENTS.add(obs_placements);
+    BUDGET_SPENT.add(obs_budget_spent);
+    BUDGET_BLOCKED.add(obs_budget_blocked);
 
     decision
 }
@@ -332,16 +368,35 @@ mod tests {
     }
 
     #[test]
-    fn budget_zero_blocks_local_fill_but_not_redirect_placements() {
+    fn budget_zero_blocks_every_placement() {
+        // With B_peak = 0 no replica may be placed anywhere — redirect
+        // placements included. The flows are dropped like a full cache
+        // (cache_full_target_drops_leftover_flow_gracefully) and every
+        // request either rides the source's capacity or spills to the CDN.
         let f = Fixture::new(&[(0, 1), (0, 1), (0, 2), (1, 3)], vec![1, 10, 10], vec![10, 10, 10]);
         let input = f.input();
         let config = RbcaerConfig { replication_budget: Some(0), ..RbcaerConfig::default() };
         let decision = content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &config);
         let metrics = SlotMetrics::evaluate(&input, &decision).expect("valid decision");
-        // The redirected video still lands at hotspot 1 (mandatory), but
-        // nobody gets discretionary local placements.
-        assert_eq!(decision.placements[1].len(), 1);
+        assert!(decision.placements.iter().all(|p| p.is_empty()), "B_peak = 0 places nothing");
+        assert_eq!(decision.replica_count(), 0);
+        assert_eq!(metrics.total_requests, 4);
+        assert!(metrics.cdn_served > 0, "unplaceable demand spills");
+    }
+
+    #[test]
+    fn tight_budget_spends_on_aggregative_redirects_first() {
+        // B_peak = 1: the single replica goes to the e_u-ranked redirect
+        // placement (Phase 1 precedes local fill), then every later
+        // placement — including local cache fill — is blocked.
+        let f = Fixture::new(&[(0, 1), (0, 1), (0, 2), (1, 3)], vec![1, 10, 10], vec![10, 10, 10]);
+        let input = f.input();
+        let config = RbcaerConfig { replication_budget: Some(1), ..RbcaerConfig::default() };
+        let decision = content_aggregation_replication(&input, &flows(&[(0, 1, 2)]), &config);
+        SlotMetrics::evaluate(&input, &decision).expect("valid decision");
+        assert_eq!(decision.replica_count(), 1, "exactly the budget is spent");
+        assert_eq!(decision.placements[1], vec![VideoId(1)], "the aggregative redirect wins");
         assert!(decision.placements[0].is_empty());
-        assert!(metrics.cdn_served > 0, "unplaced local demand spills");
+        assert!(decision.placements[2].is_empty());
     }
 }

@@ -1,6 +1,12 @@
+use ccdn_obs::Counter;
 use ccdn_sim::{SlotDecision, Target};
 use ccdn_trace::{HotspotId, VideoId};
 use std::collections::BTreeSet;
+
+/// Local cache-fill placements (the Phase 3 / scheme-tail placements).
+static LOCAL_PLACEMENTS: Counter = Counter::new("core.procedure.local_placements");
+/// Local placements skipped because the replication budget was spent.
+static LOCAL_BUDGET_BLOCKED: Counter = Counter::new("core.procedure.local_budget_blocked");
 
 /// Outcome of [`serve_locally`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +44,8 @@ pub(crate) fn serve_locally(
     by_popularity.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let mut outcome = LocalServeOutcome::default();
+    let mut obs_placed = 0u64;
+    let mut obs_blocked = 0u64;
     for (video, count) in by_popularity {
         let mut placed = already_placed.contains(&video);
         if !placed && cache_slots_left > 0 && capacity_left > 0 {
@@ -56,6 +64,9 @@ pub(crate) fn serve_locally(
                 decision.place(h, video);
                 cache_slots_left -= 1;
                 placed = true;
+                obs_placed += 1;
+            } else {
+                obs_blocked += 1;
             }
         }
         let served = if placed { count.min(capacity_left) } else { 0 };
@@ -70,6 +81,8 @@ pub(crate) fn serve_locally(
             outcome.to_cdn += spill;
         }
     }
+    LOCAL_PLACEMENTS.add(obs_placed);
+    LOCAL_BUDGET_BLOCKED.add(obs_blocked);
     outcome
 }
 

@@ -15,7 +15,9 @@
 //!   hotspots with zero service capacity (offline under churn) receive
 //!   no flow and serve no assignments;
 //! - the decision's cross-hotspot redirections never exceed the flows
-//!   the balancing stage granted.
+//!   the balancing stage granted;
+//! - when a replication budget `B_peak` is configured, the decision never
+//!   places more videos than the budget allows (Procedure 1, §IV-C).
 //!
 //! [`check_plan`] is always available (property tests call it directly);
 //! with the `strict-invariants` feature [`Rbcaer`](crate::Rbcaer) also
@@ -64,7 +66,26 @@ pub fn check_plan(
 ) -> Result<(), PlanViolation> {
     check_flows(input, config, outcome)?;
     check_offline_ownership(input, decision)?;
-    check_redirections_granted(outcome, decision)
+    check_redirections_granted(outcome, decision)?;
+    check_replication_budget(config, decision)
+}
+
+/// With a configured replication budget `B_peak`, the decision's total
+/// placement count must not exceed it — Procedure 1 charges every new
+/// placement (aggregative or local) against the same budget.
+fn check_replication_budget(
+    config: &RbcaerConfig,
+    decision: &SlotDecision,
+) -> Result<(), PlanViolation> {
+    if let Some(b) = config.replication_budget {
+        let placed = decision.replica_count();
+        if placed > b {
+            return Err(PlanViolation::new(format!(
+                "decision places {placed} videos but the replication budget B_peak is {b}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Flow-level invariants of the balancing stage.
@@ -252,5 +273,39 @@ mod tests {
             assert!(check_plan(&input, &config, &outcome, &decision).is_err());
             return;
         }
+    }
+
+    #[test]
+    fn over_budget_decision_is_caught() {
+        use ccdn_trace::VideoId;
+
+        let trace = TraceConfig::small_test().generate();
+        let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+        let config = RbcaerConfig { replication_budget: Some(3), ..RbcaerConfig::default() };
+        let scheme = Rbcaer::new(config.clone());
+        let service: Vec<u64> =
+            trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+        let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+        let demand = SlotDemand::aggregate(trace.slot_requests(0), &geometry);
+        let input = SlotInput {
+            geometry: &geometry,
+            demand: &demand,
+            service_capacity: &service,
+            cache_capacity: &cache,
+            video_count: trace.video_count,
+        };
+        let (outcome, mut decision) = scheme.plan_parts(&input);
+        check_plan(&input, &config, &outcome, &decision)
+            .unwrap_or_else(|v| panic!("honest plan rejected: {v}"));
+        // Fabricate placements past B_peak: must be caught.
+        let target = (0..decision.placements.len())
+            .find(|&h| input.cache_capacity[h] > 0)
+            .expect("some hotspot has cache capacity");
+        while decision.replica_count() <= 3 {
+            let v = VideoId(u32::try_from(decision.placements[target].len()).unwrap() + 10_000);
+            decision.place(ccdn_trace::HotspotId(target), v);
+        }
+        let err = check_plan(&input, &config, &outcome, &decision).unwrap_err();
+        assert!(err.to_string().contains("replication budget"), "{err}");
     }
 }

@@ -1,5 +1,12 @@
 use crate::network::{FlowError, FlowNetwork};
+use ccdn_obs::Counter;
 use std::collections::VecDeque;
+
+/// Level graphs built (one BFS per outer round, counting the final
+/// round that finds the sink unreachable).
+static BFS_ROUNDS: Counter = Counter::new("flow.dinic.bfs_rounds");
+/// Augmenting paths pushed across all rounds.
+static AUGMENTING_PATHS: Counter = Counter::new("flow.dinic.augmenting_paths");
 
 impl FlowNetwork {
     /// Computes a maximum flow from `source` to `sink` using Dinic's
@@ -37,8 +44,12 @@ impl FlowNetwork {
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
         let mut iter = vec![0usize; n];
+        // Probe totals accumulate locally; one atomic add per solve.
+        let mut bfs_rounds = 0u64;
+        let mut paths = 0u64;
         loop {
             // BFS: build level graph over residual arcs.
+            bfs_rounds += 1;
             level.iter_mut().for_each(|l| *l = -1);
             level[source] = 0;
             let mut queue = VecDeque::from([source]);
@@ -60,9 +71,12 @@ impl FlowNetwork {
                 if pushed == 0 {
                     break;
                 }
+                paths += 1;
                 total += pushed;
             }
         }
+        BFS_ROUNDS.add(bfs_rounds);
+        AUGMENTING_PATHS.add(paths);
         Ok(total)
     }
 

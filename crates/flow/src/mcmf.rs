@@ -1,5 +1,15 @@
 use crate::network::{FlowError, FlowNetwork};
+use ccdn_obs::Counter;
 use std::cmp::Ordering;
+
+/// MCMF solver entry points taken (all algorithms, bounded included).
+static SOLVES: Counter = Counter::new("flow.mcmf.solves");
+/// Shortest-path rounds of the Dijkstra-with-potentials solver.
+static DIJKSTRA_ROUNDS: Counter = Counter::new("flow.mcmf.dijkstra_rounds");
+/// Shortest-path rounds of the SPFA solver.
+static SPFA_ROUNDS: Counter = Counter::new("flow.mcmf.spfa_rounds");
+/// Negative residual cycles canceled by the Klein solver.
+static CYCLES_CANCELED: Counter = Counter::new("flow.mcmf.cycles_canceled");
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
@@ -99,6 +109,7 @@ impl FlowNetwork {
         algorithm: McmfAlgorithm,
     ) -> Result<McmfResult, FlowError> {
         self.check_endpoints(source, sink)?;
+        SOLVES.incr();
         let result = match algorithm {
             McmfAlgorithm::SspDijkstra => self.mcmf_dijkstra(source, sink),
             McmfAlgorithm::Spfa => self.mcmf_spfa(source, sink),
@@ -119,6 +130,7 @@ impl FlowNetwork {
     ) -> Result<McmfResult, FlowError> {
         let flow = self.max_flow_dinic(source, sink)?;
         let n = self.node_count();
+        let mut canceled = 0u64;
         // Cancel negative residual cycles found by Bellman–Ford from a
         // virtual super-source (distance 0 to every node).
         loop {
@@ -179,7 +191,9 @@ impl FlowNetwork {
                     break;
                 }
             }
+            canceled += 1;
         }
+        CYCLES_CANCELED.add(canceled);
         // Recompute the cost from the recorded edge flows.
         let cost = self.edges().iter().map(|e| e.flow as f64 * e.cost).sum();
         Ok(McmfResult { flow, cost })
@@ -224,6 +238,7 @@ impl FlowNetwork {
         if limit < 0 {
             return Err(FlowError::NegativeCapacity);
         }
+        SOLVES.incr();
         let result = self.mcmf_dijkstra_bounded(source, sink, limit);
         #[cfg(feature = "strict-invariants")]
         if let Err(violation) = crate::validate::check_min_cost_flow(self, source, sink) {
@@ -244,8 +259,10 @@ impl FlowNetwork {
         let mut total_cost = 0.0f64;
         let mut dist = vec![f64::INFINITY; n];
         let mut prev_arc = vec![usize::MAX; n];
+        let mut rounds = 0u64;
 
         while total_flow < limit {
+            rounds += 1;
             dist.iter_mut().for_each(|d| *d = f64::INFINITY);
             prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
             dist[source] = 0.0;
@@ -298,6 +315,7 @@ impl FlowNetwork {
             }
             total_flow += bottleneck;
         }
+        DIJKSTRA_ROUNDS.add(rounds);
         McmfResult { flow: total_flow, cost: total_cost }
     }
 
@@ -305,7 +323,9 @@ impl FlowNetwork {
         let n = self.node_count();
         let mut total_flow = 0i64;
         let mut total_cost = 0.0f64;
+        let mut rounds = 0u64;
         loop {
+            rounds += 1;
             let mut dist = vec![f64::INFINITY; n];
             let mut prev_arc = vec![usize::MAX; n];
             let mut in_queue = vec![false; n];
@@ -350,6 +370,7 @@ impl FlowNetwork {
             }
             total_flow += bottleneck;
         }
+        SPFA_ROUNDS.add(rounds);
         McmfResult { flow: total_flow, cost: total_cost }
     }
 }

@@ -23,7 +23,12 @@
 //! abort on violation.
 
 use crate::network::FlowNetwork;
+use ccdn_obs::Counter;
 use std::fmt;
+
+/// Reduced-cost optimality certificates evaluated (one per
+/// [`check_min_cost_certificate`] run).
+static REDUCED_COST_CHECKS: Counter = Counter::new("flow.validate.reduced_cost_checks");
 
 /// Slack tolerated in floating-point cost comparisons; matches the
 /// relaxation tolerance used by the solvers themselves.
@@ -145,6 +150,7 @@ pub fn check_max_flow(net: &FlowNetwork, source: usize, sink: usize) -> Result<(
 ///
 /// [`FlowViolation`] when a negative residual cycle is found.
 pub fn check_min_cost_certificate(net: &FlowNetwork) -> Result<(), FlowViolation> {
+    REDUCED_COST_CHECKS.incr();
     let n = net.node_count();
     let mut dist = vec![0.0f64; n];
     for round in 0..=n {

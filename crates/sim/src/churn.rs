@@ -8,22 +8,23 @@ use crate::{FailureModel, SimConfigError};
 /// runner. [`FailureModel::iid`] reproduces this model's masks exactly
 /// (same per-`(seed, slot)` liveness), so migrating changes no numbers.
 ///
+/// Migration: replace `ChurnModel::new(p, seed)` with
+/// [`FailureModel::iid`]`(p, seed)` everywhere — the masks are identical.
+///
 /// # Examples
 ///
 /// ```
-/// #![allow(deprecated)]
-/// use ccdn_sim::{ChurnModel, FailureModel};
+/// use ccdn_sim::FailureModel;
 ///
-/// let churn = ChurnModel::new(0.25, 7).unwrap();
-/// let alive = churn.alive_mask(0, 100);
-/// assert_eq!(alive.len(), 100);
-/// // Deterministic per (seed, slot):
-/// assert_eq!(alive, churn.alive_mask(0, 100));
-/// assert_ne!(alive, churn.alive_mask(1, 100));
-/// // The replacement model produces the identical mask.
-/// let model = FailureModel::from(churn);
+/// let model = FailureModel::iid(0.25, 7).unwrap();
 /// assert_eq!(model.availability(), 0.75);
+/// // Deterministic per (seed, slot): two processes replay identically.
+/// let trace = ccdn_trace::TraceConfig::small_test().generate();
+/// let geo = ccdn_sim::HotspotGeometry::new(trace.region, &trace.hotspots);
+/// let mask = model.process().advance(0, &geo);
+/// assert_eq!(mask, model.process().advance(0, &geo));
 /// ```
+#[doc(hidden)]
 #[deprecated(since = "0.1.0", note = "use FailureModel::iid, which produces identical masks")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {

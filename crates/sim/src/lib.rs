@@ -65,6 +65,7 @@ mod scheme;
 pub mod validate;
 
 pub use aggregate::{SlotDemand, VideoDemand};
+#[doc(hidden)]
 #[allow(deprecated)]
 pub use churn::ChurnModel;
 pub use failure::{FailureModel, FailureProcess, SimConfigError};

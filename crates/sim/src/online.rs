@@ -42,9 +42,18 @@ use crate::{
     Scheme, SimConfigError, SlotDecision, SlotDemand, SlotInput, SlotMetrics, Target,
     ValidationError,
 };
+use ccdn_obs::{Counter, Histogram};
 use ccdn_par::Threads;
 use ccdn_trace::{Trace, VideoId};
 use std::collections::BTreeSet;
+
+/// Cache wipes applied to offline hotspots during the merge replay.
+static CACHE_WIPES: Counter = Counter::new("sim.online.cache_wipes");
+/// Delta replication charged across all slots (videos newly pushed).
+static REPLICA_DELTA: Counter = Counter::new("sim.online.replica_delta");
+/// Per disrupted `(hotspot, video)` batch: how many alive hotspots the
+/// failover chain ended up using (0 = everything fell to the CDN).
+static FAILOVER_CHAIN_DEPTH: Histogram = Histogram::new("sim.online.failover_chain_depth");
 
 /// Outcome of one online slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -310,9 +319,12 @@ impl<'a> OnlineRunner<'a> {
         // slot order (ccdn-par's ordered join keeps the report
         // bit-identical for every thread count).
         let slot_ids: Vec<u32> = (0..self.trace.slot_count).collect();
-        let actuals: Vec<SlotDemand> = ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
-            SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
-        });
+        let actuals: Vec<SlotDemand> = {
+            let _span = ccdn_obs::span("sim.online.aggregate");
+            ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
+                SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
+            })
+        };
 
         // Planning is stateful (predictor history, `&mut S`, the failure
         // process, the stale-mask chain), so it stays sequential in slot
@@ -324,6 +336,7 @@ impl<'a> OnlineRunner<'a> {
             serve_service: Vec<u64>,
             serve_cache: Vec<u64>,
         }
+        let _plan_span = ccdn_obs::span("sim.online.plan");
         let mut process = self.failures.as_ref().map(FailureModel::process);
         // Planning for slot t sees slot t−1's liveness; before the trace
         // begins the controller believes everyone is up.
@@ -365,8 +378,11 @@ impl<'a> OnlineRunner<'a> {
             });
         }
 
+        drop(_plan_span);
+
         // Routing the realized slot against its fixed placement, scoring
         // it, and computing the forecast error are pure per slot: fan out.
+        let _route_span = ccdn_obs::span("sim.online.route");
         let routed = ccdn_par::par_map_indexed(self.threads, 0, &planned, |i, p| {
             let actual = &actuals[i];
             // Route the real slot against the fixed placement under the
@@ -394,13 +410,18 @@ impl<'a> OnlineRunner<'a> {
             (decision, failover, metrics, forecast_error)
         });
 
+        drop(_route_span);
+
         // Sequential merge: persistent caches must replay in slot order,
         // and the first error in slot order propagates.
+        let _merge_span = ccdn_obs::span("sim.online.merge");
         let mut caches = CacheState::new(n);
         let mut slots = Vec::with_capacity(slot_ids.len());
         let mut total = MetricsTotals::default();
         let mut total_failed_over = 0u64;
         let mut total_orphaned = 0u64;
+        let mut obs_wipes = 0u64;
+        let mut obs_delta = 0u64;
         for ((slot, p), (decision, failover, metrics, forecast_error)) in
             slot_ids.iter().copied().zip(&planned).zip(routed)
         {
@@ -415,9 +436,11 @@ impl<'a> OnlineRunner<'a> {
                     delta += caches.apply(h, &decision.placements[h]);
                 } else {
                     caches.wipe(h);
+                    obs_wipes += 1;
                 }
             }
             metrics.replicas = delta;
+            obs_delta += delta;
 
             total.add(&metrics);
             total_failed_over += failover.failed_over;
@@ -431,6 +454,9 @@ impl<'a> OnlineRunner<'a> {
                 orphaned: failover.orphaned,
             });
         }
+
+        CACHE_WIPES.add(obs_wipes);
+        REPLICA_DELTA.add(obs_delta);
 
         let report = OnlineReport {
             scheme: scheme.name().to_owned(),
@@ -524,6 +550,7 @@ pub fn route_with_failover(
 
             let mut remaining = vd.count;
             let mut hotspot_served = 0u64;
+            let mut servers_used = 0u64;
             // Local first.
             if cached[h].contains(&vd.video) && capacity_left[h] > 0 {
                 let m = remaining.min(capacity_left[h]);
@@ -531,6 +558,7 @@ pub fn route_with_failover(
                 capacity_left[h] -= m;
                 remaining -= m;
                 hotspot_served += m;
+                servers_used += 1;
             }
             // Then neighbours in distance order.
             for &(_, j) in &neighbours {
@@ -543,6 +571,7 @@ pub fn route_with_failover(
                     capacity_left[j] -= m;
                     remaining -= m;
                     hotspot_served += m;
+                    servers_used += 1;
                 }
             }
             if remaining > 0 {
@@ -551,6 +580,9 @@ pub fn route_with_failover(
             if disrupted {
                 stats.failed_over += hotspot_served;
                 stats.orphaned += remaining;
+                // Atomic bucket increments commute, so recording inside
+                // the routing fan-out stays thread-count invariant.
+                FAILOVER_CHAIN_DEPTH.record(servers_used);
             }
         }
     }

@@ -4,7 +4,7 @@ use crate::{
 };
 use ccdn_par::Threads;
 use ccdn_trace::Trace;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Per-slot record in a [`RunReport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,12 +94,16 @@ impl<'a> Runner<'a> {
         // Demand aggregation is pure per slot: fan out, merge in slot
         // order (ccdn-par's ordered join keeps the output bit-identical
         // for every thread count).
-        let demands: Vec<SlotDemand> = ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
-            SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
-        });
+        let demands: Vec<SlotDemand> = {
+            let _span = ccdn_obs::span("sim.runner.aggregate");
+            ccdn_par::par_map(self.threads, &slot_ids, |&slot| {
+                SlotDemand::aggregate(self.trace.slot_requests(slot), &self.geometry)
+            })
+        };
 
         // Scheduling is stateful (`&mut S`, the failure process) and
         // timed, so it stays sequential in slot order.
+        let _schedule_span = ccdn_obs::span("sim.runner.schedule");
         let mut scheduling_time = Duration::ZERO;
         let mut process = self.failures.as_ref().map(FailureModel::process);
         let mut scheduled = Vec::with_capacity(slot_ids.len());
@@ -129,14 +133,14 @@ impl<'a> Runner<'a> {
                 cache_capacity: &cache_capacity,
                 video_count: self.trace.video_count,
             };
-            let start = Instant::now();
-            let decision = scheme.schedule(&input);
-            let elapsed = start.elapsed();
+            let (decision, elapsed) = ccdn_obs::timed(|| scheme.schedule(&input));
             scheduling_time += elapsed;
             scheduled.push((service_capacity, cache_capacity, decision, elapsed));
         }
+        drop(_schedule_span);
 
         // Metric evaluation is pure per slot: fan out again.
+        let _eval_span = ccdn_obs::span("sim.runner.evaluate");
         let evaluated = ccdn_par::par_map_indexed(
             self.threads,
             0,
@@ -152,6 +156,7 @@ impl<'a> Runner<'a> {
                 SlotMetrics::evaluate(&input, decision)
             },
         );
+        drop(_eval_span);
 
         // Sequential merge: the first error in slot order propagates, so
         // error reporting matches the sequential path exactly.

@@ -101,7 +101,8 @@ impl DiurnalProfile {
         &self.weights
     }
 
-    /// Samples an hour proportionally to the weights.
+    /// Samples an hour proportionally to the weights. Hours with zero
+    /// weight are never returned.
     pub fn sample_hour<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         let total: f64 = self.weights.iter().sum();
         let mut pick = rng.gen_range(0.0..total);
@@ -111,7 +112,21 @@ impl DiurnalProfile {
             }
             pick -= w;
         }
-        23
+        self.fallback_hour()
+    }
+
+    /// Destination for the float-drift fallthrough in [`sample_hour`]:
+    /// when accumulated subtraction error exhausts the loop without a
+    /// pick, return the *last hour with positive weight* — returning a
+    /// bare 23 could emit an hour whose weight is 0.0 (e.g. a profile
+    /// with trailing zero weights), which callers may rightly treat as
+    /// impossible.
+    ///
+    /// [`sample_hour`]: DiurnalProfile::sample_hour
+    fn fallback_hour(&self) -> u32 {
+        // The constructor rejects all-zero profiles, so some hour is
+        // positive; map_or only defends against an impossible state.
+        self.weights.iter().rposition(|&w| w > 0.0).map_or(0, |h| h as u32)
     }
 
     /// The hour with the highest weight.
@@ -181,6 +196,30 @@ mod tests {
         assert_eq!(p.weight(5), 2.0);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(p.sample_hour(&mut rng), 5);
+    }
+
+    #[test]
+    fn fallback_skips_trailing_zero_weight_hours() {
+        // Only hours 3 and 7 are active; the drift fallback must land on
+        // 7 (the last positive hour), never on the zero-weight hour 23.
+        let mut w = [0.0; 24];
+        w[3] = 1.0;
+        w[7] = 2.0;
+        let p = DiurnalProfile::new(w);
+        assert_eq!(p.fallback_hour(), 7);
+    }
+
+    #[test]
+    fn zero_weight_hours_are_never_sampled() {
+        let mut w = [0.0; 24];
+        w[3] = 1.0;
+        w[7] = 2.0;
+        let p = DiurnalProfile::new(w);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let h = p.sample_hour(&mut rng);
+            assert!(h == 3 || h == 7, "sampled zero-weight hour {h}");
+        }
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   outside `ccdn-par`: ad-hoc threading reintroduces scheduling
 //!   nondeterminism. Fan out through `ccdn_par::par_map`, whose ordered
 //!   join keeps seeded results bit-exact for every thread count.
+//! - **instant** — no `std::time::Instant` outside `ccdn-obs`: wall
+//!   clocks scattered through planning code are how nondeterminism and
+//!   ad-hoc printf profiling creep in. Time through `ccdn_obs::span` /
+//!   `Stopwatch` / `timed`, which keep durations out of results.
 //!
 //! A finding is silenced by a waiver comment naming the rule plus a
 //! justification, on the same line or on a comment-only line directly
@@ -40,6 +44,9 @@ const HASH_SCOPE: [&str; 4] = ["core", "flow", "sim", "cluster"];
 const CAST_SCOPE: [&str; 1] = ["flow"];
 /// Crates allowed to spawn threads (the deterministic pool itself).
 const SPAWN_EXEMPT: [&str; 1] = ["par"];
+/// Crates allowed to touch `std::time::Instant` (the observability layer
+/// that wraps it).
+const INSTANT_EXEMPT: [&str; 1] = ["obs"];
 /// Crate directories that are exempt from linting (bench harness bins
 /// and this tool itself).
 const EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
@@ -135,6 +142,7 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
     let hash_scope = crate_name.is_some_and(|c| HASH_SCOPE.contains(&c));
     let cast_scope = crate_name.is_some_and(|c| CAST_SCOPE.contains(&c));
     let spawn_scope = !crate_name.is_some_and(|c| SPAWN_EXEMPT.contains(&c));
+    let instant_scope = !crate_name.is_some_and(|c| INSTANT_EXEMPT.contains(&c));
 
     let mut findings = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
@@ -194,6 +202,14 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
                     );
                 }
             }
+        }
+        if instant_scope && has_word(code, "Instant") {
+            push(
+                "instant",
+                "`Instant` outside ccdn-obs; time through `ccdn_obs::span` / `Stopwatch` / \
+                 `timed` so durations stay out of results"
+                    .into(),
+            );
         }
         if cast_scope {
             for ty in lossy_casts(code) {
@@ -515,6 +531,18 @@ mod tests {
         // The pool crate itself is the one place allowed to spawn.
         let in_par = lint_file(Path::new("crates/par/src/lib.rs"), Some("par"), src);
         assert!(in_par.is_empty());
+    }
+
+    #[test]
+    fn flags_instant_outside_obs() {
+        let src = "use std::time::Instant;\nfn a() { let t = Instant::now(); }\n";
+        assert_eq!(rules(&lint_core(src)), ["instant", "instant"]);
+        // The observability crate itself is the one place allowed to
+        // touch the wall clock.
+        let in_obs = lint_file(Path::new("crates/obs/src/lib.rs"), Some("obs"), src);
+        assert!(in_obs.is_empty());
+        // Prose like "Instantiates" must not trip the word match.
+        assert!(lint_core("fn a() {} // Instantiates the per-run state\n").is_empty());
     }
 
     #[test]

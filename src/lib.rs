@@ -19,6 +19,7 @@
 //! | [`sim`] | `ccdn-sim` | aggregation, metrics, validation, runner |
 //! | [`core`] | `ccdn-core` | RBCAer + Nearest / Random / LP-based |
 //! | [`par`] | `ccdn-par` | deterministic ordered-join worker pool |
+//! | [`obs`] | `ccdn-obs` | counters, histograms, spans, perf reports |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use ccdn_core as core;
 pub use ccdn_flow as flow;
 pub use ccdn_geo as geo;
 pub use ccdn_lp as lp;
+pub use ccdn_obs as obs;
 pub use ccdn_par as par;
 pub use ccdn_sim as sim;
 pub use ccdn_stats as stats;
