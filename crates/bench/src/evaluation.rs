@@ -80,6 +80,7 @@ where
             let results = paper_schemes()
                 .iter_mut()
                 .map(|scheme| {
+                    // lint: allow(no-panic): experiment harness: a scheme that fails validation must abort the figure run loudly
                     let report = runner.run(scheme.as_mut()).expect("scheme validates");
                     (report.scheme.clone(), report.total)
                 })

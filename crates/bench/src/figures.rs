@@ -97,6 +97,7 @@ pub fn fig2(config: &TraceConfig) -> FigureReport {
     let mut cdf_rows = Vec::new();
     for (name, loads) in &strategies {
         let cdf =
+            // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
             Cdf::from_samples(loads.loads.iter().map(|&l| l as f64)).expect("non-empty loads");
         skew.row(&[
             name.to_string(),
@@ -160,6 +161,7 @@ pub fn fig3(config: &TraceConfig) -> FigureReport {
             correlations.push(r);
         }
     }
+    // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
     let cdf = Cdf::from_samples(correlations.iter().copied()).expect("pairs exist");
     let mut corr_table = Table::new(&["statistic", "value"]);
     corr_table.row(&["pairs correlated".into(), cdf.len().to_string()]);
@@ -189,6 +191,7 @@ pub fn fig3(config: &TraceConfig) -> FigureReport {
             sim_table.row(&[label.to_string(), "0".into()]);
             continue;
         }
+        // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
         let cdf = Cdf::from_samples(sims.iter().copied()).expect("non-empty");
         sim_table.row(&[
             label.to_string(),
@@ -257,6 +260,7 @@ pub fn fig5(config: &TraceConfig) -> FigureReport {
         grid[cy.min(ROWS - 1)][cx.min(COLS - 1)] += 1;
     }
     let cells: Vec<f64> = grid.iter().flatten().map(|&v| v as f64).collect();
+    // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
     let summary = Summary::from_samples(cells.iter().copied()).expect("cells exist");
     let gini_cell = gini(&cells);
     let mut skew = Table::new(&["statistic", "value"]);
@@ -307,6 +311,7 @@ pub fn fig8(config: &TraceConfig) -> (FigureReport, Vec<(String, Duration)>) {
     let mut metric_rows = Vec::new();
     let mut times = Vec::new();
     for (scheme, note) in &mut schemes {
+        // lint: allow(no-panic): experiment harness: a scheme that fails validation must abort the figure run loudly
         let report = runner.run(scheme.as_mut()).expect("scheme validates");
         table.row(&[
             report.scheme.clone(),
@@ -352,6 +357,7 @@ pub fn balance(config: &TraceConfig) -> FigureReport {
         video_count: trace.video_count,
     };
 
+    // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
     let demand_cdf = Cdf::from_samples(demand.loads().iter().map(|&l| l as f64)).expect("loads");
     let mut demand_table = Table::new(&["statistic", "value"]);
     demand_table.row(&["demand median".into(), f3(demand_cdf.median())]);
@@ -370,8 +376,10 @@ pub fn balance(config: &TraceConfig) -> FigureReport {
     let mut rows = Vec::new();
     for scheme in &mut schemes {
         let decision = scheme.schedule(&input);
+        // lint: allow(no-panic): experiment harness: a scheme that fails validation must abort the figure run loudly
         SlotMetrics::evaluate(&input, &decision).expect("scheme validates");
         let served = served_loads(input.hotspot_count(), &decision);
+        // lint: allow(no-panic): experiment harness: empty sample set means a broken figure config; abort loudly
         let cdf = Cdf::from_samples(served.iter().map(|&l| l as f64)).expect("served");
         let jain = utilization_fairness(&service, &decision).unwrap_or(0.0);
         table.row(&[

@@ -41,11 +41,15 @@ pub fn figures_dir() -> PathBuf {
 /// aborting loudly is the right behaviour.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     let dir = figures_dir();
+    // lint: allow(no-panic): experiment harness: unwritable output directory must abort the figure run loudly
     fs::create_dir_all(&dir).expect("create figures directory");
     let path = dir.join(format!("{name}.csv"));
+    // lint: allow(no-panic): experiment harness: unwritable output file must abort the figure run loudly
     let mut file = fs::File::create(&path).expect("create csv file");
+    // lint: allow(no-panic): experiment harness: failed csv write must abort the figure run loudly
     writeln!(file, "{header}").expect("write header");
     for row in rows {
+        // lint: allow(no-panic): experiment harness: failed csv write must abort the figure run loudly
         writeln!(file, "{row}").expect("write row");
     }
     path
@@ -100,6 +104,7 @@ impl ObsCapture {
         let delta = ccdn_obs::ObsReport::capture().delta(&self.base);
         delta
             .write_json(&self.path, label, ccdn_par::current_threads(), Some(self.watch.elapsed()))
+            // lint: allow(no-panic): experiment harness: failed report write must abort the figure run loudly
             .expect("write obs perf report");
         println!("  [obs] {label} -> {}", self.path.display());
     }

@@ -54,6 +54,7 @@ pub fn nearest_routing(requests: &[Request], geometry: &HotspotGeometry) -> Rout
     tally(
         geometry.len(),
         requests.iter().map(|r| {
+            // lint: allow(no-panic): experiment harness: empty geometry means a broken config; abort loudly
             let (h, _) = geometry.nearest(r.location).expect("non-empty geometry");
             (h.0, r.video, r.timeslot)
         }),
@@ -75,6 +76,7 @@ pub fn random_routing(
         requests.iter().map(|r| {
             let in_range = geometry.within_radius_of_point(r.location, radius_km);
             let h = if in_range.is_empty() {
+                // lint: allow(no-panic): experiment harness: empty geometry means a broken config; abort loudly
                 geometry.nearest(r.location).expect("non-empty geometry").0
             } else {
                 in_range[rng.gen_range(0..in_range.len())]
@@ -95,6 +97,7 @@ pub fn top_content_sets(
     let n = geometry.len();
     let mut counts: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); n];
     for r in requests {
+        // lint: allow(no-panic): experiment harness: empty geometry means a broken config; abort loudly
         let (h, _) = geometry.nearest(r.location).expect("non-empty geometry");
         *counts[h.0].entry(r.video).or_insert(0) += 1;
     }

@@ -325,8 +325,8 @@ mod tests {
             let outcome = scheduler.balance_only(&input);
             assert!(outcome.moved <= outcome.max_movable);
             // Per-source and per-target flow sums within φ.
-            let mut out = std::collections::HashMap::new();
-            let mut inc = std::collections::HashMap::new();
+            let mut out = std::collections::BTreeMap::new();
+            let mut inc = std::collections::BTreeMap::new();
             for (&(i, j), &f) in &outcome.flows {
                 *out.entry(i).or_insert(0u64) += f;
                 *inc.entry(j).or_insert(0u64) += f;
@@ -400,7 +400,7 @@ mod tests {
         // Count, over each hotspot's hottest videos, the in-radius peer
         // copies available to failover routing.
         let coverage = |d: &ccdn_sim::SlotDecision| -> usize {
-            let cached: Vec<std::collections::HashSet<_>> =
+            let cached: Vec<std::collections::BTreeSet<_>> =
                 d.placements.iter().map(|p| p.iter().copied().collect()).collect();
             let mut satisfied = 0;
             for h in 0..input.hotspot_count() {

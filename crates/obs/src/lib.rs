@@ -605,7 +605,12 @@ fn push_entries<T>(
 }
 
 /// Escapes `s` as a JSON string literal, quotes included.
-fn json_string(s: &str) -> String {
+///
+/// Public because it is the workspace's one JSON string writer: the
+/// hand-serialised reports here and the `ccdn-analyze` findings report
+/// in `crates/xtask` both go through it, so every emitted document
+/// round-trips through [`json::parse`] by construction.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

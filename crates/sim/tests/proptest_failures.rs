@@ -7,7 +7,7 @@ use ccdn_sim::{
 };
 use ccdn_trace::{HotspotId, TraceConfig, VideoId};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 const RADIUS_KM: f64 = 1.5;
 
@@ -83,7 +83,7 @@ proptest! {
         let demand = SlotDemand::aggregate(trace.slot_requests(0), &geometry);
         let service: Vec<u64> =
             trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
-        let cached: Vec<HashSet<VideoId>> =
+        let cached: Vec<BTreeSet<VideoId>> =
             placements.iter().map(|p| p.iter().copied().collect()).collect();
 
         let (decision, stats) = route_with_failover(

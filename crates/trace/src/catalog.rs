@@ -166,7 +166,7 @@ fn permutation(n: usize, seed: u64) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn samples_are_in_range() {
@@ -195,13 +195,13 @@ mod tests {
         let c = VideoCatalog::new(1000, 1.2, 1.0, 11);
         let mut rng = StdRng::seed_from_u64(5);
         let sample_top = |cluster: usize, rng: &mut StdRng| {
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for _ in 0..3000 {
                 *counts.entry(c.sample(Some(cluster), rng)).or_insert(0usize) += 1;
             }
             let mut v: Vec<_> = counts.into_iter().collect();
             v.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-            v.into_iter().take(20).map(|(id, _)| id).collect::<HashSet<_>>()
+            v.into_iter().take(20).map(|(id, _)| id).collect::<BTreeSet<_>>()
         };
         let a = sample_top(0, &mut rng);
         let b = sample_top(1, &mut rng);

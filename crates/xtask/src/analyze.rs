@@ -1,0 +1,608 @@
+//! ccdn-analyze: call-graph semantic passes over the workspace.
+//!
+//! Where ccdn-lint matches single lines, these passes run reachability
+//! over an over-approximate call graph (see [`crate::index`] and
+//! [`crate::graph`]), so a nondeterministic source laundered through a
+//! helper in another crate is still caught. Four passes:
+//!
+//! - **nondet-taint** — transitive reachability from nondeterminism
+//!   roots (`Instant` / `SystemTime`, `HashMap` / `HashSet`,
+//!   `thread::spawn` / `scope`, `env::*`) into the seeded planning and
+//!   simulation entry points: every `pub` fn of `ccdn-core`,
+//!   `ccdn-flow`, `ccdn-sim`, `ccdn-cluster` and `ccdn-trace`. The
+//!   `ccdn-par` and `ccdn-obs` crates are trusted sinks — their
+//!   sanctioned clock/thread/env use does not taint callers, which is
+//!   exactly the `par`/`obs` lint exemption lifted to the graph.
+//! - **panic-reach** — extends no-panic beyond direct `unwrap`: slice
+//!   indexing, integer div/rem, panic-family macros, and *transitive
+//!   calls* into panicking or panic-waived functions, reported with the
+//!   full call chain from every `pub` fn that can reach one.
+//! - **unused-waiver** — a `// lint: allow(..)` that no longer
+//!   suppresses any finding (token-level or semantic) is itself a
+//!   finding, so waivers cannot rot; unknown rule names are caught too.
+//! - **pub-api-error** — `pub` fns returning `Result` must use the
+//!   workspace's typed errors: `Box<dyn Error>`, `String` and `&str`
+//!   error positions are rejected.
+//!
+//! Findings are keyed by stable identifiers (qualified names, not line
+//! numbers) and diffed against the committed `lint-baseline.json`
+//! ratchet: a finding not in the baseline fails the run, and a baseline
+//! entry that no longer fires fails it too, so the baseline can only
+//! shrink. Waive a fn-level finding with the same comment syntax as the
+//! lint, placed directly above the `fn` line:
+//! `// lint: allow(panic-reach): bench harness aborts loudly by design`.
+
+use crate::graph::{self, Graph, NondetKind};
+use crate::index::{self, Index};
+use crate::lint::{self, WaiverUse};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `pub` fns are the seeded entry points nondeterminism
+/// must not reach.
+const NONDET_ENTRY_CRATES: [&str; 5] = ["cluster", "core", "flow", "sim", "trace"];
+/// Crates whose internal clock/thread/env use is sanctioned; they are
+/// neither taint roots nor taint carriers.
+const TRUSTED_CRATES: [&str; 2] = ["obs", "par"];
+
+/// Rules the semantic passes accept in waivers.
+const ANALYZE_RULES: [&str; 3] = ["nondet-taint", "panic-reach", "pub-api-error"];
+/// Rules the token lint accepts in waivers.
+const LINT_RULES: [&str; 8] = [
+    "no-panic",
+    "hash-iter",
+    "float-eq",
+    "lossy-cast",
+    "partial-cmp-unwrap",
+    "thread-spawn",
+    "instant",
+    "waiver",
+];
+
+/// One semantic finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemFinding {
+    /// Which pass produced it.
+    pub pass: &'static str,
+    /// Workspace-relative file of the anchor (entry fn or waiver).
+    pub file: PathBuf,
+    /// One-based anchor line.
+    pub line: usize,
+    /// Stable ratchet key (no line numbers).
+    pub key: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Call chain from entry to root, one `qname (file:line)` hop per
+    /// element; empty for passes without chains.
+    pub chain: Vec<String>,
+}
+
+impl fmt::Display for SemFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} — {}", self.file.display(), self.line, self.pass, self.message)?;
+        for hop in &self.chain {
+            write!(f, "\n    via {hop}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full analysis of a tree: findings plus the baseline diff.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All semantic findings, sorted by (pass, file, line, key).
+    pub findings: Vec<SemFinding>,
+    /// Keys firing now but absent from the baseline (CI failure).
+    pub new: Vec<String>,
+    /// Baseline keys that no longer fire (CI failure: shrink the file).
+    pub stale: Vec<String>,
+}
+
+impl Analysis {
+    /// True when the tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Finding counts per pass, for the report summary.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for pass in ["nondet-taint", "panic-reach", "unused-waiver", "pub-api-error"] {
+            counts.insert(pass, 0);
+        }
+        for finding in &self.findings {
+            *counts.entry(finding.pass).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The analysis as one deterministic JSON document (trailing
+    /// newline included). Two runs over the same tree produce
+    /// byte-identical output: every collection is sorted and nothing
+    /// time- or environment-dependent is recorded.
+    pub fn to_json(&self) -> String {
+        use ccdn_obs::json_string as js;
+        let mut out = String::from("{\"tool\":\"ccdn-analyze\",\"version\":1,\"passes\":{");
+        let counts = self.counts();
+        for (i, (pass, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{n}", js(pass)));
+        }
+        out.push_str("},\"findings\":[");
+        for (i, finding) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let chain: Vec<String> = finding.chain.iter().map(|h| js(h)).collect();
+            out.push_str(&format!(
+                "{{\"pass\":{},\"file\":{},\"line\":{},\"key\":{},\"message\":{},\"chain\":[{}]}}",
+                js(finding.pass),
+                js(&finding.file.display().to_string()),
+                finding.line,
+                js(&finding.key),
+                js(&finding.message),
+                chain.join(",")
+            ));
+        }
+        out.push_str("],\"baseline\":{\"new\":[");
+        push_keys(&mut out, &self.new);
+        out.push_str("],\"stale\":[");
+        push_keys(&mut out, &self.stale);
+        out.push_str("]}}\n");
+        out
+    }
+}
+
+fn push_keys(out: &mut String, keys: &[String]) {
+    for (i, key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ccdn_obs::json_string(key));
+    }
+}
+
+/// Why an analysis could not run.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// A source file could not be indexed.
+    Index(index::IndexError),
+    /// The token lint (needed for waiver usage) failed on I/O.
+    Lint(std::io::Error),
+    /// `lint-baseline.json` exists but cannot be read or parsed.
+    Baseline(String),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Index(e) => write!(f, "{e}"),
+            AnalyzeError::Lint(e) => write!(f, "lint pre-pass: {e}"),
+            AnalyzeError::Baseline(e) => write!(f, "lint-baseline.json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Runs the four passes over the tree at `root` and diffs against the
+/// baseline at `root/lint-baseline.json` (an absent baseline means an
+/// empty one).
+///
+/// # Errors
+///
+/// [`AnalyzeError`] on I/O failure or an unreadable baseline; findings
+/// are never errors.
+pub fn run(root: &Path) -> Result<Analysis, AnalyzeError> {
+    let index = index::build(root).map_err(AnalyzeError::Index)?;
+    let graph = graph::build(&index);
+    let lint_run = lint::run_full(root).map_err(AnalyzeError::Lint)?;
+    let waivers = lint_run.waivers;
+
+    let mut findings = Vec::new();
+    let mut sem_used: Vec<bool> = vec![false; waivers.len()];
+    {
+        let mut waive = |file: &Path, line: usize, rule: &str| -> bool {
+            let mut hit = false;
+            for (i, w) in waivers.iter().enumerate() {
+                if w.rule == rule && w.target_line == line && w.file == file {
+                    sem_used[i] = true;
+                    hit = true;
+                }
+            }
+            hit
+        };
+        nondet_taint_pass(&index, &graph, &mut waive, &mut findings);
+        panic_reach_pass(&index, &graph, &mut waive, &mut findings);
+        pub_api_error_pass(&index, &mut waive, &mut findings);
+    }
+    unused_waiver_pass(&waivers, &sem_used, &mut findings);
+
+    findings
+        .sort_by(|a, b| (a.pass, &a.file, a.line, &a.key).cmp(&(b.pass, &b.file, b.line, &b.key)));
+
+    let baseline = read_baseline(root)?;
+    let current: BTreeSet<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    let new = findings
+        .iter()
+        .filter(|f| !baseline.contains(&f.key))
+        .map(|f| f.key.clone())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let stale = baseline.iter().filter(|k| !current.contains(k.as_str())).cloned().collect();
+    Ok(Analysis { findings, new, stale })
+}
+
+/// Pass 1: nondeterminism taint into the seeded entry points.
+fn nondet_taint_pass(
+    index: &Index,
+    graph: &Graph,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    // Roots: fns outside the trusted crates with intrinsic
+    // nondeterminism, minus waived ones.
+    let mut roots: BTreeMap<usize, Vec<NondetKind>> = BTreeMap::new();
+    for (id, item) in index.fns.iter().enumerate() {
+        if TRUSTED_CRATES.contains(&item.crate_name.as_str()) {
+            continue;
+        }
+        let kinds: Vec<NondetKind> = graph.facts[id].nondet.keys().copied().collect();
+        if kinds.is_empty() {
+            continue;
+        }
+        if waive(&item.file, item.line, "nondet-taint") {
+            continue;
+        }
+        roots.insert(id, kinds);
+    }
+    for (entry_id, entry) in index.fns.iter().enumerate() {
+        if !entry.is_pub
+            || entry.in_bin
+            || !NONDET_ENTRY_CRATES.contains(&entry.crate_name.as_str())
+        {
+            continue;
+        }
+        if waive(&entry.file, entry.line, "nondet-taint") {
+            continue;
+        }
+        let parents = bfs(graph, entry_id, &|id| !trusted(index, id));
+        // Nearest root per kind (BFS order makes "nearest" exact).
+        let mut reported: BTreeSet<NondetKind> = BTreeSet::new();
+        for (&root_id, kinds) in &roots {
+            if parents.get(&root_id).is_none() {
+                continue;
+            }
+            for &kind in kinds {
+                if !reported.insert(kind) {
+                    continue;
+                }
+                let site = &graph.facts[root_id].nondet[&kind];
+                let chain = render_chain(index, &parents, entry_id, root_id);
+                let root = &index.fns[root_id];
+                findings.push(SemFinding {
+                    pass: "nondet-taint",
+                    file: entry.file.clone(),
+                    line: entry.line,
+                    key: format!("nondet-taint|{}|{}|{}", entry.qname, kind.label(), root.qname),
+                    message: format!(
+                        "seeded entry point `{}` reaches {} nondeterminism: `{}` uses {} ({}:{})",
+                        entry.qname,
+                        kind.label(),
+                        root.qname,
+                        site.what,
+                        root.file.display(),
+                        site.line
+                    ),
+                    chain,
+                });
+            }
+        }
+    }
+}
+
+fn trusted(index: &Index, id: usize) -> bool {
+    TRUSTED_CRATES.contains(&index.fns[id].crate_name.as_str())
+}
+
+/// Pass 2: panic reachability from the `pub` surface.
+fn panic_reach_pass(
+    index: &Index,
+    graph: &Graph,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for (id, item) in index.fns.iter().enumerate() {
+        if graph.facts[id].panics.is_empty() {
+            continue;
+        }
+        if waive(&item.file, item.line, "panic-reach") {
+            continue;
+        }
+        roots.insert(id);
+    }
+    for (entry_id, entry) in index.fns.iter().enumerate() {
+        if !entry.is_pub || entry.in_bin {
+            continue;
+        }
+        if waive(&entry.file, entry.line, "panic-reach") {
+            continue;
+        }
+        let parents = bfs(graph, entry_id, &|_| true);
+        // Nearest reachable root, ties broken by fn id for stable output.
+        let mut nearest: Option<(usize, usize)> = None; // (dist, id)
+        for (&id, &(_, dist)) in &parents {
+            if roots.contains(&id) && nearest.is_none_or(|best| (dist, id) < best) {
+                nearest = Some((dist, id));
+            }
+        }
+        let Some((_, root_id)) = nearest else {
+            continue;
+        };
+        let root = &index.fns[root_id];
+        let site = graph.facts[root_id]
+            .panics
+            .first()
+            .cloned()
+            .unwrap_or_else(|| graph::RootSite { line: root.line, what: "panic".into() });
+        let chain = render_chain(index, &parents, entry_id, root_id);
+        findings.push(SemFinding {
+            pass: "panic-reach",
+            file: entry.file.clone(),
+            line: entry.line,
+            key: format!("panic-reach|{}|{}", entry.qname, root.qname),
+            message: format!(
+                "pub fn `{}` can reach a panic: `{}` has {} ({}:{})",
+                entry.qname,
+                root.qname,
+                site.what,
+                root.file.display(),
+                site.line
+            ),
+            chain,
+        });
+    }
+}
+
+/// Pass 3: every justified waiver must still suppress something, and
+/// every waiver must name a known rule.
+fn unused_waiver_pass(waivers: &[WaiverUse], sem_used: &[bool], findings: &mut Vec<SemFinding>) {
+    // Ordinal per (file, rule) pair keeps keys stable under line edits.
+    let mut ordinals: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (i, waiver) in waivers.iter().enumerate() {
+        let file_key = waiver.file.display().to_string();
+        let n = ordinals.entry((file_key.clone(), waiver.rule.clone())).or_insert(0);
+        let ordinal = *n;
+        *n += 1;
+        let known = LINT_RULES.contains(&waiver.rule.as_str())
+            || ANALYZE_RULES.contains(&waiver.rule.as_str());
+        if !known {
+            findings.push(SemFinding {
+                pass: "unused-waiver",
+                file: waiver.file.clone(),
+                line: waiver.comment_line,
+                key: format!("unused-waiver|{file_key}|{}|unknown#{ordinal}", waiver.rule),
+                message: format!(
+                    "waiver names unknown rule `{}`; known rules: {} / {}",
+                    waiver.rule,
+                    LINT_RULES.join(", "),
+                    ANALYZE_RULES.join(", ")
+                ),
+                chain: Vec::new(),
+            });
+            continue;
+        }
+        if !waiver.used && !sem_used[i] && waiver.justified {
+            findings.push(SemFinding {
+                pass: "unused-waiver",
+                file: waiver.file.clone(),
+                line: waiver.comment_line,
+                key: format!("unused-waiver|{file_key}|{}|#{ordinal}", waiver.rule),
+                message: format!(
+                    "waiver for `{}` suppresses nothing; remove it (waivers must not rot)",
+                    waiver.rule
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Pass 4: `pub` fns returning `Result` must use typed errors.
+fn pub_api_error_pass(
+    index: &Index,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    for item in &index.fns {
+        if !item.is_pub || item.in_bin {
+            continue;
+        }
+        let Some(err) = result_error_type(&item.ret) else {
+            continue;
+        };
+        let bad =
+            err.contains("Box<dyn") || err == "String" || err == "&str" || err == "&'static str";
+        if !bad {
+            continue;
+        }
+        if waive(&item.file, item.line, "pub-api-error") {
+            continue;
+        }
+        findings.push(SemFinding {
+            pass: "pub-api-error",
+            file: item.file.clone(),
+            line: item.line,
+            key: format!("pub-api-error|{}|{}", item.qname, err),
+            message: format!(
+                "pub fn `{}` returns `Result<_, {err}>`; use one of the workspace's typed \
+                 errors (ConfigError, FlowError, LpError, ...)",
+                item.qname
+            ),
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// Extracts the error type from a rendered `Result<T, E>` return type;
+/// `None` when the return is not a two-argument `Result`.
+fn result_error_type(ret: &str) -> Option<String> {
+    let at = ret.find("Result<")?;
+    let args = &ret[at + "Result<".len()..];
+    // Split at the top-level comma.
+    let mut depth = 0i32;
+    for (i, c) in args.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => {
+                if c == '>' && depth == 0 {
+                    return None; // single-argument alias like io::Result<T>
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => {
+                let rest = &args[i + 1..];
+                let mut end = rest.len();
+                let mut d = 0i32;
+                for (j, c2) in rest.char_indices() {
+                    match c2 {
+                        '<' | '(' | '[' => d += 1,
+                        '>' if d == 0 => {
+                            end = j;
+                            break;
+                        }
+                        '>' | ')' | ']' => d -= 1,
+                        _ => {}
+                    }
+                }
+                return Some(rest[..end].trim().to_string());
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Deterministic BFS from `entry`; returns child → (parent, distance).
+/// `admit` filters which nodes may be traversed (used to stop taint at
+/// the trusted crates).
+fn bfs(
+    graph: &Graph,
+    entry: usize,
+    admit: &dyn Fn(usize) -> bool,
+) -> BTreeMap<usize, (usize, usize)> {
+    let mut parents: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    parents.insert(entry, (entry, 0));
+    let mut frontier = vec![entry];
+    let mut dist = 0usize;
+    while !frontier.is_empty() {
+        dist += 1;
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for &callee in &graph.facts[node].calls {
+                if parents.contains_key(&callee) || !admit(callee) {
+                    continue;
+                }
+                parents.insert(callee, (node, dist));
+                next.push(callee);
+            }
+        }
+        frontier = next;
+    }
+    parents
+}
+
+/// Renders the entry → root call chain as `qname (file:line)` hops.
+fn render_chain(
+    index: &Index,
+    parents: &BTreeMap<usize, (usize, usize)>,
+    entry: usize,
+    target: usize,
+) -> Vec<String> {
+    let mut hops = Vec::new();
+    let mut at = target;
+    loop {
+        let item = &index.fns[at];
+        hops.push(format!("{} ({}:{})", item.qname, item.file.display(), item.line));
+        if at == entry {
+            break;
+        }
+        let Some(&(parent, _)) = parents.get(&at) else {
+            break;
+        };
+        at = parent;
+    }
+    hops.reverse();
+    hops
+}
+
+/// Reads the baseline key set from `root/lint-baseline.json`; an absent
+/// file is an empty baseline.
+pub fn read_baseline(root: &Path) -> Result<BTreeSet<String>, AnalyzeError> {
+    let path = root.join("lint-baseline.json");
+    if !path.exists() {
+        return Ok(BTreeSet::new());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| AnalyzeError::Baseline(format!("read: {e}")))?;
+    let value =
+        ccdn_obs::json::parse(&text).map_err(|e| AnalyzeError::Baseline(format!("parse: {e}")))?;
+    let findings = value
+        .get("findings")
+        .and_then(ccdn_obs::json::Value::as_array)
+        .ok_or_else(|| AnalyzeError::Baseline("missing `findings` array".into()))?;
+    let mut keys = BTreeSet::new();
+    for entry in findings {
+        let key = entry
+            .get("key")
+            .and_then(ccdn_obs::json::Value::as_str)
+            .ok_or_else(|| AnalyzeError::Baseline("finding without a string `key`".into()))?;
+        keys.insert(key.to_string());
+    }
+    Ok(keys)
+}
+
+/// Serialises the current findings as the baseline document.
+pub fn baseline_json(analysis: &Analysis) -> String {
+    use ccdn_obs::json_string as js;
+    let mut out = String::from(
+        "{\"tool\":\"ccdn-analyze\",\"version\":1,\"note\":\"ratchet: entries may only be removed; regenerate with `cargo xtask analyze --write-baseline`\",\"findings\":[",
+    );
+    let mut keys: Vec<(&str, &str)> =
+        analysis.findings.iter().map(|f| (f.pass, f.key.as_str())).collect();
+    keys.sort();
+    keys.dedup();
+    for (i, (pass, key)) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"pass\":{},\"key\":{}}}", js(pass), js(key)));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_error_extraction() {
+        assert_eq!(result_error_type("Result<u32,ConfigError>").as_deref(), Some("ConfigError"));
+        assert_eq!(
+            result_error_type("Result<Vec<u8>,Box<dyn std::error::Error>>").as_deref(),
+            Some("Box<dyn std::error::Error>")
+        );
+        assert_eq!(result_error_type("io::Result<()>"), None);
+        assert_eq!(result_error_type("u32"), None);
+        assert_eq!(
+            result_error_type("Result<BTreeMap<u32,u32>,String>").as_deref(),
+            Some("String")
+        );
+    }
+}

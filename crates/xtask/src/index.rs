@@ -1,0 +1,558 @@
+//! Per-crate item index for ccdn-analyze.
+//!
+//! Walks the token stream of every library source file and recovers the
+//! items the semantic passes need: functions (free, inherent, trait
+//! default and trait impl), their qualified names, visibility, return
+//! types, and body token spans. The walk tracks `mod` / `impl` / `trait`
+//! scopes by brace depth, so a method indexed under `flow::mcmf` with
+//! impl type `McmfSolver` gets the qualified name
+//! `flow::mcmf::McmfSolver::solve`.
+//!
+//! The index is *over-approximate where it must choose*: nested
+//! functions are indexed as their own items while their tokens also stay
+//! inside the enclosing body span, and `#[cfg]`-gated duplicates all
+//! land in the index. Both err on the side of more reachability, which
+//! is the safe direction for the taint and panic passes.
+
+use crate::source::{self, Tok, TokKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// One indexed function.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Crate directory name (`flow`, `core`, ...; `root` for `src/`).
+    pub crate_name: String,
+    /// Workspace-relative source path.
+    pub file: PathBuf,
+    /// Qualified name: `crate::module::Type::fn` (module = file stem
+    /// plus any inline `mod` scopes; `lib` / `mod` / `main` stems are
+    /// dropped).
+    pub qname: String,
+    /// The bare function name.
+    pub name: String,
+    /// Impl or trait type the fn is a method of, if any.
+    pub self_type: Option<String>,
+    /// True for `pub` / `pub(...)` items.
+    pub is_pub: bool,
+    /// One-based line of the `fn` keyword.
+    pub line: usize,
+    /// Return type text (`""` when the fn returns unit).
+    pub ret: String,
+    /// Token range of the body in the file's token stream (braces
+    /// excluded). Empty for signature-only trait methods.
+    pub body: Range<usize>,
+    /// True when the file lives under a `bin/` directory (experiment
+    /// scripts; indexed for reachability but not part of the checked
+    /// `pub` surface).
+    pub in_bin: bool,
+}
+
+/// One indexed file: its token stream plus the fns defined in it.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Full lexed token stream.
+    pub tokens: Vec<Tok>,
+    /// Indices into [`Index::fns`] for fns defined in this file.
+    pub fns: Vec<usize>,
+}
+
+/// The whole-workspace item index.
+#[derive(Debug, Default)]
+pub struct Index {
+    /// Every indexed fn, in deterministic (path, token) order.
+    pub fns: Vec<FnItem>,
+    /// Indexed files, sorted by path.
+    pub files: Vec<FileIndex>,
+    /// fn name → fn ids (for unqualified and method resolution).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// (self type, fn name) → fn ids (for `Type::method` resolution).
+    pub by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    /// crate name → fn ids.
+    pub by_crate: BTreeMap<String, Vec<usize>>,
+}
+
+/// An I/O failure while building the index.
+#[derive(Debug)]
+pub struct IndexError {
+    /// The file being read.
+    pub path: PathBuf,
+    /// The underlying error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "indexing {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Crate directories never indexed: the analyzer itself.
+const INDEX_EXEMPT: [&str; 1] = ["xtask"];
+
+/// Builds the index over every library source file under `root`:
+/// `src/` plus each `crates/*/src/` except the analyzer's own. Files
+/// under `bin/` directories are indexed (they can launder calls) but
+/// flagged [`FnItem::in_bin`].
+///
+/// # Errors
+///
+/// [`IndexError`] when a source file cannot be listed or read.
+pub fn build(root: &Path) -> Result<Index, IndexError> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs_files(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|e| IndexError { path: crates.clone(), source: e })?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()
+            .map_err(|e| IndexError { path: crates.clone(), source: e })?;
+        entries.sort();
+        for dir in entries {
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if INDEX_EXEMPT.contains(&name) {
+                continue;
+            }
+            let crate_src = dir.join("src");
+            if crate_src.is_dir() {
+                collect_rs_files(&crate_src, &mut files)?;
+            }
+        }
+    }
+    let mut index = Index::default();
+    for file in &files {
+        let text =
+            fs::read_to_string(file).map_err(|e| IndexError { path: file.clone(), source: e })?;
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        index_file(&mut index, rel, &text);
+    }
+    for (id, item) in index.fns.iter().enumerate() {
+        index.by_name.entry(item.name.clone()).or_default().push(id);
+        if let Some(ty) = &item.self_type {
+            index.by_type_method.entry((ty.clone(), item.name.clone())).or_default().push(id);
+        }
+        index.by_crate.entry(item.crate_name.clone()).or_default().push(id);
+    }
+    Ok(index)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), IndexError> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| IndexError { path: dir.to_path_buf(), source: e })?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()
+        .map_err(|e| IndexError { path: dir.to_path_buf(), source: e })?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate directory name for a workspace-relative path (`root` for the
+/// root crate's `src/`).
+pub fn crate_of(rel: &Path) -> String {
+    let mut parts = rel.components();
+    match parts.next() {
+        Some(c) if c.as_os_str() == "crates" => parts
+            .next()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .unwrap_or_else(|| "root".to_string()),
+        _ => "root".to_string(),
+    }
+}
+
+/// One entry in the scope stack during the item walk.
+#[derive(Debug, Clone)]
+enum Scope {
+    /// `mod name {`
+    Mod(String),
+    /// `impl [Trait for] Type {` — carries the type's last segment.
+    Impl(String),
+    /// `trait Name {`
+    Trait(String),
+}
+
+/// Indexes one file's items into `index`.
+pub fn index_file(index: &mut Index, rel: PathBuf, text: &str) {
+    let lines = source::preprocess(text);
+    let tokens = source::tokenize(&lines);
+    let crate_name = crate_of(&rel);
+    let in_bin = rel.components().any(|c| c.as_os_str() == "bin");
+    let module = module_of(&rel);
+
+    let mut fns = Vec::new();
+    // Scope stack paired with the depth its `{` opened at.
+    let mut scopes: Vec<(Scope, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        // A `}` whose depth matches the innermost scope's opening `{`
+        // closes that scope (the lexer gives an opener and its closer
+        // the same depth).
+        if tok.kind == TokKind::Punct && tok.text == "}" {
+            if scopes.last().is_some_and(|(_, d)| tok.depth == *d) {
+                scopes.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match tok.text.as_str() {
+            "mod" => {
+                if let Some(name) = ident_at(&tokens, i + 1) {
+                    // `mod name;` declares a file module — no scope.
+                    if tokens.get(i + 2).is_some_and(|t| t.text == "{") {
+                        scopes.push((Scope::Mod(name), tokens[i + 2].depth));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((ty, open)) = impl_target(&tokens, i) {
+                    scopes.push((Scope::Impl(ty), tokens[open].depth));
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "trait" => {
+                if let Some(name) = ident_at(&tokens, i + 1) {
+                    if let Some(open) = find_open_brace(&tokens, i + 1) {
+                        scopes.push((Scope::Trait(name), tokens[open].depth));
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "fn" => {
+                if let Some(item) =
+                    parse_fn(&tokens, i, &crate_name, &rel, &module, &scopes, in_bin)
+                {
+                    // Jump past the signature (so `-> impl Trait` is
+                    // never mistaken for an `impl` block) and continue
+                    // the walk *inside* the body so nested items are
+                    // indexed too.
+                    let next = if item.body.is_empty() { item.body.end } else { item.body.start };
+                    fns.push(item);
+                    i = next.max(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    let base = index.fns.len();
+    let ids: Vec<usize> = (base..base + fns.len()).collect();
+    index.fns.extend(fns);
+    index.files.push(FileIndex { path: rel, tokens, fns: ids });
+}
+
+/// Module path of a file: its stem unless it is `lib` / `mod` / `main`.
+fn module_of(rel: &Path) -> Option<String> {
+    let stem = rel.file_stem()?.to_str()?;
+    (!matches!(stem, "lib" | "mod" | "main")).then(|| stem.to_string())
+}
+
+fn ident_at(tokens: &[Tok], at: usize) -> Option<String> {
+    tokens.get(at).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone())
+}
+
+/// Parses the target type of an `impl` at `at`; returns (last type-path
+/// segment, index of the opening `{`).
+fn impl_target(tokens: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut i = at + 1;
+    // Skip the generic parameter list, if any.
+    if tokens.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(tokens, i)?;
+    }
+    let mut last_seg: Option<String> = None;
+    while let Some(tok) = tokens.get(i) {
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "{") => return last_seg.map(|s| (s, i)),
+            (TokKind::Punct, ";") => return None, // `impl Trait for Type;` (never here)
+            (TokKind::Ident, "for") => {
+                last_seg = None; // the trait path was first; the type follows
+                i += 1;
+            }
+            (TokKind::Ident, "where") => {
+                // Bounds until the brace; the type is already captured.
+                let open = find_open_brace(tokens, i)?;
+                return last_seg.map(|s| (s, open));
+            }
+            (TokKind::Ident, _) => {
+                last_seg = Some(tok.text.clone());
+                i += 1;
+            }
+            (TokKind::Punct, "<") => {
+                i = skip_angles(tokens, i)?;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Index just past a balanced `<...>` starting at `open` (which must be
+/// `<`).
+fn skip_angles(tokens: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(tok) = tokens.get(i) {
+        match tok.text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            ";" | "{" => return None, // malformed / not generics
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// First `{` at or after `at`.
+fn find_open_brace(tokens: &[Tok], at: usize) -> Option<usize> {
+    (at..tokens.len()).find(|&i| tokens[i].text == "{" && tokens[i].kind == TokKind::Punct)
+}
+
+/// Parses the fn whose `fn` keyword sits at `at`. Returns `None` for
+/// tokens that merely look like fns (e.g. `fn` inside a type such as
+/// `fn(&T) -> U`, which is preceded by punctuation other than the item
+/// modifiers).
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    tokens: &[Tok],
+    at: usize,
+    crate_name: &str,
+    rel: &Path,
+    module: &Option<String>,
+    scopes: &[(Scope, u32)],
+    in_bin: bool,
+) -> Option<FnItem> {
+    let name = ident_at(tokens, at + 1)?;
+    // Visibility: scan the modifier run immediately before `fn`.
+    let mut is_pub = false;
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            "pub" => {
+                is_pub = true;
+                break;
+            }
+            "const" | "unsafe" | "async" | "extern" => continue,
+            ")" => {
+                // `pub(crate)` — skip back over the restriction.
+                while j > 0 && tokens[j].text != "(" {
+                    j -= 1;
+                }
+                continue;
+            }
+            _ => break,
+        }
+    }
+    // Default trait methods and inherent methods are pub when their
+    // trait is; treat trait-scope fns as part of the pub surface only
+    // via their own `pub` (impl methods) — trait decls carry none, so
+    // inherit from the trait scope.
+    let in_trait_scope = matches!(scopes.last(), Some((Scope::Trait(_), _)));
+    if in_trait_scope {
+        is_pub = true;
+    }
+
+    let mut i = at + 2;
+    // Generic parameters.
+    if tokens.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(tokens, i)?;
+    }
+    // Parameter list.
+    if !tokens.get(i).is_some_and(|t| t.text == "(") {
+        return None;
+    }
+    let mut paren = 0i32;
+    while let Some(tok) = tokens.get(i) {
+        match tok.text.as_str() {
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                if paren == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Return type: tokens between `->` and the body / `;` / `where`.
+    let mut ret = String::new();
+    if tokens.get(i).is_some_and(|t| t.text == "->") {
+        i += 1;
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | ";" if angle <= 0 => break,
+                "where" if angle <= 0 && tok.kind == TokKind::Ident => break,
+                _ => {}
+            }
+            if !ret.is_empty() && tok.kind != TokKind::Punct && tokens[i - 1].kind != TokKind::Punct
+            {
+                ret.push(' ');
+            }
+            ret.push_str(&tok.text);
+            i += 1;
+        }
+    }
+    // Skip a `where` clause.
+    while let Some(tok) = tokens.get(i) {
+        if tok.text == "{" || tok.text == ";" {
+            break;
+        }
+        i += 1;
+    }
+    let body = match tokens.get(i) {
+        Some(tok) if tok.text == "{" => {
+            let open_depth = tok.depth;
+            let close = (i + 1..tokens.len())
+                .find(|&k| tokens[k].text == "}" && tokens[k].depth == open_depth)
+                .unwrap_or(tokens.len());
+            i + 1..close
+        }
+        _ => i..i, // signature-only (trait method decl)
+    };
+
+    let self_type = scopes.iter().rev().find_map(|(s, _)| match s {
+        Scope::Impl(t) | Scope::Trait(t) => Some(t.clone()),
+        Scope::Mod(_) => None,
+    });
+    let mut qname = String::from(crate_name);
+    if let Some(m) = module {
+        qname.push_str("::");
+        qname.push_str(m);
+    }
+    for (scope, _) in scopes {
+        if let Scope::Mod(m) = scope {
+            qname.push_str("::");
+            qname.push_str(m);
+        }
+    }
+    if let Some(ty) = &self_type {
+        qname.push_str("::");
+        qname.push_str(ty);
+    }
+    qname.push_str("::");
+    qname.push_str(&name);
+
+    Some(FnItem {
+        crate_name: crate_name.to_string(),
+        file: rel.to_path_buf(),
+        qname,
+        name,
+        self_type,
+        is_pub,
+        line: tokens[at].line,
+        ret,
+        body,
+        in_bin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(path: &str, src: &str) -> Index {
+        let mut index = Index::default();
+        index_file(&mut index, PathBuf::from(path), src);
+        for (id, item) in index.fns.iter().enumerate() {
+            index.by_name.entry(item.name.clone()).or_default().push(id);
+            if let Some(ty) = &item.self_type {
+                index.by_type_method.entry((ty.clone(), item.name.clone())).or_default().push(id);
+            }
+            index.by_crate.entry(item.crate_name.clone()).or_default().push(id);
+        }
+        index
+    }
+
+    #[test]
+    fn indexes_free_fns_and_methods() {
+        let src = "pub fn free(x: u32) -> u32 { x }\n\
+                   struct S;\n\
+                   impl S {\n    pub fn method(&self) {}\n    fn private(&self) {}\n}\n\
+                   impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n";
+        let index = index_of("crates/flow/src/mcmf.rs", src);
+        let names: Vec<&str> = index.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "flow::mcmf::free",
+                "flow::mcmf::S::method",
+                "flow::mcmf::S::private",
+                "flow::mcmf::S::fmt"
+            ]
+        );
+        assert!(index.fns[0].is_pub);
+        assert!(!index.fns[2].is_pub);
+        assert_eq!(index.fns[0].ret, "u32");
+        assert_eq!(index.by_type_method.get(&("S".into(), "method".into())).map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn indexes_trait_and_inline_mods() {
+        let src =
+            "pub trait T {\n    fn provided(&self) { helper() }\n    fn required(&self);\n}\n\
+                   mod inner {\n    pub fn deep() {}\n}\n";
+        let index = index_of("crates/core/src/lib.rs", src);
+        let names: Vec<&str> = index.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, ["core::T::provided", "core::T::required", "core::inner::deep"]);
+        assert!(index.fns[1].body.is_empty());
+        assert!(!index.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn captures_result_return_types() {
+        let src = "pub fn load() -> Result<Vec<u8>, std::io::Error> { todo!() }\n\
+                   pub fn bad() -> Result<u32, Box<dyn std::error::Error>> { todo!() }\n";
+        let index = index_of("crates/trace/src/io.rs", src);
+        assert_eq!(index.fns[0].ret, "Result<Vec<u8>,std::io::Error>");
+        assert!(index.fns[1].ret.contains("Box<dyn"));
+    }
+
+    #[test]
+    fn bin_files_are_marked() {
+        let index = index_of("crates/bench/src/bin/fig2.rs", "pub fn main() {}\n");
+        assert!(index.fns[0].in_bin);
+    }
+}

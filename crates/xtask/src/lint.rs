@@ -30,7 +30,19 @@
 //! A finding is silenced by a waiver comment naming the rule plus a
 //! justification, on the same line or on a comment-only line directly
 //! above: `// lint: allow(hash-iter): membership-only set, never
-//! iterated`. A waiver without a justification is itself a finding.
+//! iterated`. A waiver without a justification is itself a finding, and
+//! a justified waiver that no longer suppresses anything is flagged by
+//! the `unused-waiver` pass of `cargo xtask analyze`.
+//!
+//! Two profiles exist. Library sources get the **full** rule set above.
+//! The `tests/`, `benches/` and `examples/` trees get a **relaxed**
+//! profile — `no-panic`, `float-eq`, `lossy-cast` and
+//! `partial-cmp-unwrap` off (tests unwrap and compare exact goldens by
+//! design), but `hash-iter`, `thread-spawn` and `instant` on for every
+//! crate: nondeterminism in the golden-figure tests corrupts the
+//! reproduction exactly as it would in `src`. `#[cfg(test)]` blocks
+//! inside library files get the same relaxed treatment instead of being
+//! skipped.
 
 use crate::source::{self, Line};
 use std::fmt;
@@ -47,11 +59,23 @@ const SPAWN_EXEMPT: [&str; 1] = ["par"];
 /// Crates allowed to touch `std::time::Instant` (the observability layer
 /// that wraps it).
 const INSTANT_EXEMPT: [&str; 1] = ["obs"];
-/// Crate directories that are exempt from linting (bench harness bins
-/// and this tool itself).
-const EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
+/// Crate directories that are exempt from linting entirely: only the
+/// analyzer itself. The bench crate's *library* is linted like any
+/// other (its figure cores feed the golden tests); only its `src/bin`
+/// experiment scripts stay exempt.
+const EXEMPT_CRATES: [&str; 1] = ["xtask"];
 /// Directory names never descended into.
-const SKIP_DIRS: [&str; 4] = ["target", "tests", "benches", "examples"];
+const SKIP_DIRS: [&str; 1] = ["target"];
+
+/// Rule strictness for a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Library sources: every rule.
+    Full,
+    /// Test / bench / example sources: determinism rules only
+    /// (`hash-iter` for all crates, `thread-spawn`, `instant`).
+    Relaxed,
+}
 
 const INT_TYPES: [&str; 12] =
     ["i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize"];
@@ -71,13 +95,55 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Lints every library source under `root`, returning findings sorted by
-/// path and line.
+/// A waiver's fate after a lint run, consumed by the `unused-waiver`
+/// pass of `cargo xtask analyze`.
+#[derive(Debug, Clone)]
+pub struct WaiverUse {
+    /// Workspace-relative file.
+    pub file: PathBuf,
+    /// One-based line of the waiver comment.
+    pub comment_line: usize,
+    /// One-based line the waiver covers.
+    pub target_line: usize,
+    /// The rule the waiver names.
+    pub rule: String,
+    /// Whether a justification was given.
+    pub justified: bool,
+    /// Whether the waiver suppressed at least one token-level finding.
+    pub used: bool,
+}
+
+/// A full lint run: findings plus every waiver seen and whether it
+/// suppressed anything.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// Findings sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// All parsed waivers, sorted by path and comment line.
+    pub waivers: Vec<WaiverUse>,
+}
+
+/// Lints every source under `root`, returning findings sorted by path
+/// and line. Convenience wrapper over [`run_full`].
 pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    let src = root.join("src");
-    if src.is_dir() {
-        collect_rs_files(&src, &mut files)?;
+    run_full(root).map(|r| r.findings)
+}
+
+/// The file set a lint run covers: workspace-relative paths paired with
+/// their profile, deterministic order.
+pub fn lint_targets(root: &Path) -> io::Result<Vec<(PathBuf, Profile)>> {
+    let mut files: Vec<(PathBuf, Profile)> = Vec::new();
+    let mut push_tree = |dir: PathBuf, profile: Profile, skip: &[&str]| -> io::Result<()> {
+        if dir.is_dir() {
+            let mut found = Vec::new();
+            collect_rs_files(&dir, &mut found, skip)?;
+            files.extend(found.into_iter().map(|p| (p, profile)));
+        }
+        Ok(())
+    };
+    push_tree(root.join("src"), Profile::Full, &[])?;
+    for tree in ["tests", "benches", "examples"] {
+        push_tree(root.join(tree), Profile::Relaxed, &[])?;
     }
     let crates = root.join("crates");
     if crates.is_dir() {
@@ -85,36 +151,54 @@ pub fn run(root: &Path) -> io::Result<Vec<Finding>> {
             fs::read_dir(&crates)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
         entries.sort();
         for dir in entries {
-            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if EXEMPT_CRATES.contains(&name) {
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            if EXEMPT_CRATES.contains(&name.as_str()) {
                 continue;
             }
-            let crate_src = dir.join("src");
-            if crate_src.is_dir() {
-                collect_rs_files(&crate_src, &mut files)?;
+            // The bench crate's bin/ scripts print tables and abort
+            // loudly by design; everything else in its src is covered.
+            let src_skip: &[&str] = if name == "bench" { &["bin"] } else { &[] };
+            push_tree(dir.join("src"), Profile::Full, src_skip)?;
+            for tree in ["tests", "benches", "examples"] {
+                push_tree(dir.join(tree), Profile::Relaxed, &[])?;
             }
         }
     }
-    let mut findings = Vec::new();
-    for file in &files {
-        let text = fs::read_to_string(file)?;
-        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
-        let crate_name = crate_of(&rel);
-        findings.extend(lint_file(&rel, crate_name.as_deref(), &text));
-    }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(findings)
+    let mut rel: Vec<(PathBuf, Profile)> = files
+        .into_iter()
+        .map(|(p, profile)| (p.strip_prefix(root).unwrap_or(&p).to_path_buf(), profile))
+        .collect();
+    rel.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(rel)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+/// Lints every source under `root` — library trees with the full
+/// profile, `tests/` / `benches/` / `examples/` trees with the relaxed
+/// one — and reports waiver usage alongside the findings.
+pub fn run_full(root: &Path) -> io::Result<LintRun> {
+    let mut run = LintRun::default();
+    for (rel, profile) in lint_targets(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let crate_name = crate_of(&rel);
+        let (findings, waivers) = lint_file(&rel, crate_name.as_deref(), &text, profile);
+        run.findings.extend(findings);
+        run.waivers.extend(waivers);
+    }
+    run.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    run.waivers
+        .sort_by(|a, b| (a.file.clone(), a.comment_line).cmp(&(b.file.clone(), b.comment_line)));
+    Ok(run)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, skip: &[&str]) -> io::Result<()> {
     let mut entries: Vec<PathBuf> =
         fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
     entries.sort();
     for path in entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if !SKIP_DIRS.contains(&name) {
-                collect_rs_files(&path, out)?;
+            if !SKIP_DIRS.contains(&name) && !skip.contains(&name) {
+                collect_rs_files(&path, out, skip)?;
             }
         } else if name.ends_with(".rs") {
             out.push(path);
@@ -135,8 +219,14 @@ fn crate_of(rel: &Path) -> Option<String> {
     }
 }
 
-/// Lints one file. `crate_name` is `None` for the root crate.
-pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Finding> {
+/// Lints one file under `profile`. `crate_name` is `None` for the root
+/// crate. Returns the findings plus every waiver with its usage bit.
+pub fn lint_file(
+    rel: &Path,
+    crate_name: Option<&str>,
+    text: &str,
+    profile: Profile,
+) -> (Vec<Finding>, Vec<WaiverUse>) {
     let lines = source::preprocess(text);
     let waivers = collect_waivers(&lines);
     let hash_scope = crate_name.is_some_and(|c| HASH_SCOPE.contains(&c));
@@ -144,51 +234,73 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
     let spawn_scope = !crate_name.is_some_and(|c| SPAWN_EXEMPT.contains(&c));
     let instant_scope = !crate_name.is_some_and(|c| INSTANT_EXEMPT.contains(&c));
 
-    let mut findings = Vec::new();
+    // Raw findings carry the zero-based line a waiver would target.
+    let mut raw: Vec<(usize, &'static str, String)> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if line.in_test {
-            continue;
-        }
+        // Test code (in-file `#[cfg(test)]` blocks under the full
+        // profile, everything under the relaxed one) keeps only the
+        // determinism rules: tests unwrap and compare exact values by
+        // design, but hash iteration, ad-hoc threads and wall clocks
+        // corrupt seeded results no matter where they live.
+        let relaxed = profile == Profile::Relaxed || line.in_test;
         let code = line.code.as_str();
-        let waived = |rule: &str| waivers.iter().any(|w| w.line == idx && w.rule == rule);
         let mut push = |rule: &'static str, message: String| {
-            if !waived(rule) {
-                findings.push(Finding { path: rel.to_path_buf(), line: lineno, rule, message });
-            }
+            raw.push((idx, rule, message));
         };
 
-        let pcu = code.contains("partial_cmp") && code.contains(".unwrap()");
-        if pcu {
-            push(
-                "partial-cmp-unwrap",
-                "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`".into(),
-            );
-        }
-        for token in panic_tokens(code) {
-            if token == ".unwrap()" && pcu {
-                continue; // already reported as partial-cmp-unwrap
+        if !relaxed {
+            let pcu = code.contains("partial_cmp") && code.contains(".unwrap()");
+            if pcu {
+                push(
+                    "partial-cmp-unwrap",
+                    "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`".into(),
+                );
             }
-            push(
-                "no-panic",
-                format!("`{token}` in library code; return a typed error or waive with a reason"),
-            );
-        }
-        if hash_scope {
-            for container in ["HashMap", "HashSet"] {
-                if has_word(code, container) {
+            for token in panic_tokens(code) {
+                if token == ".unwrap()" && pcu {
+                    continue; // already reported as partial-cmp-unwrap
+                }
+                push(
+                    "no-panic",
+                    format!(
+                        "`{token}` in library code; return a typed error or waive with a reason"
+                    ),
+                );
+            }
+            if let Some(op) = float_eq(code) {
+                push(
+                    "float-eq",
+                    format!("floating-point `{op}` comparison; compare with a tolerance"),
+                );
+            }
+            if cast_scope {
+                for ty in lossy_casts(code) {
                     push(
-                        "hash-iter",
+                        "lossy-cast",
                         format!(
-                            "`{container}` in planning/simulation code; iteration order leaks \
-                             into seeded results — use an ordered container"
+                            "`as {ty}` may truncate silently; use `try_from` or a checked helper"
                         ),
                     );
                 }
             }
         }
-        if let Some(op) = float_eq(code) {
-            push("float-eq", format!("floating-point `{op}` comparison; compare with a tolerance"));
+        // Determinism rules run in both profiles. Hash containers are
+        // scoped to the planning crates in library code but banned
+        // everywhere in test code — test assertions feed the golden
+        // fixtures regardless of crate.
+        if hash_scope || relaxed {
+            for container in ["HashMap", "HashSet"] {
+                if has_word(code, container) {
+                    push(
+                        "hash-iter",
+                        format!(
+                            "`{container}` in {}; iteration order leaks into seeded results — \
+                             use an ordered container",
+                            if relaxed { "test/bench code" } else { "planning/simulation code" }
+                        ),
+                    );
+                }
+            }
         }
         if spawn_scope {
             for token in ["thread::spawn", "thread::scope"] {
@@ -211,13 +323,21 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
                     .into(),
             );
         }
-        if cast_scope {
-            for ty in lossy_casts(code) {
-                push(
-                    "lossy-cast",
-                    format!("`as {ty}` may truncate silently; use `try_from` or a checked helper"),
-                );
+    }
+
+    // Apply waivers, marking the ones that suppress something.
+    let mut used = vec![false; waivers.len()];
+    let mut findings = Vec::new();
+    for (idx, rule, message) in raw {
+        let mut suppressed = false;
+        for (w_idx, waiver) in waivers.iter().enumerate() {
+            if waiver.line == idx && waiver.rule == rule {
+                used[w_idx] = true;
+                suppressed = true;
             }
+        }
+        if !suppressed {
+            findings.push(Finding { path: rel.to_path_buf(), line: idx + 1, rule, message });
         }
     }
     for waiver in &waivers {
@@ -230,7 +350,19 @@ pub fn lint_file(rel: &Path, crate_name: Option<&str>, text: &str) -> Vec<Findin
             });
         }
     }
-    findings
+    let uses = waivers
+        .into_iter()
+        .zip(used)
+        .map(|(w, used)| WaiverUse {
+            file: rel.to_path_buf(),
+            comment_line: w.comment_line + 1,
+            target_line: w.line + 1,
+            rule: w.rule,
+            justified: w.justified,
+            used,
+        })
+        .collect();
+    (findings, uses)
 }
 
 #[derive(Debug)]
@@ -448,7 +580,11 @@ mod tests {
     use super::*;
 
     fn lint_core(src: &str) -> Vec<Finding> {
-        lint_file(Path::new("crates/core/src/x.rs"), Some("core"), src)
+        lint_file(Path::new("crates/core/src/x.rs"), Some("core"), src, Profile::Full).0
+    }
+
+    fn lint_in(path: &str, crate_name: Option<&str>, src: &str, profile: Profile) -> Vec<Finding> {
+        lint_file(Path::new(path), crate_name, src, profile).0
     }
 
     fn rules(findings: &[Finding]) -> Vec<&str> {
@@ -481,7 +617,7 @@ mod tests {
     fn flags_hash_containers_only_in_scope() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(rules(&lint_core(src)), ["hash-iter"]);
-        let out = lint_file(Path::new("crates/stats/src/x.rs"), Some("stats"), src);
+        let out = lint_in("crates/stats/src/x.rs", Some("stats"), src, Profile::Full);
         assert!(out.is_empty());
     }
 
@@ -515,11 +651,11 @@ mod tests {
     #[test]
     fn flags_lossy_casts_in_flow_only() {
         let src = "fn a(x: f64) -> i64 { x as i64 }\n";
-        let f = lint_file(Path::new("crates/flow/src/x.rs"), Some("flow"), src);
+        let f = lint_in("crates/flow/src/x.rs", Some("flow"), src, Profile::Full);
         assert_eq!(rules(&f), ["lossy-cast"]);
         assert!(lint_core(src).is_empty());
         let widen = "fn a(x: i64) -> f64 { x as f64 }\n";
-        assert!(lint_file(Path::new("crates/flow/src/x.rs"), Some("flow"), widen).is_empty());
+        assert!(lint_in("crates/flow/src/x.rs", Some("flow"), widen, Profile::Full).is_empty());
     }
 
     #[test]
@@ -529,7 +665,7 @@ mod tests {
         let scoped = "fn a() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
         assert_eq!(rules(&lint_core(scoped)), ["thread-spawn"]);
         // The pool crate itself is the one place allowed to spawn.
-        let in_par = lint_file(Path::new("crates/par/src/lib.rs"), Some("par"), src);
+        let in_par = lint_in("crates/par/src/lib.rs", Some("par"), src, Profile::Full);
         assert!(in_par.is_empty());
     }
 
@@ -539,10 +675,37 @@ mod tests {
         assert_eq!(rules(&lint_core(src)), ["instant", "instant"]);
         // The observability crate itself is the one place allowed to
         // touch the wall clock.
-        let in_obs = lint_file(Path::new("crates/obs/src/lib.rs"), Some("obs"), src);
+        let in_obs = lint_in("crates/obs/src/lib.rs", Some("obs"), src, Profile::Full);
         assert!(in_obs.is_empty());
         // Prose like "Instantiates" must not trip the word match.
         assert!(lint_core("fn a() {} // Instantiates the per-run state\n").is_empty());
+    }
+
+    #[test]
+    fn relaxed_profile_keeps_determinism_rules_only() {
+        let src = "use std::collections::HashMap;\nfn t(x: Option<u32>) { x.unwrap(); let _ = Instant::now(); }\n";
+        let f = lint_in("tests/golden.rs", None, src, Profile::Relaxed);
+        assert_eq!(rules(&f), ["hash-iter", "instant"]);
+        // Relaxed hash-iter applies to every crate, not just planning.
+        let f = lint_in("crates/stats/tests/t.rs", Some("stats"), src, Profile::Relaxed);
+        assert!(rules(&f).contains(&"hash-iter"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_keep_determinism_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let f = lint_in("crates/stats/src/x.rs", Some("stats"), src, Profile::Full);
+        assert_eq!(rules(&f), ["hash-iter"]);
+    }
+
+    #[test]
+    fn waiver_usage_is_tracked() {
+        let src = "use std::collections::HashSet; // lint: allow(hash-iter): membership only\nfn a() {} // lint: allow(no-panic): nothing here panics\n";
+        let (f, w) = lint_file(Path::new("crates/core/src/x.rs"), Some("core"), src, Profile::Full);
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+        assert_eq!(w.len(), 2);
+        assert!(w[0].used, "suppressing waiver must be marked used");
+        assert!(!w[1].used, "idle waiver must be marked unused");
     }
 
     #[test]

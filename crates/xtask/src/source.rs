@@ -1,4 +1,4 @@
-//! Source preprocessing for ccdn-lint.
+//! Source preprocessing for ccdn-lint and ccdn-analyze.
 //!
 //! Turns a Rust source file into two parallel per-line views:
 //!
@@ -9,10 +9,13 @@
 //!   allow(...)` waivers live).
 //!
 //! It also marks lines that belong to `#[cfg(test)]`-gated items, which
-//! the lint rules skip entirely. The tokenizer is deliberately small: it
-//! understands line/block comments (nested), string, raw-string, byte
-//! and char literals, and tells lifetimes apart from char literals. That
-//! is enough to scan this workspace; it is not a general Rust lexer.
+//! the lint rules skip entirely, and — for the semantic passes — lexes
+//! the code view into a real token stream ([`tokenize`]) carrying line
+//! numbers and brace depth, from which `index` recovers item spans. The
+//! lexer is deliberately small: it understands line/block comments
+//! (nested), string, raw-string, byte and char literals, and tells
+//! lifetimes apart from char literals. That is enough to scan this
+//! workspace; it is not a general Rust lexer.
 
 /// One source line split into its code and comment parts.
 #[derive(Debug, Clone)]
@@ -240,6 +243,123 @@ fn mark_test_blocks(lines: &mut [Line]) {
     }
 }
 
+/// What a token is, at the granularity the semantic passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (suffix included: `1_000u64`, `0.5f32`).
+    Num,
+    /// String / char / byte literal (contents already blanked).
+    Lit,
+    /// Punctuation. Multi-char for `::`, `->` and `=>`; single char
+    /// otherwise.
+    Punct,
+}
+
+/// One lexed token of the code view.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (literals are blanked to their delimiters).
+    pub text: String,
+    /// One-based source line.
+    pub line: usize,
+    /// Brace (`{`/`}`) nesting depth *before* this token.
+    pub depth: u32,
+    /// True when the token sits inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+/// Lexes preprocessed lines into a token stream with line numbers and
+/// brace depth. Comments and literal bodies are already blanked, so the
+/// stream contains only code tokens.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut depth: u32 = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let kind = if c.is_ascii_alphabetic() || c == '_' {
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                TokKind::Ident
+            } else if c.is_ascii_digit() {
+                // Digits plus the suffix/exponent characters that can
+                // legally follow; `1.5f64` and `0xFF` stay one token.
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '_'
+                        || (chars[i] == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                TokKind::Num
+            } else if c == '\'' {
+                // The code view keeps `'static` intact and blanks char
+                // literals to `'  '`; a quote followed by an identifier
+                // character with no closing quote is a lifetime.
+                let next = chars.get(i + 1).copied();
+                if next.is_some_and(|n| n.is_ascii_alphabetic() || n == '_') {
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    TokKind::Lifetime
+                } else {
+                    i += 1;
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(chars.len());
+                    TokKind::Lit
+                }
+            } else if c == '"' {
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    i += 1;
+                }
+                i = (i + 1).min(chars.len());
+                TokKind::Lit
+            } else {
+                let next = chars.get(i + 1).copied();
+                let two =
+                    matches!((c, next), (':', Some(':')) | ('-', Some('>')) | ('=', Some('>')));
+                i += if two { 2 } else { 1 };
+                TokKind::Punct
+            };
+            let text: String = chars[start..i].iter().collect();
+            toks.push(Tok { kind, text, line: lineno, depth, in_test: line.in_test });
+            if kind == TokKind::Punct {
+                let last = toks.last_mut().expect("token just pushed");
+                match last.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        last.depth = depth;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    toks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +389,28 @@ mod tests {
             preprocess("let r = r#\"panic!()\"#; let c = '\\''; let l: &'static str = s;\n");
         assert!(!lines[0].code.contains("panic"));
         assert!(lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn tokenizes_with_lines_and_depth() {
+        let toks = tokenize(&preprocess("fn a() -> u32 {\n    b::<u8>(x[1])\n}\n"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            [
+                "fn", "a", "(", ")", "->", "u32", "{", "b", "::", "<", "u8", ">", "(", "x", "[",
+                "1", "]", ")", "}"
+            ]
+        );
+        let open = toks.iter().find(|t| t.text == "{").expect("open brace");
+        let close = toks.iter().find(|t| t.text == "}").expect("close brace");
+        assert_eq!(open.depth, close.depth);
+        assert_eq!(toks.iter().find(|t| t.text == "b").map(|t| t.line), Some(2));
+        // Literals and lifetimes keep their kinds.
+        let toks = tokenize(&preprocess("let s: &'a str = \"hi\"; let c = 'x'; let f = 1.5f64;\n"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lit));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5f64"));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Corpus tests: every ccdn-analyze pass must fire on its fixture —
+//! with the expected stable key and call chain — and stay silent on the
+//! clean and waived fixtures.
+//!
+//! Each fixture under `tests/corpus/<case>/` is a miniature workspace
+//! tree (`src/`, `crates/*/src/`) next to an `expected.json` manifest
+//! listing the findings the analyzer must produce, exactly.
+
+use ccdn_obs::json::{self, Value};
+use std::path::{Path, PathBuf};
+use xtask::analyze;
+
+fn corpus_case(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus").join(name)
+}
+
+/// One expected finding from a manifest.
+struct Expected {
+    pass: String,
+    key: String,
+    chain_contains: Vec<String>,
+}
+
+fn read_manifest(dir: &Path) -> Vec<Expected> {
+    let path = dir.join("expected.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let value = json::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    value
+        .get("findings")
+        .and_then(Value::as_array)
+        .expect("manifest has a findings array")
+        .iter()
+        .map(|f| Expected {
+            pass: f.get("pass").and_then(Value::as_str).expect("finding.pass").to_string(),
+            key: f.get("key").and_then(Value::as_str).expect("finding.key").to_string(),
+            chain_contains: f
+                .get("chain_contains")
+                .and_then(Value::as_array)
+                .map(|hops| {
+                    hops.iter()
+                        .map(|h| h.as_str().expect("chain_contains entry").to_string())
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Runs the analyzer on a fixture and checks the exact finding set.
+fn check_case(name: &str) {
+    let dir = corpus_case(name);
+    let expected = read_manifest(&dir);
+    let analysis = analyze::run(&dir).unwrap_or_else(|e| panic!("analyze {name}: {e}"));
+
+    let mut got: Vec<&str> = analysis.findings.iter().map(|f| f.key.as_str()).collect();
+    let mut want: Vec<&str> = expected.iter().map(|e| e.key.as_str()).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(
+        got, want,
+        "{name}: finding keys diverge from the manifest\nfull findings: {:#?}",
+        analysis.findings
+    );
+
+    for exp in &expected {
+        let finding = analysis
+            .findings
+            .iter()
+            .find(|f| f.key == exp.key)
+            .unwrap_or_else(|| panic!("{name}: missing finding {}", exp.key));
+        assert_eq!(finding.pass, exp.pass, "{name}: wrong pass for {}", exp.key);
+        for needle in &exp.chain_contains {
+            assert!(
+                finding.chain.iter().any(|hop| hop.contains(needle.as_str())),
+                "{name}: chain of {} lacks hop `{needle}`; chain: {:#?}",
+                exp.key,
+                finding.chain
+            );
+        }
+    }
+}
+
+#[test]
+fn taint_chain_through_laundering_helper_is_flagged() {
+    check_case("taint_launder");
+}
+
+#[test]
+fn panic_chain_with_slice_indexing_is_flagged() {
+    check_case("panic_chain");
+}
+
+#[test]
+fn idle_and_unknown_waivers_are_flagged() {
+    check_case("unused_waiver");
+}
+
+#[test]
+fn stringly_and_boxed_pub_errors_are_flagged() {
+    check_case("pub_api");
+}
+
+#[test]
+fn clean_tree_produces_no_findings() {
+    check_case("clean");
+}
+
+#[test]
+fn fn_level_waivers_suppress_chains_and_count_as_used() {
+    check_case("waived");
+}
+
+#[test]
+fn taint_chain_reports_full_call_path() {
+    let analysis = analyze::run(&corpus_case("taint_launder")).expect("analyze");
+    let finding = &analysis.findings[0];
+    // The chain must walk entry → launderer in order, with file:line
+    // anchors on every hop.
+    assert_eq!(finding.chain.len(), 2, "chain: {:#?}", finding.chain);
+    assert!(finding.chain[0].starts_with("core::plan ("));
+    assert!(finding.chain[1].starts_with("geo::now_ms ("));
+    assert!(finding.chain.iter().all(|hop| hop.contains(".rs:")), "chain: {:#?}", finding.chain);
+}

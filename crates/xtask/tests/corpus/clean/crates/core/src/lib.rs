@@ -1,0 +1,16 @@
+//! A clean entry crate: ordered containers, checked arithmetic, typed
+//! errors — nothing for any pass to flag.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn halve(x: u64) -> u64 {
+    x / 2
+}

@@ -1,0 +1,13 @@
+//! A pub fn reaching slice indexing two hops down.
+
+pub fn lookup(v: &[u64], i: usize) -> u64 {
+    pick(v, i)
+}
+
+fn pick(v: &[u64], i: usize) -> u64 {
+    nth(v, i)
+}
+
+fn nth(v: &[u64], i: usize) -> u64 {
+    v[i]
+}

@@ -1,0 +1,22 @@
+//! Pub API error discipline: stringly and boxed errors are findings,
+//! typed errors are fine. Private fns are not part of the surface.
+
+pub fn stringly(x: u32) -> Result<u32, String> {
+    Err(format!("bad {x}"))
+}
+
+pub fn boxed(x: u32) -> Result<u32, Box<dyn std::error::Error>> {
+    Err(format!("bad {x}").into())
+}
+
+pub fn typed(x: u32) -> Result<u32, std::num::TryFromIntError> {
+    u32::try_from(u64::from(x)).map_err(Into::into)
+}
+
+fn private_stringly(x: u32) -> Result<u32, String> {
+    Err(format!("bad {x}"))
+}
+
+pub fn uses_private(x: u32) -> u32 {
+    private_stringly(x).unwrap_or(0)
+}

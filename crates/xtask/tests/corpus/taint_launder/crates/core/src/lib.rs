@@ -1,0 +1,12 @@
+//! Entry crate: `plan` reaches the clock through the geo launderer and
+//! must be flagged; `plan_trusted` goes through the trusted obs crate
+//! and must not be.
+use std::time::Instant;
+
+pub fn plan(epoch: Instant, x: u128) -> u128 {
+    ccdn_geo::now_ms(epoch) + x
+}
+
+pub fn plan_trusted(epoch: Instant, x: u128) -> u128 {
+    ccdn_obs::sanctioned_ms(epoch) + x
+}

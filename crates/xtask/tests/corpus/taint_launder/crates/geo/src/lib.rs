@@ -1,0 +1,6 @@
+//! Laundering helper: a non-trusted crate wrapping the wall clock.
+use std::time::Instant;
+
+pub fn now_ms(epoch: Instant) -> u128 {
+    Instant::now().duration_since(epoch).as_millis()
+}

@@ -1,0 +1,6 @@
+//! Trusted observability crate: its clock use must not taint callers.
+use std::time::Instant;
+
+pub fn sanctioned_ms(epoch: Instant) -> u128 {
+    Instant::now().duration_since(epoch).as_millis()
+}

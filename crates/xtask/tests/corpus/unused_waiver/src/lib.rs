@@ -1,0 +1,11 @@
+//! Waivers that suppress nothing, plus one naming an unknown rule.
+
+// lint: allow(hash-iter): claims a hash container that is not here
+pub fn plain(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+// lint: allow(no-such-rule): the rule name is a typo
+pub fn other(x: u64) -> u64 {
+    x.saturating_mul(2)
+}

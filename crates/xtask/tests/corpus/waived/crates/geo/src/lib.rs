@@ -1,0 +1,9 @@
+//! A clock root with a justified fn-level waiver: the waiver kills the
+//! whole chain family, so no entry reports it — and it must count as
+//! used, not rot.
+use std::time::Instant;
+
+// lint: allow(nondet-taint): startup stamp only, never folded into results
+pub fn stamp(epoch: Instant) -> u128 {
+    Instant::now().duration_since(epoch).as_millis()
+}

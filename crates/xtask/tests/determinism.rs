@@ -1,0 +1,60 @@
+//! Determinism and ratchet tests over the real workspace: two analyzer
+//! runs must serialize to byte-identical JSON, that JSON must parse
+//! under the workspace's own strict parser, and the findings must match
+//! the committed `lint-baseline.json` exactly (the tree is kept
+//! baseline-clean; the baseline may only shrink).
+
+use std::path::Path;
+use xtask::analyze;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+}
+
+#[test]
+fn two_runs_serialize_byte_identically() {
+    let root = workspace_root();
+    let first = analyze::run(root).expect("first run");
+    let second = analyze::run(root).expect("second run");
+    assert_eq!(first.to_json(), second.to_json(), "analyzer output must be deterministic");
+}
+
+#[test]
+fn json_report_parses_under_the_strict_parser() {
+    let analysis = analyze::run(workspace_root()).expect("analyze");
+    let report = analysis.to_json();
+    let value = ccdn_obs::json::parse(&report).expect("report is valid JSON");
+    let findings = value
+        .get("findings")
+        .and_then(ccdn_obs::json::Value::as_array)
+        .expect("report has a findings array");
+    assert_eq!(findings.len(), analysis.findings.len());
+}
+
+#[test]
+fn workspace_matches_committed_baseline() {
+    let analysis = analyze::run(workspace_root()).expect("analyze");
+    assert!(
+        analysis.is_clean(),
+        "workspace diverges from lint-baseline.json — new: {:#?}, stale: {:#?}\n\
+         fix the findings, or shrink the baseline if debt was paid down",
+        analysis.new,
+        analysis.stale
+    );
+}
+
+#[test]
+fn baseline_document_round_trips() {
+    let root = workspace_root();
+    let analysis = analyze::run(root).expect("analyze");
+    let keys = analyze::read_baseline(root).expect("committed baseline parses");
+    assert_eq!(keys.len(), analysis.findings.len(), "baseline and findings must pair 1:1");
+    // Regenerating the baseline from the current findings must be a
+    // no-op on the committed file.
+    let committed =
+        std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline file");
+    assert_eq!(analyze::baseline_json(&analysis), committed, "baseline file is stale");
+}

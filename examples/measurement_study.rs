@@ -12,7 +12,7 @@ use crowdsourced_cdn::cluster::jaccard;
 use crowdsourced_cdn::sim::HotspotGeometry;
 use crowdsourced_cdn::stats::{spearman, Cdf};
 use crowdsourced_cdn::trace::{TraceConfig, VideoId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     // A reduced measurement city (the full preset is for the fig2/fig3
@@ -33,7 +33,7 @@ fn main() {
     // 1. Workload skew under nearest routing (Fig. 2).
     let mut loads = vec![0u64; geometry.len()];
     let mut hourly = vec![[0u64; 24]; geometry.len()];
-    let mut content: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); geometry.len()];
+    let mut content: Vec<BTreeMap<VideoId, u64>> = vec![BTreeMap::new(); geometry.len()];
     for r in &trace.requests {
         let (h, _) = geometry.nearest(r.location).expect("hotspots exist");
         loads[h.0] += 1;

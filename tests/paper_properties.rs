@@ -7,7 +7,7 @@ use crowdsourced_cdn::cluster::jaccard;
 use crowdsourced_cdn::sim::HotspotGeometry;
 use crowdsourced_cdn::stats::{spearman, Cdf};
 use crowdsourced_cdn::trace::{Trace, TraceConfig, VideoId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A scaled-down measurement city (fast enough for the test suite while
 /// keeping hundreds of requests per hotspot).
@@ -66,7 +66,7 @@ fn workload_correlation_matches_fig3a() {
 }
 
 fn top_sets(trace: &Trace, geo: &HotspotGeometry, fraction: f64) -> Vec<Vec<VideoId>> {
-    let mut counts: Vec<HashMap<VideoId, u64>> = vec![HashMap::new(); geo.len()];
+    let mut counts: Vec<BTreeMap<VideoId, u64>> = vec![BTreeMap::new(); geo.len()];
     for r in &trace.requests {
         let (h, _) = geo.nearest(r.location).unwrap();
         *counts[h.0].entry(r.video).or_insert(0) += 1;
@@ -159,7 +159,7 @@ fn multi_day_demand_has_daily_seasonality() {
 #[test]
 fn video_popularity_follows_a_pareto_like_head() {
     let trace = measurement_trace();
-    let mut counts: HashMap<VideoId, u64> = HashMap::new();
+    let mut counts: BTreeMap<VideoId, u64> = BTreeMap::new();
     for r in &trace.requests {
         *counts.entry(r.video).or_insert(0) += 1;
     }
