@@ -5,7 +5,9 @@
 //! stay cheap) and at 10 % / 30 % of hotspots down.
 
 use ccdn_core::{Rbcaer, RbcaerConfig};
-use ccdn_sim::{route_with_failover, FailureModel, HotspotGeometry, Scheme, SlotDemand, SlotInput};
+use ccdn_sim::{
+    route_with_failover, FailureModel, HotspotGeometry, RouteOptions, Scheme, SlotDemand, SlotInput,
+};
 use ccdn_trace::TraceConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -48,6 +50,7 @@ fn bench_failover(c: &mut Criterion) {
                         planned.clone(),
                         alive,
                         1.5,
+                        RouteOptions::default(),
                     );
                     black_box((decision.assignments.len(), stats));
                 })

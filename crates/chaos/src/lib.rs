@@ -1,0 +1,531 @@
+//! Deterministic chaos plane for the crowdsourced-CDN workspace.
+//!
+//! The simulator's failure story (ccdn-sim's `FailureModel`) flips peers
+//! offline between slots; every other way a crowdsourced CDN degrades —
+//! slow peers, partial partitions, corrupted cache entries, lost
+//! replication pushes, a planner that misses its slot deadline — enters
+//! through this crate instead. A [`FaultPlan`] is a *pure function* of a
+//! seed and the coordinates of an event (fault kind, slot, hotspot,
+//! video): it keeps no state, so fault decisions are byte-identical at
+//! any thread count, satisfy the ccdn-par determinism contract for free,
+//! and never consult wall-clock time (the nondet-taint analyzer pass
+//! stays green).
+//!
+//! Consumers integrate through the [`Injector`] trait, whose methods are
+//! the named injection points the online runner queries. Every method
+//! defaults to "no fault", so a custom injector overrides only the
+//! faults it cares about, and `FaultPlan` implements all of them from
+//! its [`ChaosConfig`] rates.
+//!
+//! # Monotone coupling
+//!
+//! Each potential fault event hashes to a fixed point in `[0, 1)` and
+//! fires when that point falls below the configured rate. Raising a rate
+//! therefore only *adds* faults — the fault set at intensity `x` is a
+//! subset of the fault set at intensity `x' > x` under the same seed.
+//! Fault sweeps exploit this coupling: degradation curves are compared
+//! across nested fault sets rather than independently resampled ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccdn_chaos::{ChaosConfig, FaultPlan, Injector};
+//!
+//! let plan = FaultPlan::new(ChaosConfig::at_intensity(7, 0.5).unwrap()).unwrap();
+//! // Same coordinates, same answer — forever.
+//! assert_eq!(plan.crashed(3, 12), plan.crashed(3, 12));
+//!
+//! let quiet = FaultPlan::new(ChaosConfig::quiet(7)).unwrap();
+//! assert!(!quiet.crashed(3, 12) && !quiet.planner_overrun(3));
+//! ```
+
+use std::fmt;
+
+/// Named injection points the serving path queries each slot.
+///
+/// Every method defaults to "no fault injected", so implementors
+/// override only the faults they model. Implementations must be pure
+/// functions of their arguments (plus construction-time state): the
+/// online runner may query them from any phase, in any order, and
+/// replays must agree byte-for-byte.
+pub trait Injector: fmt::Debug + Send + Sync {
+    /// Peer crash/restart: the hotspot serves nothing during `slot` but
+    /// keeps its cache and is back the next slot (unlike a `FailureModel`
+    /// offline transition, which wipes the cache).
+    fn crashed(&self, _slot: u32, _hotspot: usize) -> bool {
+        false
+    }
+
+    /// Regional partition: the hotspot still serves viewers, but
+    /// replication pushes from the CDN cannot reach it this slot.
+    fn partitioned(&self, _slot: u32, _hotspot: usize) -> bool {
+        false
+    }
+
+    /// Slow peer: percentage of the hotspot's service capacity retained
+    /// this slot (100 = healthy). Values above 100 are treated as 100.
+    fn capacity_percent(&self, _slot: u32, _hotspot: usize) -> u32 {
+        100
+    }
+
+    /// Cache-entry corruption: the chunk for `video` held by `hotspot`
+    /// is invalid this slot — it cannot be served and must be re-fetched.
+    fn corrupted(&self, _slot: u32, _hotspot: usize, _video: u64) -> bool {
+        false
+    }
+
+    /// Replication-push loss: the push of `video` to `hotspot` attempted
+    /// during `slot` is charged but never arrives.
+    fn push_lost(&self, _slot: u32, _hotspot: usize, _video: u64) -> bool {
+        false
+    }
+
+    /// Planner-deadline overrun: the plan for `slot` misses its deadline
+    /// and never reaches the replication layer.
+    fn planner_overrun(&self, _slot: u32) -> bool {
+        false
+    }
+}
+
+/// Per-fault rates for a [`FaultPlan`]. Construct via [`ChaosConfig::quiet`]
+/// or [`ChaosConfig::at_intensity`] and adjust fields with struct-update
+/// syntax; [`FaultPlan::new`] validates the result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed deriving every fault decision.
+    pub seed: u64,
+    /// Probability a hotspot crash/restarts in a given slot.
+    pub crash: f64,
+    /// Probability a hotspot is partitioned from the CDN in a given slot.
+    pub partition: f64,
+    /// Probability a hotspot is slow in a given slot.
+    pub slow: f64,
+    /// Service capacity retained (percent) while slow.
+    pub slow_percent: u32,
+    /// Probability a cached entry is corrupted in a given slot.
+    pub corruption: f64,
+    /// Probability a replication-push attempt is lost.
+    pub push_loss: f64,
+    /// Probability the planner overruns its deadline in a given slot.
+    pub overrun: f64,
+    /// Half-open slot window `[start, end)` during which faults fire;
+    /// `None` means every slot. Recovery experiments bound the window and
+    /// measure convergence after `end`.
+    pub window: Option<(u32, u32)>,
+}
+
+impl ChaosConfig {
+    /// A configuration that injects nothing (all rates zero).
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            crash: 0.0,
+            partition: 0.0,
+            slow: 0.0,
+            slow_percent: 100,
+            corruption: 0.0,
+            push_loss: 0.0,
+            overrun: 0.0,
+            window: None,
+        }
+    }
+
+    /// Scales every fault family by a single `intensity` knob in
+    /// `[0, 1]`. Thanks to monotone coupling, the fault set grows with
+    /// `intensity` under a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosConfigError::RateOutOfRange`] when `intensity` is outside
+    /// `[0, 1]` or not finite.
+    pub fn at_intensity(seed: u64, intensity: f64) -> Result<Self, ChaosConfigError> {
+        if !(0.0..=1.0).contains(&intensity) {
+            return Err(ChaosConfigError::RateOutOfRange { field: "intensity", value: intensity });
+        }
+        Ok(ChaosConfig {
+            seed,
+            crash: 0.08 * intensity,
+            partition: 0.25 * intensity,
+            slow: 0.30 * intensity,
+            slow_percent: 50,
+            corruption: 0.03 * intensity,
+            push_loss: 0.25 * intensity,
+            overrun: 0.40 * intensity,
+            window: None,
+        })
+    }
+
+    /// Restricts fault injection to the half-open slot window
+    /// `[start, end)`.
+    pub fn with_window(mut self, start: u32, end: u32) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+}
+
+/// A [`ChaosConfig`] field failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosConfigError {
+    /// A probability field is outside `[0, 1]` or not finite.
+    RateOutOfRange {
+        /// Which field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `slow_percent` exceeds 100.
+    PercentOutOfRange {
+        /// The rejected value.
+        value: u32,
+    },
+    /// The fault window is empty (`start >= end`).
+    EmptyWindow {
+        /// Window start (inclusive).
+        start: u32,
+        /// Window end (exclusive).
+        end: u32,
+    },
+}
+
+impl fmt::Display for ChaosConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosConfigError::RateOutOfRange { field, value } => {
+                write!(f, "chaos rate `{field}` must be in [0, 1], got {value}")
+            }
+            ChaosConfigError::PercentOutOfRange { value } => {
+                write!(f, "slow_percent must be at most 100, got {value}")
+            }
+            ChaosConfigError::EmptyWindow { start, end } => {
+                write!(f, "fault window [{start}, {end}) is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosConfigError {}
+
+/// Fault-kind tags keeping the hash streams of different fault families
+/// disjoint even at identical (slot, hotspot, video) coordinates.
+const KIND_CRASH: u64 = 1;
+const KIND_PARTITION: u64 = 2;
+const KIND_SLOW: u64 = 3;
+const KIND_CORRUPTION: u64 = 4;
+const KIND_PUSH_LOSS: u64 = 5;
+const KIND_OVERRUN: u64 = 6;
+
+/// SplitMix64 finalizer: bijective, avalanche-complete mixing step.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes an event coordinate to a point in `[0, 1)` with 53 bits of
+/// precision.
+fn unit_point(seed: u64, kind: u64, slot: u32, a: u64, b: u64) -> f64 {
+    let z = mix(mix(mix(mix(seed ^ kind) ^ u64::from(slot)) ^ a) ^ b);
+    (z >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// A validated, seeded fault plan: the stateless [`Injector`] every chaos
+/// experiment in the workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    cfg: ChaosConfig,
+}
+
+impl FaultPlan {
+    /// Validates `cfg` into a plan.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosConfigError`] when a rate is outside `[0, 1]`,
+    /// `slow_percent` exceeds 100, or the window is empty.
+    pub fn new(cfg: ChaosConfig) -> Result<Self, ChaosConfigError> {
+        let rates = [
+            ("crash", cfg.crash),
+            ("partition", cfg.partition),
+            ("slow", cfg.slow),
+            ("corruption", cfg.corruption),
+            ("push_loss", cfg.push_loss),
+            ("overrun", cfg.overrun),
+        ];
+        for (field, value) in rates {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ChaosConfigError::RateOutOfRange { field, value });
+            }
+        }
+        if cfg.slow_percent > 100 {
+            return Err(ChaosConfigError::PercentOutOfRange { value: cfg.slow_percent });
+        }
+        if let Some((start, end)) = cfg.window {
+            if start >= end {
+                return Err(ChaosConfigError::EmptyWindow { start, end });
+            }
+        }
+        Ok(FaultPlan { cfg })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Whether faults are active during `slot` (inside the window, or no
+    /// window configured).
+    pub fn active(&self, slot: u32) -> bool {
+        match self.cfg.window {
+            Some((start, end)) => slot >= start && slot < end,
+            None => true,
+        }
+    }
+
+    /// The last slot (exclusive) at which this plan can inject a fault,
+    /// if a window bounds it. `None` means faults never stop.
+    pub fn quiesce_slot(&self) -> Option<u32> {
+        self.cfg.window.map(|(_, end)| end)
+    }
+
+    fn occurs(&self, kind: u64, rate: f64, slot: u32, a: u64, b: u64) -> bool {
+        self.active(slot) && unit_point(self.cfg.seed, kind, slot, a, b) < rate
+    }
+}
+
+impl Injector for FaultPlan {
+    fn crashed(&self, slot: u32, hotspot: usize) -> bool {
+        self.occurs(KIND_CRASH, self.cfg.crash, slot, hotspot as u64, 0)
+    }
+
+    fn partitioned(&self, slot: u32, hotspot: usize) -> bool {
+        self.occurs(KIND_PARTITION, self.cfg.partition, slot, hotspot as u64, 0)
+    }
+
+    fn capacity_percent(&self, slot: u32, hotspot: usize) -> u32 {
+        if self.occurs(KIND_SLOW, self.cfg.slow, slot, hotspot as u64, 0) {
+            self.cfg.slow_percent
+        } else {
+            100
+        }
+    }
+
+    fn corrupted(&self, slot: u32, hotspot: usize, video: u64) -> bool {
+        self.occurs(KIND_CORRUPTION, self.cfg.corruption, slot, hotspot as u64, video)
+    }
+
+    fn push_lost(&self, slot: u32, hotspot: usize, video: u64) -> bool {
+        self.occurs(KIND_PUSH_LOSS, self.cfg.push_loss, slot, hotspot as u64, video)
+    }
+
+    fn planner_overrun(&self, slot: u32) -> bool {
+        self.occurs(KIND_OVERRUN, self.cfg.overrun, slot, 0, 0)
+    }
+}
+
+/// Bounded exponential backoff measured in *simulated* slots — retries
+/// schedule against the timeslot counter, never wall-clock time.
+///
+/// Attempt `k` (zero-based) that fails is retried `base << k` slots
+/// later, up to `max_attempts` total attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base_slots: u32,
+    max_attempts: u32,
+}
+
+impl Backoff {
+    /// A schedule retrying after `base_slots`, doubling each failure, for
+    /// at most `max_attempts` attempts (the initial try included). A zero
+    /// base is promoted to one slot: a retry can never land in the slot
+    /// whose failure triggered it.
+    pub const fn new(base_slots: u32, max_attempts: u32) -> Self {
+        Backoff { base_slots: if base_slots == 0 { 1 } else { base_slots }, max_attempts }
+    }
+
+    /// Slots to wait before the retry following failed attempt `attempt`
+    /// (zero-based), or `None` when the attempt budget is exhausted and
+    /// the push is abandoned.
+    pub fn delay_slots(&self, attempt: u32) -> Option<u32> {
+        if attempt.wrapping_add(1) >= self.max_attempts {
+            return None;
+        }
+        let shift = if attempt > 31 { 31 } else { attempt };
+        Some(self.base_slots.saturating_mul(1u32.wrapping_shl(shift)))
+    }
+
+    /// Total attempts allowed, the initial try included.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Upper bound, in slots, on how long a push can stay pending after
+    /// its first failure: the sum of every delay in the schedule. After
+    /// the last fault clears, no retry outlives this horizon.
+    pub fn horizon_slots(&self) -> u64 {
+        let mut total: u64 = 0;
+        let mut attempt = 0;
+        while let Some(delay) = self.delay_slots(attempt) {
+            total += u64::from(delay);
+            attempt += 1;
+        }
+        total
+    }
+}
+
+impl Default for Backoff {
+    /// One-slot base delay, four total attempts (1 + 3 retries).
+    fn default() -> Self {
+        Backoff::new(1, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let plan = FaultPlan::new(ChaosConfig::at_intensity(42, 0.7).unwrap()).unwrap();
+        for slot in 0..32 {
+            for h in 0..16 {
+                assert_eq!(plan.crashed(slot, h), plan.crashed(slot, h));
+                assert_eq!(plan.partitioned(slot, h), plan.partitioned(slot, h));
+                assert_eq!(plan.capacity_percent(slot, h), plan.capacity_percent(slot, h));
+                assert_eq!(plan.corrupted(slot, h, 9), plan.corrupted(slot, h, 9));
+                assert_eq!(plan.push_lost(slot, h, 9), plan.push_lost(slot, h, 9));
+            }
+            assert_eq!(plan.planner_overrun(slot), plan.planner_overrun(slot));
+        }
+    }
+
+    #[test]
+    fn fault_sets_are_monotone_in_intensity() {
+        let lo = FaultPlan::new(ChaosConfig::at_intensity(7, 0.3).unwrap()).unwrap();
+        let hi = FaultPlan::new(ChaosConfig::at_intensity(7, 0.9).unwrap()).unwrap();
+        let mut lo_events = 0;
+        for slot in 0..64 {
+            for h in 0..24 {
+                if lo.crashed(slot, h) {
+                    lo_events += 1;
+                    assert!(hi.crashed(slot, h), "hi intensity must contain lo fault set");
+                }
+                if lo.push_lost(slot, h, 3) {
+                    assert!(hi.push_lost(slot, h, 3));
+                }
+                if lo.partitioned(slot, h) {
+                    assert!(hi.partitioned(slot, h));
+                }
+            }
+        }
+        assert!(lo_events > 0, "0.3 intensity over 1536 trials should crash something");
+    }
+
+    #[test]
+    fn fault_families_use_disjoint_streams() {
+        let plan = FaultPlan::new(ChaosConfig::at_intensity(11, 1.0).unwrap()).unwrap();
+        // With every rate distinct, at least one coordinate must separate
+        // two families; identical streams would make them always agree.
+        let mut families_differ = false;
+        for slot in 0..64 {
+            for h in 0..8 {
+                if plan.crashed(slot, h) != plan.partitioned(slot, h) {
+                    families_differ = true;
+                }
+            }
+        }
+        assert!(families_differ);
+    }
+
+    #[test]
+    fn window_gates_every_fault() {
+        let cfg = ChaosConfig::at_intensity(3, 1.0).unwrap().with_window(10, 20);
+        let plan = FaultPlan::new(cfg).unwrap();
+        assert_eq!(plan.quiesce_slot(), Some(20));
+        for slot in [0, 9, 20, 21, 100] {
+            assert!(!plan.active(slot));
+            for h in 0..8 {
+                assert!(!plan.crashed(slot, h));
+                assert!(!plan.partitioned(slot, h));
+                assert_eq!(plan.capacity_percent(slot, h), 100);
+                assert!(!plan.corrupted(slot, h, 1));
+                assert!(!plan.push_lost(slot, h, 1));
+            }
+            assert!(!plan.planner_overrun(slot));
+        }
+        let mut fired = 0;
+        for slot in 10..20 {
+            for h in 0..8 {
+                if plan.partitioned(slot, h) {
+                    fired += 1;
+                }
+            }
+        }
+        assert!(fired > 0, "full intensity inside the window must fire");
+    }
+
+    #[test]
+    fn quiet_config_injects_nothing() {
+        let plan = FaultPlan::new(ChaosConfig::quiet(99)).unwrap();
+        for slot in 0..64 {
+            for h in 0..8 {
+                assert!(!plan.crashed(slot, h));
+                assert!(!plan.partitioned(slot, h));
+                assert_eq!(plan.capacity_percent(slot, h), 100);
+                assert!(!plan.corrupted(slot, h, 5));
+                assert!(!plan.push_lost(slot, h, 5));
+            }
+            assert!(!plan.planner_overrun(slot));
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        assert_eq!(
+            ChaosConfig::at_intensity(0, 1.5).unwrap_err(),
+            ChaosConfigError::RateOutOfRange { field: "intensity", value: 1.5 }
+        );
+        let mut cfg = ChaosConfig::quiet(0);
+        cfg.crash = -0.1;
+        assert!(matches!(
+            FaultPlan::new(cfg).unwrap_err(),
+            ChaosConfigError::RateOutOfRange { field: "crash", .. }
+        ));
+        let mut cfg = ChaosConfig::quiet(0);
+        cfg.slow_percent = 101;
+        assert_eq!(
+            FaultPlan::new(cfg).unwrap_err(),
+            ChaosConfigError::PercentOutOfRange { value: 101 }
+        );
+        let cfg = ChaosConfig::quiet(0).with_window(5, 5);
+        assert_eq!(
+            FaultPlan::new(cfg).unwrap_err(),
+            ChaosConfigError::EmptyWindow { start: 5, end: 5 }
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_exhausts() {
+        let b = Backoff::new(2, 4);
+        assert_eq!(b.delay_slots(0), Some(2));
+        assert_eq!(b.delay_slots(1), Some(4));
+        assert_eq!(b.delay_slots(2), Some(8));
+        assert_eq!(b.delay_slots(3), None);
+        assert_eq!(b.max_attempts(), 4);
+        assert_eq!(b.horizon_slots(), 14);
+    }
+
+    #[test]
+    fn backoff_edge_cases() {
+        // Zero base promotes to one slot.
+        assert_eq!(Backoff::new(0, 2).delay_slots(0), Some(1));
+        // Zero or one attempts: no retries at all.
+        assert_eq!(Backoff::new(1, 0).delay_slots(0), None);
+        assert_eq!(Backoff::new(1, 1).delay_slots(0), None);
+        assert_eq!(Backoff::new(1, 1).horizon_slots(), 0);
+        // Huge attempt counts saturate instead of overflowing.
+        let b = Backoff::new(u32::MAX, 64);
+        assert_eq!(b.delay_slots(40), Some(u32::MAX));
+        assert_eq!(Backoff::default(), Backoff::new(1, 4));
+    }
+}

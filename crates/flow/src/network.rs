@@ -156,56 +156,64 @@ impl FlowNetwork {
         let fwd = self.arcs.len();
         self.arcs.push(Arc { to, cap: capacity, cost });
         self.arcs.push(Arc { to: from, cap: 0, cost: -cost });
-        self.adj[from].push(fwd);
-        self.adj[to].push(fwd + 1);
+        // Endpoints were validated above, so both lookups succeed.
+        if let Some(out) = self.adj.get_mut(from) {
+            out.push(fwd);
+        }
+        if let Some(out) = self.adj.get_mut(to) {
+            out.push(fwd + 1);
+        }
         self.original_caps.push(capacity);
         Ok(EdgeId(fwd))
     }
 
-    /// Flow currently assigned to edge `id` (original capacity minus
-    /// remaining residual capacity).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` did not come from this network.
-    pub fn edge_flow(&self, id: EdgeId) -> i64 {
-        self.original_caps[id.0 / 2] - self.arcs[id.0].cap
+    /// Checked O(1) original capacity of forward-arc pair `pair`
+    /// (`EdgeId.0 / 2`); zero for ids that never came from this network.
+    fn original_cap(&self, pair: usize) -> i64 {
+        <[i64]>::get(&self.original_caps, pair).copied().unwrap_or(0)
     }
 
-    /// Original capacity of edge `id`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` did not come from this network.
+    /// Flow currently assigned to edge `id` (original capacity minus
+    /// remaining residual capacity). Returns 0 for an id that did not
+    /// come from this network.
+    pub fn edge_flow(&self, id: EdgeId) -> i64 {
+        let residual = <[Arc]>::get(&self.arcs, id.0).map_or(0, |a| a.cap);
+        self.original_cap(id.0 / 2) - residual
+    }
+
+    /// Original capacity of edge `id`, or 0 for an id that did not come
+    /// from this network.
     pub fn edge_capacity(&self, id: EdgeId) -> i64 {
-        self.original_caps[id.0 / 2]
+        self.original_cap(id.0 / 2)
     }
 
     /// Views over all forward edges in insertion order.
     pub fn edges(&self) -> Vec<EdgeView> {
-        (0..self.edge_count())
-            .map(|i| {
-                let fwd = 2 * i;
-                let id = EdgeId(fwd);
-                EdgeView {
-                    id,
-                    from: self.arcs[fwd + 1].to,
-                    to: self.arcs[fwd].to,
-                    capacity: self.original_caps[i],
-                    flow: self.edge_flow(id),
-                    cost: self.arcs[fwd].cost,
-                }
+        self.arcs
+            .chunks_exact(2)
+            .zip(&self.original_caps)
+            .enumerate()
+            .filter_map(|(i, (pair, &capacity))| match pair {
+                [fwd_arc, rev_arc] => Some(EdgeView {
+                    id: EdgeId(2 * i),
+                    from: rev_arc.to,
+                    to: fwd_arc.to,
+                    capacity,
+                    flow: capacity - fwd_arc.cap,
+                    cost: fwd_arc.cost,
+                }),
+                _ => None,
             })
             .collect()
     }
 
     /// Resets all flows to zero, restoring original capacities.
     pub fn reset_flow(&mut self) {
-        for i in 0..self.edge_count() {
-            let cap = self.original_caps[i];
-            let fwd = 2 * i;
-            self.arcs[fwd].cap = cap;
-            self.arcs[fwd + 1].cap = 0;
+        for (pair, &cap) in self.arcs.chunks_exact_mut(2).zip(&self.original_caps) {
+            if let [fwd_arc, rev_arc] = pair {
+                fwd_arc.cap = cap;
+                rev_arc.cap = 0;
+            }
         }
     }
 

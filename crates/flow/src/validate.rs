@@ -22,7 +22,7 @@
 //! [`check_mcmf_optimal`] / [`check_min_cost_flow`] on every solution and
 //! abort on violation.
 
-use crate::network::FlowNetwork;
+use crate::network::{Arc, FlowNetwork};
 use ccdn_obs::Counter;
 use std::fmt;
 
@@ -83,8 +83,13 @@ pub fn check_conservation(
 ) -> Result<(), FlowViolation> {
     let mut net_out = vec![0i64; net.node_count()];
     for view in net.edges() {
-        net_out[view.from] += view.flow;
-        net_out[view.to] -= view.flow;
+        // Endpoints of a stored edge are always in range.
+        if let Some(out) = net_out.get_mut(view.from) {
+            *out += view.flow;
+        }
+        if let Some(out) = net_out.get_mut(view.to) {
+            *out -= view.flow;
+        }
     }
     for (node, &imbalance) in net_out.iter().enumerate() {
         if node != source && node != sink && imbalance != 0 {
@@ -93,10 +98,12 @@ pub fn check_conservation(
             )));
         }
     }
-    if net_out[source] + net_out[sink] != 0 {
+    let source_out = <[i64]>::get(&net_out, source).copied().unwrap_or(0);
+    let sink_out = <[i64]>::get(&net_out, sink).copied().unwrap_or(0);
+    if source_out + sink_out != 0 {
         return Err(FlowViolation::new(format!(
-            "source net outflow {} does not match sink net inflow {}",
-            net_out[source], -net_out[sink]
+            "source net outflow {source_out} does not match sink net inflow {}",
+            -sink_out
         )));
     }
     Ok(())
@@ -117,17 +124,28 @@ pub fn check_max_flow(net: &FlowNetwork, source: usize, sink: usize) -> Result<(
     }
     let mut seen = vec![false; n];
     let mut queue = std::collections::VecDeque::from([source]);
-    seen[source] = true;
+    if let Some(s) = seen.get_mut(source) {
+        *s = true;
+    }
     while let Some(u) = queue.pop_front() {
-        for &a in &net.adj[u] {
-            let arc = &net.arcs[a];
-            if arc.cap > 0 && !seen[arc.to] {
+        let Some(out) = <[Vec<usize>]>::get(&net.adj, u) else {
+            continue;
+        };
+        for &a in out {
+            let Some(arc) = <[Arc]>::get(&net.arcs, a) else {
+                continue;
+            };
+            // Defaulting a missing entry to "seen" skips it safely.
+            let visited = <[bool]>::get(&seen, arc.to).copied().unwrap_or(true);
+            if arc.cap > 0 && !visited {
                 if arc.to == sink {
                     return Err(FlowViolation::new(
                         "an augmenting path remains in the residual graph; flow is not maximum",
                     ));
                 }
-                seen[arc.to] = true;
+                if let Some(s) = seen.get_mut(arc.to) {
+                    *s = true;
+                }
                 queue.push_back(arc.to);
             }
         }
@@ -156,14 +174,22 @@ pub fn check_min_cost_certificate(net: &FlowNetwork) -> Result<(), FlowViolation
     for round in 0..=n {
         let mut improved = false;
         for u in 0..n {
-            for &a in &net.adj[u] {
-                let arc = &net.arcs[a];
+            let Some(out) = <[Vec<usize>]>::get(&net.adj, u) else {
+                continue;
+            };
+            for &a in out {
+                let Some(arc) = <[Arc]>::get(&net.arcs, a) else {
+                    continue;
+                };
                 if arc.cap <= 0 {
                     continue;
                 }
-                let nd = dist[u] + arc.cost;
-                if nd < dist[arc.to] - COST_EPS {
-                    dist[arc.to] = nd;
+                let nd = <[f64]>::get(&dist, u).copied().unwrap_or(0.0) + arc.cost;
+                let Some(slot) = dist.get_mut(arc.to) else {
+                    continue;
+                };
+                if nd < *slot - COST_EPS {
+                    *slot = nd;
                     improved = true;
                 }
             }

@@ -88,7 +88,7 @@ fn env_init() {
 /// is set or after [`set_enabled`]`(true)`.
 pub fn enabled() -> bool {
     env_init();
-    ENABLED.load(Ordering::Relaxed)
+    AtomicBool::load(&ENABLED, Ordering::Relaxed)
 }
 
 /// Turns recording on or off for the whole process, overriding the
@@ -193,7 +193,7 @@ impl Counter {
 
     /// Adds 1.
     pub fn incr(&self) {
-        self.add(1);
+        Counter::add(self, 1);
     }
 }
 
@@ -427,14 +427,17 @@ impl ObsReport {
             counters: reg
                 .counters
                 .iter()
-                .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+                .map(|(name, cell)| (name.to_string(), AtomicU64::load(cell, Ordering::Relaxed)))
                 .collect(),
             histograms: reg
                 .histograms
                 .iter()
                 .map(|(name, cell)| {
-                    let buckets: Vec<u64> =
-                        cell.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                    let buckets: Vec<u64> = cell
+                        .buckets
+                        .iter()
+                        .map(|b| AtomicU64::load(b, Ordering::Relaxed))
+                        .collect();
                     (name.to_string(), buckets)
                 })
                 .collect(),
@@ -443,8 +446,8 @@ impl ObsReport {
                 .iter()
                 .map(|(name, cell)| {
                     let stat = SpanStat {
-                        count: cell.count.load(Ordering::Relaxed),
-                        total_ns: cell.total_ns.load(Ordering::Relaxed),
+                        count: AtomicU64::load(&cell.count, Ordering::Relaxed),
+                        total_ns: AtomicU64::load(&cell.total_ns, Ordering::Relaxed),
                     };
                     (name.to_string(), stat)
                 })

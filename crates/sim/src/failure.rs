@@ -2,7 +2,7 @@
 //!
 //! Crowdsourced-CDN hotspots are consumer devices (smart Wi-Fi APs in
 //! people's homes): they disappear without notice, stay away for a while,
-//! and come back with a cold cache. The original [`ChurnModel`] flipped an
+//! and come back with a cold cache. The original churn model flipped an
 //! independent coin per hotspot per slot, which has the right *average*
 //! availability but the wrong *dynamics* — real failures are sticky
 //! (sessions and outages last multiple slots) and sometimes correlated
@@ -75,6 +75,13 @@ pub enum SimConfigError {
         /// The offending value.
         value: f64,
     },
+    /// A non-negative threshold parameter was negative or non-finite.
+    ThresholdOutOfRange {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for SimConfigError {
@@ -88,6 +95,9 @@ impl fmt::Display for SimConfigError {
             }
             SimConfigError::InvalidRadius { value } => {
                 write!(f, "radius must be finite and >= 0 km, got {value}")
+            }
+            SimConfigError::ThresholdOutOfRange { name, value } => {
+                write!(f, "{name} must be finite and >= 0, got {value}")
             }
         }
     }
@@ -154,7 +164,7 @@ impl FailureModel {
     /// Independent per-slot failures: each hotspot is offline with
     /// probability `offline_probability` each slot, independently.
     ///
-    /// Byte-for-byte compatible with the legacy `ChurnModel`: for the
+    /// Byte-for-byte compatible with the legacy churn model: for the
     /// same `(offline_probability, seed)` the produced masks are
     /// identical per slot.
     ///
@@ -236,8 +246,9 @@ impl FailureModel {
     }
 }
 
-/// The exact legacy per-slot i.i.d. mask: shared by [`FailureModel::iid`]
-/// and the deprecated `ChurnModel` so the two can never drift apart.
+/// The exact legacy per-slot i.i.d. mask behind [`FailureModel::iid`],
+/// kept as a named function so its seeding law stays documented in one
+/// place.
 pub(crate) fn iid_mask(seed: u64, offline_probability: f64, slot: u32, n: usize) -> Vec<bool> {
     let mut rng =
         StdRng::seed_from_u64(seed ^ (u64::from(slot).wrapping_mul(0x9E37_79B9_7F4A_7C15)));

@@ -54,7 +54,6 @@
 #![warn(missing_docs)]
 
 mod aggregate;
-mod churn;
 mod failure;
 mod geometry;
 mod metrics;
@@ -65,16 +64,14 @@ mod scheme;
 pub mod validate;
 
 pub use aggregate::{SlotDemand, VideoDemand};
-#[doc(hidden)]
-#[allow(deprecated)]
-pub use churn::ChurnModel;
 pub use failure::{FailureModel, FailureProcess, SimConfigError};
 pub use geometry::HotspotGeometry;
 pub use metrics::{
     served_loads, utilization_fairness, MetricsTotals, SlotMetrics, ValidationError,
 };
 pub use online::{
-    route_with_failover, CacheState, FailoverStats, OnlineReport, OnlineRunner, OnlineSlotOutcome,
+    route_with_failover, CacheState, ChaosOptions, FailoverStats, OnlineReport, OnlineRunner,
+    OnlineSlotOutcome, RouteOptions,
 };
 pub use predict::{Ewma, HoltLinear, LastSlot, PopularityPredictor, SeasonalNaive, WindowMean};
 pub use runner::{RunReport, Runner, SlotOutcome};

@@ -35,6 +35,39 @@
 //!   back the scheme's next placement is charged in full as delta
 //!   replication (the re-push is real traffic).
 //!
+//! # Chaos plane
+//!
+//! [`OnlineRunner::with_chaos`] attaches a deterministic
+//! [`Injector`](ccdn_chaos::Injector) (usually a seeded
+//! [`FaultPlan`](ccdn_chaos::FaultPlan)) and threads its faults through
+//! the loop:
+//!
+//! - **crash/restart** — the hotspot serves nothing this slot but keeps
+//!   its cache (no wipe, unlike a `FailureModel` offline transition);
+//! - **partition** — the hotspot serves viewers, but replication pushes
+//!   cannot reach it; blocked pushes are retried with bounded
+//!   exponential [`Backoff`](ccdn_chaos::Backoff) in *simulated* slots;
+//! - **slow peer** — the hotspot's service capacity is scaled down for
+//!   the slot (the planner does not know);
+//! - **push loss** — a charged push never arrives; retried like a
+//!   blocked one. A push whose retry budget runs out is abandoned: the
+//!   controller believes the video is cached, so the gap persists until
+//!   the next wipe or plan change (visible as lost serving, by design);
+//! - **corruption** — a cached entry turns invalid, cannot serve this
+//!   slot, and is re-fetched starting next slot;
+//! - **planner overrun** — the slot's plan misses its deadline. The
+//!   naive controller applies the missing plan as *empty* (caches
+//!   flush — the serving cliff). With
+//!   [`ChaosOptions::with_degraded_mode`] the runner instead keeps the
+//!   previous slot's placements and greedily patches (Nearest-style)
+//!   only the hotspots whose forecast demand shifted beyond a
+//!   threshold, within an optional replication budget.
+//!
+//! The believed/actual cache split is the heart of the model: the
+//! controller's [`CacheState`] (which drives delta charging) assumes
+//! every push landed, while the chaos replay tracks what each cache
+//! *actually* holds and routes serving against that truth.
+//!
 //! Runnable examples live on [`OnlineRunner`].
 
 use crate::{
@@ -42,18 +75,44 @@ use crate::{
     Scheme, SimConfigError, SlotDecision, SlotDemand, SlotInput, SlotMetrics, Target,
     ValidationError,
 };
+use ccdn_chaos::{Backoff, Injector};
 use ccdn_obs::{Counter, Histogram};
 use ccdn_par::Threads;
 use ccdn_trace::{Trace, VideoId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Cache wipes applied to offline hotspots during the merge replay.
+/// Cache wipes applied to offline hotspots during the believed replay.
 static CACHE_WIPES: Counter = Counter::new("sim.online.cache_wipes");
 /// Delta replication charged across all slots (videos newly pushed).
 static REPLICA_DELTA: Counter = Counter::new("sim.online.replica_delta");
 /// Per disrupted `(hotspot, video)` batch: how many alive hotspots the
 /// failover chain ended up using (0 = everything fell to the CDN).
 static FAILOVER_CHAIN_DEPTH: Histogram = Histogram::new("sim.online.failover_chain_depth");
+/// Requests sent to the CDN because the failover chain hit its deadline
+/// budget while closer options remained untried.
+static ORIGIN_SPILLED: Counter = Counter::new("sim.online.origin_spilled");
+/// Slots served in degraded mode (previous plan + greedy patch).
+static DEGRADED_SLOTS: Counter = Counter::new("sim.online.degraded_slots");
+/// Total fault events the chaos injector fired, all families combined.
+static FAULTS_INJECTED: Counter = Counter::new("sim.online.chaos.faults_injected");
+/// Crash/restart fault events (hotspot-slots).
+static CHAOS_CRASHES: Counter = Counter::new("sim.online.chaos.crashes");
+/// Partition fault events (hotspot-slots with pushes blocked).
+static CHAOS_PARTITIONS: Counter = Counter::new("sim.online.chaos.partitions");
+/// Slow-peer fault events (hotspot-slots at reduced capacity).
+static CHAOS_SLOW_SLOTS: Counter = Counter::new("sim.online.chaos.slow_slots");
+/// Cache entries invalidated by corruption.
+static CHAOS_CORRUPTIONS: Counter = Counter::new("sim.online.chaos.corruptions");
+/// Replication pushes charged but lost in flight.
+static CHAOS_PUSH_LOSSES: Counter = Counter::new("sim.online.chaos.push_losses");
+/// Planner-deadline overruns.
+static CHAOS_OVERRUNS: Counter = Counter::new("sim.online.chaos.overruns");
+/// Replication-push retry attempts.
+static CHAOS_RETRIES: Counter = Counter::new("sim.online.chaos.retries");
+/// Simulated slots spent waiting in backoff across all retries.
+static CHAOS_BACKOFF_SLOTS: Counter = Counter::new("sim.online.chaos.backoff_slots");
+/// Pushes abandoned after the retry budget ran out.
+static CHAOS_ABANDONED: Counter = Counter::new("sim.online.chaos.abandoned_pushes");
 
 /// Outcome of one online slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +135,16 @@ pub struct OnlineSlotOutcome {
     /// Requests whose planned server was offline and that fell through
     /// to the CDN (no alive cacher with capacity in radius).
     pub orphaned: u64,
+    /// Requests whose planned server was offline, total: always exactly
+    /// `failed_over + orphaned` (checked by
+    /// [`check_slot_outcome`](crate::validate::check_slot_outcome)).
+    pub disrupted: u64,
+    /// Requests sent to the CDN because the failover chain hit its
+    /// deadline budget while closer options remained untried.
+    pub origin_spilled: u64,
+    /// Whether this slot was served in degraded mode (planner overran
+    /// and the previous plan was reused).
+    pub degraded: bool,
 }
 
 /// Report of an online run.
@@ -93,6 +162,12 @@ pub struct OnlineReport {
     pub failed_over: u64,
     /// Total orphaned requests across slots.
     pub orphaned: u64,
+    /// Total disrupted requests across slots (`failed_over + orphaned`).
+    pub disrupted: u64,
+    /// Total requests spilled to the CDN by the deadline budget.
+    pub origin_spilled: u64,
+    /// Slots served in degraded mode.
+    pub degraded_slots: u64,
 }
 
 /// Per-hotspot cache contents persisted across slots, producing the
@@ -125,23 +200,31 @@ impl CacheState {
     }
 
     /// Clears hotspot `h`'s cache (the device failed; its disk contents
-    /// are gone for scheduling purposes).
+    /// are gone for scheduling purposes). Out-of-range `h` is a no-op.
     pub fn wipe(&mut self, h: usize) {
-        self.cached[h].clear();
+        if let Some(cache) = self.cached.get_mut(h) {
+            cache.clear();
+        }
     }
 
     /// Replaces hotspot `h`'s cache with `placement` and returns how many
     /// of the videos are *new* — the delta the CDN must push this slot.
+    /// Out-of-range `h` is a no-op returning 0.
     pub fn apply(&mut self, h: usize, placement: &[VideoId]) -> u64 {
+        let Some(cache) = self.cached.get_mut(h) else {
+            return 0;
+        };
         let next: BTreeSet<VideoId> = placement.iter().copied().collect();
-        let delta = next.difference(&self.cached[h]).count() as u64;
-        self.cached[h] = next;
+        let delta = next.difference(cache).count() as u64;
+        *cache = next;
         delta
     }
 
-    /// Current contents of hotspot `h`'s cache.
+    /// Current contents of hotspot `h`'s cache (empty for out-of-range
+    /// `h`).
     pub fn cached(&self, h: usize) -> &BTreeSet<VideoId> {
-        &self.cached[h]
+        static EMPTY: BTreeSet<VideoId> = BTreeSet::new();
+        <[BTreeSet<VideoId>]>::get(&self.cached, h).unwrap_or(&EMPTY)
     }
 }
 
@@ -154,6 +237,127 @@ pub struct FailoverStats {
     /// Requests that fell through to the CDN after their planned server
     /// went down.
     pub orphaned: u64,
+    /// Requests whose planned server went down, total. Every disrupted
+    /// request is either rescued or orphaned, so this always equals
+    /// `failed_over + orphaned`.
+    pub disrupted: u64,
+    /// Requests sent to the CDN because the chain-depth budget ran out
+    /// while untried neighbours remained (see
+    /// [`RouteOptions::chain_budget`]).
+    pub origin_spilled: u64,
+}
+
+/// Optional behaviours of [`route_with_failover`]; the default routes
+/// exactly like the budget-free baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RouteOptions {
+    /// The contents each hotspot *actually* holds, when they differ from
+    /// the planned placements (chaos faults: lost pushes, corruption).
+    /// Disruption attribution still uses the planned placements — the
+    /// planner's intent — while serving uses these. `None` means the
+    /// planned placements are the truth.
+    pub effective_placements: Option<Vec<Vec<VideoId>>>,
+    /// Per-request deadline budget: the maximum number of servers a
+    /// `(hotspot, video)` batch may consult (the local hotspot counts as
+    /// one). When the budget runs out with demand left and neighbours
+    /// untried, the rest goes to the CDN and is tallied as
+    /// `origin_spilled`. `None` means unbounded.
+    pub chain_budget: Option<u64>,
+}
+
+/// Chaos-plane configuration for an [`OnlineRunner`]: which faults to
+/// inject and how the serving path degrades under them.
+///
+/// # Examples
+///
+/// ```
+/// use ccdn_chaos::{Backoff, ChaosConfig, FaultPlan};
+/// use ccdn_sim::ChaosOptions;
+///
+/// let plan = FaultPlan::new(ChaosConfig::at_intensity(7, 0.4).unwrap()).unwrap();
+/// let chaos = ChaosOptions::new(plan)
+///     .with_backoff(Backoff::new(1, 4))
+///     .with_degraded_mode()
+///     .with_chain_budget(4);
+/// assert_eq!(chaos.backoff(), Backoff::new(1, 4));
+/// ```
+#[derive(Debug)]
+pub struct ChaosOptions {
+    injector: Box<dyn Injector>,
+    backoff: Backoff,
+    degraded_mode: bool,
+    chain_budget: Option<u64>,
+    patch_threshold: f64,
+    patch_budget: Option<u64>,
+}
+
+impl ChaosOptions {
+    /// Wraps `injector` with the default degradation posture: default
+    /// [`Backoff`], no degraded mode, no chain budget, patch threshold
+    /// 0.5, unlimited patch budget.
+    pub fn new(injector: impl Injector + 'static) -> Self {
+        ChaosOptions {
+            injector: Box::new(injector),
+            backoff: Backoff::default(),
+            degraded_mode: false,
+            chain_budget: None,
+            patch_threshold: 0.5,
+            patch_budget: None,
+        }
+    }
+
+    /// Sets the retry schedule for blocked or lost replication pushes.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables degraded mode: a planner overrun reuses the previous
+    /// slot's placements (greedily patched) instead of flushing caches.
+    pub fn with_degraded_mode(mut self) -> Self {
+        self.degraded_mode = true;
+        self
+    }
+
+    /// Caps the failover chain depth per request batch; spilled demand
+    /// goes to the CDN and is tallied as `origin_spilled`.
+    pub fn with_chain_budget(mut self, budget: u64) -> Self {
+        self.chain_budget = Some(budget);
+        self
+    }
+
+    /// Sets the demand-shift ratio above which a degraded slot re-plans
+    /// a hotspot instead of keeping its previous placement.
+    ///
+    /// # Errors
+    ///
+    /// [`SimConfigError::ThresholdOutOfRange`] if `threshold` is
+    /// negative or non-finite.
+    pub fn with_patch_threshold(mut self, threshold: f64) -> Result<Self, SimConfigError> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(SimConfigError::ThresholdOutOfRange {
+                name: "patch_threshold",
+                value: threshold,
+            });
+        }
+        self.patch_threshold = threshold;
+        Ok(self)
+    }
+
+    /// Caps the *extra* believed replication pushes a degraded slot's
+    /// greedy patches may add over keeping the previous plan — the
+    /// `B_peak`-style budget degraded plans must respect. Patches are
+    /// applied most-shifted-hotspot first until the budget runs out.
+    pub fn with_patch_budget(mut self, budget: u64) -> Self {
+        self.patch_budget = Some(budget);
+        self
+    }
+
+    /// The configured retry schedule (exposed so experiments can bound
+    /// recovery horizons).
+    pub fn backoff(&self) -> Backoff {
+        self.backoff
+    }
 }
 
 /// Drives the predict → place → route loop over a trace.
@@ -208,6 +412,7 @@ pub struct OnlineRunner<'a> {
     /// (standing in for "yesterday's" history before the trace begins).
     warm_start: bool,
     failures: Option<FailureModel>,
+    chaos: Option<ChaosOptions>,
     threads: Threads,
 }
 
@@ -221,6 +426,7 @@ impl<'a> OnlineRunner<'a> {
             radius_km: 1.5,
             warm_start: true,
             failures: None,
+            chaos: None,
             threads: Threads::Auto,
         }
     }
@@ -255,6 +461,17 @@ impl<'a> OnlineRunner<'a> {
     /// planning, failover routing, and cache-wipe semantics).
     pub fn with_failures(mut self, failures: FailureModel) -> Self {
         self.failures = Some(failures);
+        self
+    }
+
+    /// Attaches the chaos plane (see the module docs for each fault's
+    /// semantics). Composes with [`OnlineRunner::with_failures`]: the
+    /// failure model owns offline transitions and cache wipes, the
+    /// injector owns everything subtler. All fault decisions are queried
+    /// from the sequential phases only, so the report stays bit-identical
+    /// for every thread count.
+    pub fn with_chaos(mut self, chaos: ChaosOptions) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -327,20 +544,21 @@ impl<'a> OnlineRunner<'a> {
         };
 
         // Planning is stateful (predictor history, `&mut S`, the failure
-        // process, the stale-mask chain), so it stays sequential in slot
-        // order.
-        struct PlannedSlot {
-            true_alive: Vec<bool>,
-            forecast: Option<SlotDemand>,
-            placements: Vec<Vec<VideoId>>,
-            serve_service: Vec<u64>,
-            serve_cache: Vec<u64>,
-        }
+        // process, the stale-mask chain, the believed caches), so it
+        // stays sequential in slot order.
         let _plan_span = ccdn_obs::span("sim.online.plan");
         let mut process = self.failures.as_ref().map(FailureModel::process);
         // Planning for slot t sees slot t−1's liveness; before the trace
         // begins the controller believes everyone is up.
         let mut stale_alive = vec![true; n];
+        // The controller's cache model: assumes every push landed. Delta
+        // replication is charged against this view; the chaos replay
+        // below tracks the actual contents separately.
+        let mut believed = CacheState::new(n);
+        let mut prev_placements: Vec<Vec<VideoId>> = vec![Vec::new(); n];
+        let mut prev_forecast: Option<SlotDemand> = None;
+        let mut tally = ChaosTally::default();
+        let mut obs_wipes = 0u64;
         let mut planned = Vec::with_capacity(slot_ids.len());
         for (&slot, actual) in slot_ids.iter().zip(&actuals) {
             let true_alive = match &mut process {
@@ -353,47 +571,175 @@ impl<'a> OnlineRunner<'a> {
             // liveness mask: capacity the controller believes exists.
             let plan_service = masked(&service, &stale_alive);
             let plan_cache = masked(&cache, &stale_alive);
-            let placements: Vec<Vec<VideoId>> = match &plan_demand {
-                Some(forecast) => {
-                    let input = SlotInput {
-                        geometry: &self.geometry,
-                        demand: forecast,
-                        service_capacity: &plan_service,
-                        cache_capacity: &plan_cache,
-                        video_count: self.trace.video_count,
-                    };
-                    scheme.schedule(&input).placements
-                }
-                None => vec![Vec::new(); n],
+            let (overrun, degraded_mode) = match &self.chaos {
+                Some(c) => (c.injector.planner_overrun(slot), c.degraded_mode),
+                None => (false, false),
             };
-            let serve_service = masked(&service, &true_alive);
-            let serve_cache = masked(&cache, &true_alive);
+            let mut degraded = false;
+            let placements: Vec<Vec<VideoId>> = if overrun {
+                tally.overruns += 1;
+                tally.faults += 1;
+                if degraded_mode {
+                    // Serve from the previous slot's plan, greedily
+                    // patching the hotspots whose demand shifted most.
+                    degraded = true;
+                    tally.degraded_slots += 1;
+                    let (threshold, budget) = match &self.chaos {
+                        Some(c) => (c.patch_threshold, c.patch_budget),
+                        None => (0.0, None),
+                    };
+                    degraded_placements(
+                        &prev_placements,
+                        plan_demand.as_ref(),
+                        prev_forecast.as_ref(),
+                        &plan_cache,
+                        &believed,
+                        threshold,
+                        budget,
+                    )
+                } else {
+                    // The naive controller applies the missing plan as
+                    // empty: caches flush — the serving cliff degraded
+                    // mode exists to avoid.
+                    vec![Vec::new(); n]
+                }
+            } else {
+                match &plan_demand {
+                    Some(forecast) => {
+                        let input = SlotInput {
+                            geometry: &self.geometry,
+                            demand: forecast,
+                            service_capacity: &plan_service,
+                            cache_capacity: &plan_cache,
+                            video_count: self.trace.video_count,
+                        };
+                        scheme.schedule(&input).placements
+                    }
+                    None => vec![Vec::new(); n],
+                }
+            };
+            #[cfg(feature = "strict-invariants")]
+            if degraded {
+                if let Err(violation) =
+                    crate::validate::check_degraded_plan(&placements, &plan_cache)
+                {
+                    // lint: allow(no-panic): strict-invariants deliberately aborts on a violated invariant
+                    panic!("strict-invariants: degraded plan for slot {slot} is infeasible: {violation}");
+                }
+            }
+
+            // Serving-side faults: a crashed hotspot serves nothing this
+            // slot (but keeps its cache); a slow one loses capacity.
+            let mut serve_alive = true_alive.clone();
+            let mut serve_service = masked(&service, &true_alive);
+            if let Some(c) = &self.chaos {
+                for h in 0..n {
+                    if !serve_alive[h] {
+                        continue;
+                    }
+                    if c.injector.crashed(slot, h) {
+                        serve_alive[h] = false;
+                        serve_service[h] = 0;
+                        tally.crashes += 1;
+                        tally.faults += 1;
+                    } else {
+                        let pct = c.injector.capacity_percent(slot, h);
+                        let pct = if pct > 100 { 100 } else { pct };
+                        if pct < 100 {
+                            serve_service[h] = serve_service[h] * u64::from(pct) / 100;
+                            tally.slow_slots += 1;
+                            tally.faults += 1;
+                        }
+                    }
+                }
+            }
+            let serve_cache = masked(&cache, &serve_alive);
+
+            // Believed-cache replay: offline hotspots are wiped (their
+            // next placement is a full re-push); alive ones record which
+            // videos the CDN newly pushes this slot.
+            let mut new_videos: Vec<Vec<VideoId>> = Vec::with_capacity(n);
+            let mut believed_delta = 0u64;
+            for (h, &alive) in true_alive.iter().enumerate() {
+                if alive {
+                    let fresh: Vec<VideoId> = placements[h]
+                        .iter()
+                        .copied()
+                        .filter(|v| !believed.cached(h).contains(v))
+                        .collect();
+                    believed_delta += believed.apply(h, &placements[h]);
+                    new_videos.push(fresh);
+                } else {
+                    believed.wipe(h);
+                    obs_wipes += 1;
+                    new_videos.push(Vec::new());
+                }
+            }
+
             stale_alive = true_alive.clone();
+            prev_placements = placements.clone();
+            prev_forecast = plan_demand.clone();
             planned.push(PlannedSlot {
                 true_alive,
+                serve_alive,
                 forecast: plan_demand,
                 placements,
+                new_videos,
+                believed_delta,
                 serve_service,
                 serve_cache,
+                degraded,
             });
         }
 
         drop(_plan_span);
 
-        // Routing the realized slot against its fixed placement, scoring
-        // it, and computing the forecast error are pure per slot: fan out.
+        // Chaos replay: what the faults let the replication layer
+        // actually deliver. Sequential in slot order — the retry queue
+        // and actual cache contents chain across slots. Without chaos the
+        // believed view *is* the truth.
+        let replays: Vec<ReplaySlot> = match &self.chaos {
+            None => planned
+                .iter()
+                .map(|p| ReplaySlot { effective: None, delta: p.believed_delta })
+                .collect(),
+            Some(chaos) => {
+                let _replay_span = ccdn_obs::span("sim.online.replay");
+                let mut replay = ChaosReplay {
+                    injector: &*chaos.injector,
+                    backoff: chaos.backoff,
+                    actual_cache: vec![BTreeSet::new(); n],
+                    pending: BTreeMap::new(),
+                    tally: ChaosTally::default(),
+                };
+                let out = slot_ids
+                    .iter()
+                    .zip(&planned)
+                    .map(|(&slot, p)| replay.replay_slot(slot, p))
+                    .collect();
+                tally.merge(&replay.tally);
+                out
+            }
+        };
+
+        // Routing the realized slot against its effective placement,
+        // scoring it, and computing the forecast error are pure per
+        // slot: fan out. No injector queries happen here — every fault
+        // decision was already materialized sequentially.
+        let chain_budget = self.chaos.as_ref().and_then(|c| c.chain_budget);
         let _route_span = ccdn_obs::span("sim.online.route");
         let routed = ccdn_par::par_map_indexed(self.threads, 0, &planned, |i, p| {
             let actual = &actuals[i];
             // Route the real slot against the fixed placement under the
-            // *true* mask: offline hotspots serve nothing.
+            // *serving* mask: offline or crashed hotspots serve nothing.
             let (decision, failover) = route_with_failover(
                 &self.geometry,
                 actual,
                 &p.serve_service,
                 p.placements.clone(),
-                &p.true_alive,
+                &p.serve_alive,
                 self.radius_km,
+                RouteOptions { effective_placements: replays[i].effective.clone(), chain_budget },
             );
             let input = SlotInput {
                 geometry: &self.geometry,
@@ -407,56 +753,52 @@ impl<'a> OnlineRunner<'a> {
                 Some(f) => forecast_error(f, actual),
                 None => 1.0,
             };
-            (decision, failover, metrics, forecast_error)
+            (failover, metrics, forecast_error)
         });
 
         drop(_route_span);
 
-        // Sequential merge: persistent caches must replay in slot order,
-        // and the first error in slot order propagates.
+        // Sequential merge: the first error in slot order propagates.
         let _merge_span = ccdn_obs::span("sim.online.merge");
-        let mut caches = CacheState::new(n);
         let mut slots = Vec::with_capacity(slot_ids.len());
         let mut total = MetricsTotals::default();
         let mut total_failed_over = 0u64;
         let mut total_orphaned = 0u64;
-        let mut obs_wipes = 0u64;
+        let mut total_disrupted = 0u64;
+        let mut total_origin_spilled = 0u64;
+        let mut total_degraded = 0u64;
         let mut obs_delta = 0u64;
-        for ((slot, p), (decision, failover, metrics, forecast_error)) in
-            slot_ids.iter().copied().zip(&planned).zip(routed)
-        {
+        for (i, (failover, metrics, forecast_error)) in routed.into_iter().enumerate() {
             let mut metrics = metrics?;
-
-            // Persistent caches: offline hotspots are wiped (their next
-            // placement is a full re-push); alive ones are charged the
-            // delta against what they already hold.
-            let mut delta = 0u64;
-            for (h, &alive) in p.true_alive.iter().enumerate() {
-                if alive {
-                    delta += caches.apply(h, &decision.placements[h]);
-                } else {
-                    caches.wipe(h);
-                    obs_wipes += 1;
-                }
-            }
-            metrics.replicas = delta;
-            obs_delta += delta;
+            let p = &planned[i];
+            metrics.replicas = replays[i].delta;
+            obs_delta += replays[i].delta;
 
             total.add(&metrics);
             total_failed_over += failover.failed_over;
             total_orphaned += failover.orphaned;
+            total_disrupted += failover.disrupted;
+            total_origin_spilled += failover.origin_spilled;
+            total_degraded += u64::from(p.degraded);
             slots.push(OnlineSlotOutcome {
-                slot,
+                slot: slot_ids[i],
                 metrics,
                 forecast_error,
-                offline_hotspots: p.true_alive.iter().filter(|&&a| !a).count() as u32,
+                offline_hotspots: p.serve_alive.iter().filter(|&&a| !a).count() as u32,
                 failed_over: failover.failed_over,
                 orphaned: failover.orphaned,
+                disrupted: failover.disrupted,
+                origin_spilled: failover.origin_spilled,
+                degraded: p.degraded,
             });
         }
 
         CACHE_WIPES.add(obs_wipes);
         REPLICA_DELTA.add(obs_delta);
+        if self.chaos.is_some() {
+            ORIGIN_SPILLED.add(total_origin_spilled);
+            tally.flush();
+        }
 
         let report = OnlineReport {
             scheme: scheme.name().to_owned(),
@@ -465,6 +807,9 @@ impl<'a> OnlineRunner<'a> {
             total,
             failed_over: total_failed_over,
             orphaned: total_orphaned,
+            disrupted: total_disrupted,
+            origin_spilled: total_origin_spilled,
+            degraded_slots: total_degraded,
         };
         #[cfg(feature = "strict-invariants")]
         if let Err(violation) = crate::validate::check_report(&report) {
@@ -473,6 +818,286 @@ impl<'a> OnlineRunner<'a> {
         }
         Ok(report)
     }
+}
+
+/// One slot's planning output, shared by the replay and routing phases.
+struct PlannedSlot {
+    /// The failure model's realized mask (offline ⇒ cache wiped).
+    true_alive: Vec<bool>,
+    /// The serving mask: `true_alive` minus crashed hotspots (crash
+    /// keeps the cache, so no wipe).
+    serve_alive: Vec<bool>,
+    forecast: Option<SlotDemand>,
+    placements: Vec<Vec<VideoId>>,
+    /// Per hotspot: the videos the CDN newly pushes this slot (the
+    /// believed delta's composition).
+    new_videos: Vec<Vec<VideoId>>,
+    /// Replication charge assuming every push lands.
+    believed_delta: u64,
+    serve_service: Vec<u64>,
+    serve_cache: Vec<u64>,
+    degraded: bool,
+}
+
+/// One slot's replication truth after chaos replay.
+struct ReplaySlot {
+    /// What each hotspot actually holds and can serve; `None` means the
+    /// planned placements are the truth (no chaos attached).
+    effective: Option<Vec<Vec<VideoId>>>,
+    /// Replication pushes actually charged this slot (initial attempts
+    /// plus transmitted retries).
+    delta: u64,
+}
+
+/// Local accumulator for the chaos counters, flushed once per run.
+#[derive(Default)]
+struct ChaosTally {
+    faults: u64,
+    crashes: u64,
+    partitions: u64,
+    slow_slots: u64,
+    corruptions: u64,
+    push_losses: u64,
+    overruns: u64,
+    retries: u64,
+    backoff_slots: u64,
+    abandoned: u64,
+    degraded_slots: u64,
+}
+
+impl ChaosTally {
+    fn merge(&mut self, other: &ChaosTally) {
+        self.faults += other.faults;
+        self.crashes += other.crashes;
+        self.partitions += other.partitions;
+        self.slow_slots += other.slow_slots;
+        self.corruptions += other.corruptions;
+        self.push_losses += other.push_losses;
+        self.overruns += other.overruns;
+        self.retries += other.retries;
+        self.backoff_slots += other.backoff_slots;
+        self.abandoned += other.abandoned;
+        self.degraded_slots += other.degraded_slots;
+    }
+
+    fn flush(&self) {
+        FAULTS_INJECTED.add(self.faults);
+        CHAOS_CRASHES.add(self.crashes);
+        CHAOS_PARTITIONS.add(self.partitions);
+        CHAOS_SLOW_SLOTS.add(self.slow_slots);
+        CHAOS_CORRUPTIONS.add(self.corruptions);
+        CHAOS_PUSH_LOSSES.add(self.push_losses);
+        CHAOS_OVERRUNS.add(self.overruns);
+        CHAOS_RETRIES.add(self.retries);
+        CHAOS_BACKOFF_SLOTS.add(self.backoff_slots);
+        CHAOS_ABANDONED.add(self.abandoned);
+        DEGRADED_SLOTS.add(self.degraded_slots);
+    }
+}
+
+/// Sequential replay of the replication layer under chaos: tracks what
+/// each cache *actually* holds (vs the controller's believed view) and
+/// the bounded-retry queue for blocked or lost pushes.
+struct ChaosReplay<'c> {
+    injector: &'c dyn Injector,
+    backoff: Backoff,
+    actual_cache: Vec<BTreeSet<VideoId>>,
+    /// `(hotspot, video)` → `(next attempt index, due slot)`.
+    pending: BTreeMap<(usize, VideoId), (u32, u32)>,
+    tally: ChaosTally,
+}
+
+impl ChaosReplay<'_> {
+    fn replay_slot(&mut self, slot: u32, p: &PlannedSlot) -> ReplaySlot {
+        let n = p.placements.len();
+        let mut delta = 0u64;
+        let mut effective: Vec<Vec<VideoId>> = Vec::with_capacity(n);
+        for h in 0..n {
+            if !p.true_alive[h] {
+                // Offline: the cache is gone and so are its in-flight
+                // retries (the believed replay schedules the full
+                // re-push when the hotspot returns).
+                self.actual_cache[h].clear();
+                self.pending.retain(|&(ph, _), _| ph != h);
+                effective.push(Vec::new());
+                continue;
+            }
+            let desired: BTreeSet<VideoId> = p.placements[h].iter().copied().collect();
+            // Evictions are local and reliable: drop entries (and
+            // retries) the plan no longer wants.
+            self.actual_cache[h].retain(|v| desired.contains(v));
+            self.pending.retain(|&(ph, v), _| ph != h || desired.contains(&v));
+
+            // A partitioned or crashed hotspot is unreachable for
+            // pushes; blocked attempts are not charged.
+            let blocked = self.injector.partitioned(slot, h) || self.injector.crashed(slot, h);
+            if self.injector.partitioned(slot, h) {
+                self.tally.partitions += 1;
+                self.tally.faults += 1;
+            }
+
+            // Initial attempts for newly desired videos.
+            for &v in &p.new_videos[h] {
+                self.push_attempt(slot, h, v, 0, blocked, &mut delta);
+            }
+            // Due retries.
+            let due: Vec<(VideoId, u32)> = self
+                .pending
+                .iter()
+                .filter(|&(&(ph, _), &(_, due_slot))| ph == h && due_slot <= slot)
+                .map(|(&(_, v), &(attempt, _))| (v, attempt))
+                .collect();
+            for (v, attempt) in due {
+                self.pending.remove(&(h, v));
+                if self.actual_cache[h].contains(&v) {
+                    continue;
+                }
+                self.tally.retries += 1;
+                self.push_attempt(slot, h, v, attempt, blocked, &mut delta);
+            }
+
+            // Corruption invalidates entries before they can serve this
+            // slot; the re-fetch is detected on access and scheduled for
+            // the next slot.
+            let corrupted: Vec<VideoId> = self.actual_cache[h]
+                .iter()
+                .copied()
+                .filter(|v| self.injector.corrupted(slot, h, u64::from(v.0)))
+                .collect();
+            for v in corrupted {
+                self.actual_cache[h].remove(&v);
+                self.tally.corruptions += 1;
+                self.tally.faults += 1;
+                self.pending.entry((h, v)).or_insert((0, slot.saturating_add(1)));
+            }
+
+            // Servable contents, in planner order.
+            effective.push(
+                p.placements[h]
+                    .iter()
+                    .copied()
+                    .filter(|v| self.actual_cache[h].contains(v))
+                    .collect(),
+            );
+        }
+        ReplaySlot { effective: Some(effective), delta }
+    }
+
+    /// One push attempt of `video` to `h`. Transmitted attempts are
+    /// charged whether or not they arrive; blocked ones (partition,
+    /// crash) are not. Failures reschedule per the backoff, until the
+    /// attempt budget runs out and the push is abandoned.
+    fn push_attempt(
+        &mut self,
+        slot: u32,
+        h: usize,
+        video: VideoId,
+        attempt: u32,
+        blocked: bool,
+        delta: &mut u64,
+    ) {
+        let lost = if blocked {
+            true
+        } else {
+            *delta += 1;
+            if self.injector.push_lost(slot, h, u64::from(video.0)) {
+                self.tally.push_losses += 1;
+                self.tally.faults += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if !lost {
+            self.actual_cache[h].insert(video);
+            return;
+        }
+        match self.backoff.delay_slots(attempt) {
+            Some(wait) => {
+                self.tally.backoff_slots += u64::from(wait);
+                self.pending.insert((h, video), (attempt + 1, slot.saturating_add(wait)));
+            }
+            None => self.tally.abandoned += 1,
+        }
+    }
+}
+
+/// Degraded-mode plan: keep the previous slot's placements (truncated to
+/// the believed capacity) and greedily re-plan — Nearest-style, each
+/// hotspot caching its own most-demanded forecast videos — only the
+/// hotspots whose demand shifted beyond `threshold`, most-shifted first,
+/// spending at most `patch_budget` *extra* believed pushes on patches.
+fn degraded_placements(
+    prev: &[Vec<VideoId>],
+    forecast: Option<&SlotDemand>,
+    prev_forecast: Option<&SlotDemand>,
+    plan_cache: &[u64],
+    believed: &CacheState,
+    threshold: f64,
+    patch_budget: Option<u64>,
+) -> Vec<Vec<VideoId>> {
+    let n = plan_cache.len();
+    // Base: yesterday's plan under today's believed capacity.
+    let mut out: Vec<Vec<VideoId>> = (0..n)
+        .map(|h| {
+            let mut keep = prev.get(h).cloned().unwrap_or_default();
+            keep.truncate(plan_cache[h] as usize);
+            keep
+        })
+        .collect();
+    let Some(f) = forecast else { return out };
+
+    // Hotspots whose demand moved the most, patched first.
+    let mut shifted: Vec<(f64, usize)> = (0..n)
+        .filter(|&h| plan_cache[h] > 0)
+        .map(|h| (demand_delta_ratio(f, prev_forecast, ccdn_trace::HotspotId(h)), h))
+        .filter(|&(ratio, _)| ratio > threshold)
+        .collect();
+    shifted.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut budget_left = patch_budget.unwrap_or(u64::MAX);
+    for (_, h) in shifted {
+        let hid = ccdn_trace::HotspotId(h);
+        let mut vids = f.videos(hid).to_vec();
+        vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+        let patch: Vec<VideoId> =
+            vids.into_iter().take(plan_cache[h] as usize).map(|vd| vd.video).collect();
+        let have = believed.cached(h);
+        let base_cost = out[h].iter().filter(|v| !have.contains(v)).count() as u64;
+        let patch_cost = patch.iter().filter(|v| !have.contains(v)).count() as u64;
+        let extra = patch_cost.saturating_sub(base_cost);
+        if extra <= budget_left {
+            budget_left -= extra;
+            out[h] = patch;
+        }
+    }
+    out
+}
+
+/// Demand-shift ratio of one hotspot between two forecasts: L1 distance
+/// of per-video counts normalized by the current forecast's volume
+/// (0 = identical shape, ≥ 1 = mostly new demand).
+fn demand_delta_ratio(
+    current: &SlotDemand,
+    previous: Option<&SlotDemand>,
+    hid: ccdn_trace::HotspotId,
+) -> f64 {
+    let mut prev: BTreeMap<VideoId, i64> = match previous {
+        Some(p) => p.videos(hid).iter().map(|vd| (vd.video, vd.count as i64)).collect(),
+        None => BTreeMap::new(),
+    };
+    let mut diff = 0i64;
+    let mut volume = 0i64;
+    for vd in current.videos(hid) {
+        let before = prev.remove(&vd.video).unwrap_or(0);
+        diff += (vd.count as i64 - before).abs();
+        volume += vd.count as i64;
+    }
+    for before in prev.values() {
+        diff += before.abs();
+    }
+    let denominator = if volume > 0 { volume as f64 } else { 1.0 };
+    diff as f64 / denominator
 }
 
 /// Applies a liveness mask to per-hotspot capacities.
@@ -495,9 +1120,16 @@ fn masked(capacity: &[u64], alive: &[bool]) -> Vec<u64> {
 /// ignoring liveness — was offline: those an alive cacher rescued
 /// (`failed_over`) and those that fell to the CDN (`orphaned`).
 ///
+/// [`RouteOptions`] adds the chaos-plane behaviours: serving against
+/// chaos-adjusted effective contents (disruption attribution still uses
+/// the planned placements), and a per-request deadline budget capping
+/// how many servers a batch may consult before spilling to origin
+/// (tallied as `origin_spilled`). The default options route exactly like
+/// the baseline.
+///
 /// `service` must already be zeroed for offline hotspots (it is re-masked
-/// defensively). With an all-alive mask this is exactly the baseline
-/// greedy routing and the stats are zero.
+/// defensively). With an all-alive mask and default options this is
+/// exactly the baseline greedy routing and the stats are zero.
 pub fn route_with_failover(
     geometry: &HotspotGeometry,
     actual: &SlotDemand,
@@ -505,13 +1137,19 @@ pub fn route_with_failover(
     planned_placements: Vec<Vec<VideoId>>,
     alive: &[bool],
     radius_km: f64,
+    options: RouteOptions,
 ) -> (SlotDecision, FailoverStats) {
     let n = planned_placements.len();
     let planned_cached: Vec<BTreeSet<VideoId>> =
         planned_placements.iter().map(|p| p.iter().copied().collect()).collect();
 
-    // Effective placements: an offline hotspot's cache is unreachable.
-    let mut placements = planned_placements;
+    // Effective placements: what is actually servable — the planned
+    // placements unless the caller supplies chaos-adjusted truth — with
+    // offline hotspots emptied either way (their cache is unreachable).
+    let mut placements = match options.effective_placements {
+        Some(effective) => effective,
+        None => planned_placements,
+    };
     for (h, &a) in alive.iter().enumerate() {
         if !a {
             placements[h].clear();
@@ -520,6 +1158,7 @@ pub fn route_with_failover(
     let cached: Vec<BTreeSet<VideoId>> =
         placements.iter().map(|p| p.iter().copied().collect()).collect();
 
+    let budget = options.chain_budget.unwrap_or(u64::MAX);
     let mut decision = SlotDecision::new(n);
     decision.placements = placements;
     let mut capacity_left = masked(service, alive);
@@ -551,8 +1190,11 @@ pub fn route_with_failover(
             let mut remaining = vd.count;
             let mut hotspot_served = 0u64;
             let mut servers_used = 0u64;
-            // Local first.
-            if cached[h].contains(&vd.video) && capacity_left[h] > 0 {
+            let mut deadline_hit = false;
+            // Local first (consulting it consumes budget too).
+            if budget == 0 {
+                deadline_hit = remaining > 0;
+            } else if cached[h].contains(&vd.video) && capacity_left[h] > 0 {
                 let m = remaining.min(capacity_left[h]);
                 decision.assign(hid, vd.video, Target::Hotspot(hid), m);
                 capacity_left[h] -= m;
@@ -560,9 +1202,14 @@ pub fn route_with_failover(
                 hotspot_served += m;
                 servers_used += 1;
             }
-            // Then neighbours in distance order.
+            // Then neighbours in distance order, while the deadline
+            // budget lasts.
             for &(_, j) in &neighbours {
                 if remaining == 0 {
+                    break;
+                }
+                if servers_used >= budget {
+                    deadline_hit = true;
                     break;
                 }
                 if cached[j].contains(&vd.video) && capacity_left[j] > 0 {
@@ -576,8 +1223,12 @@ pub fn route_with_failover(
             }
             if remaining > 0 {
                 decision.assign(hid, vd.video, Target::Cdn, remaining);
+                if deadline_hit {
+                    stats.origin_spilled += remaining;
+                }
             }
             if disrupted {
+                stats.disrupted += vd.count;
                 stats.failed_over += hotspot_served;
                 stats.orphaned += remaining;
                 // Atomic bucket increments commute, so recording inside
@@ -834,7 +1485,15 @@ mod tests {
         };
         let placements = scheme.schedule(&input).placements;
         let alive = vec![true; t.hotspots.len()];
-        let (_, stats) = route_with_failover(&geo, &actual, &service, placements, &alive, 1.5);
+        let (_, stats) = route_with_failover(
+            &geo,
+            &actual,
+            &service,
+            placements,
+            &alive,
+            1.5,
+            RouteOptions::default(),
+        );
         assert_eq!(stats, FailoverStats::default());
     }
 
@@ -848,5 +1507,226 @@ mod tests {
         assert!(caches.cached(0).is_empty());
         assert_eq!(caches.apply(0, &p), 5, "wipe makes the re-push a full push");
         assert_eq!(caches.apply(1, &p[..2]), 2, "hotspots are independent");
+    }
+
+    #[test]
+    fn quiet_chaos_is_byte_identical_to_chaos_off() {
+        let t = trace();
+        let plain = OnlineRunner::new(&t).run_with_oracle(&mut TopLocal).unwrap();
+        let quiet = ccdn_chaos::FaultPlan::new(ccdn_chaos::ChaosConfig::quiet(1)).unwrap();
+        let chaotic = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(quiet))
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        assert_eq!(plain, chaotic, "a quiet fault plan must not perturb the run");
+    }
+
+    /// Crashes one hotspot during a slot range; everything else healthy.
+    #[derive(Debug)]
+    struct CrashOne {
+        hotspot: usize,
+        slots: std::ops::Range<u32>,
+    }
+
+    impl Injector for CrashOne {
+        fn crashed(&self, slot: u32, hotspot: usize) -> bool {
+            hotspot == self.hotspot && self.slots.contains(&slot)
+        }
+    }
+
+    #[test]
+    fn crash_keeps_cache_warm_unlike_failure_wipe() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut PinnedSet(5)).unwrap();
+        let crashed = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(CrashOne { hotspot: 0, slots: 3..6 }))
+            .run_with_oracle(&mut PinnedSet(5))
+            .unwrap();
+        // A crashed hotspot serves nothing mid-slot but restarts with its
+        // cache intact, so no re-push is charged (contrast with the
+        // failure model's wipe, covered above).
+        assert_eq!(crashed.total.sums.replicas, healthy.total.sums.replicas);
+        assert!(
+            crashed.total.hotspot_serving_ratio() <= healthy.total.hotspot_serving_ratio(),
+            "crash slots cannot improve serving"
+        );
+    }
+
+    #[test]
+    fn crashes_are_attributed_as_disruption() {
+        let t = trace();
+        let crashed = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(CrashOne { hotspot: 0, slots: 3..9 }))
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        // TopLocal places each hotspot's top demanded videos, so the
+        // crashed hotspot was somebody's planned server.
+        assert!(crashed.disrupted > 0, "planned-server crashes must be attributed");
+        assert_eq!(crashed.disrupted, crashed.failed_over + crashed.orphaned);
+    }
+
+    /// Loses every replication push in the slot range (after it,
+    /// deliveries succeed — retries drain).
+    #[derive(Debug)]
+    struct LossWindow(std::ops::Range<u32>);
+
+    impl Injector for LossWindow {
+        fn push_lost(&self, slot: u32, _hotspot: usize, _video: u64) -> bool {
+            self.0.contains(&slot)
+        }
+    }
+
+    #[test]
+    fn push_loss_charges_retries_and_recovers() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut PinnedSet(5)).unwrap();
+        let lossy = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(LossWindow(0..2)).with_backoff(Backoff::new(1, 8)))
+            .run_with_oracle(&mut PinnedSet(5))
+            .unwrap();
+        assert!(
+            lossy.total.sums.replicas > healthy.total.sums.replicas,
+            "every transmitted-then-lost push must be charged: {} vs {}",
+            lossy.total.sums.replicas,
+            healthy.total.sums.replicas
+        );
+        // Once the loss window closes the retries deliver, and the run
+        // finishes at the healthy serving level for the final slots.
+        let last = lossy.slots.last().unwrap();
+        let last_healthy = healthy.slots.last().unwrap();
+        assert_eq!(last.metrics.hotspot_served, last_healthy.metrics.hotspot_served);
+    }
+
+    /// Partitions one hotspot from the CDN for the whole run.
+    #[derive(Debug)]
+    struct PartitionOne(usize);
+
+    impl Injector for PartitionOne {
+        fn partitioned(&self, _slot: u32, hotspot: usize) -> bool {
+            hotspot == self.0
+        }
+    }
+
+    #[test]
+    fn partition_defers_pushes_without_charging() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut PinnedSet(5)).unwrap();
+        let split = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(PartitionOne(0)))
+            .run_with_oracle(&mut PinnedSet(5))
+            .unwrap();
+        // Blocked pushes never leave the CDN: not charged. The pinned set
+        // is 5 videos per hotspot, so hotspot 0's share is exactly 5.
+        assert_eq!(split.total.sums.replicas, healthy.total.sums.replicas - 5);
+    }
+
+    /// Corrupts one pinned video at one hotspot in one slot.
+    #[derive(Debug)]
+    struct CorruptOnce;
+
+    impl Injector for CorruptOnce {
+        fn corrupted(&self, slot: u32, hotspot: usize, video: u64) -> bool {
+            slot == 4 && hotspot == 0 && video == 0
+        }
+    }
+
+    #[test]
+    fn corruption_forces_refetch() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut PinnedSet(5)).unwrap();
+        let corrupted = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(CorruptOnce))
+            .run_with_oracle(&mut PinnedSet(5))
+            .unwrap();
+        assert_eq!(
+            corrupted.total.sums.replicas,
+            healthy.total.sums.replicas + 1,
+            "a corrupted entry is re-fetched from the CDN exactly once"
+        );
+    }
+
+    /// Planner misses its deadline every slot from `0` on.
+    #[derive(Debug)]
+    struct AlwaysOverrun {
+        from: u32,
+    }
+
+    impl Injector for AlwaysOverrun {
+        fn planner_overrun(&self, slot: u32) -> bool {
+            slot >= self.from
+        }
+    }
+
+    #[test]
+    fn degraded_mode_avoids_the_overrun_cliff() {
+        let t = trace();
+        let healthy = OnlineRunner::new(&t).run_with_oracle(&mut TopLocal).unwrap();
+        let naive = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(AlwaysOverrun { from: 2 }))
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        let degraded = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(AlwaysOverrun { from: 2 }).with_degraded_mode())
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        // The naive controller applies the missing plan as empty: caches
+        // flush and serving cliffs. Degraded mode rides the last plan.
+        assert_eq!(naive.degraded_slots, 0);
+        assert!(degraded.degraded_slots > 0);
+        assert!(
+            degraded.total.hotspot_serving_ratio() > naive.total.hotspot_serving_ratio(),
+            "degraded {} should beat the cliff {}",
+            degraded.total.hotspot_serving_ratio(),
+            naive.total.hotspot_serving_ratio()
+        );
+        assert!(
+            degraded.total.hotspot_serving_ratio() <= healthy.total.hotspot_serving_ratio() + 1e-9,
+            "degraded serving cannot beat the healthy plan"
+        );
+    }
+
+    #[test]
+    fn zero_chain_budget_spills_everything_to_origin() {
+        let t = trace();
+        let quiet = ccdn_chaos::FaultPlan::new(ccdn_chaos::ChaosConfig::quiet(1)).unwrap();
+        let report = OnlineRunner::new(&t)
+            .with_chaos(ChaosOptions::new(quiet).with_chain_budget(0))
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        assert_eq!(report.total.hotspot_serving_ratio(), 0.0);
+        assert_eq!(
+            report.origin_spilled, report.total.sums.total_requests,
+            "with no deadline budget every request spills to the CDN"
+        );
+    }
+
+    #[test]
+    fn chaos_accounting_stays_consistent() {
+        let t = trace();
+        let cfg = ccdn_chaos::ChaosConfig::at_intensity(11, 0.8).unwrap();
+        let plan = ccdn_chaos::FaultPlan::new(cfg).unwrap();
+        let report = OnlineRunner::new(&t)
+            .with_failures(FailureModel::iid(0.15, 7).unwrap())
+            .with_chaos(
+                ChaosOptions::new(plan)
+                    .with_degraded_mode()
+                    .with_chain_budget(2)
+                    .with_patch_threshold(0.3)
+                    .unwrap(),
+            )
+            .run_with_oracle(&mut TopLocal)
+            .unwrap();
+        crate::validate::check_report(&report).unwrap();
+        assert_eq!(report.disrupted, report.failed_over + report.orphaned);
+        assert!(report.disrupted > 0, "faults plus churn must disrupt something");
+    }
+
+    #[test]
+    fn invalid_patch_threshold_is_rejected() {
+        let quiet = ccdn_chaos::FaultPlan::new(ccdn_chaos::ChaosConfig::quiet(1)).unwrap();
+        assert_eq!(
+            ChaosOptions::new(quiet).with_patch_threshold(-0.5).unwrap_err(),
+            SimConfigError::ThresholdOutOfRange { name: "patch_threshold", value: -0.5 }
+        );
     }
 }

@@ -70,13 +70,6 @@ impl<'a> Runner<'a> {
         self
     }
 
-    /// Enables hotspot churn injection (legacy shim).
-    #[deprecated(since = "0.1.0", note = "use with_failures(FailureModel::iid(..)) instead")]
-    #[allow(deprecated)]
-    pub fn with_churn(self, churn: crate::ChurnModel) -> Self {
-        self.with_failures(churn.into())
-    }
-
     /// The geometry the runner uses (shared with measurement tooling).
     pub fn geometry(&self) -> &HotspotGeometry {
         &self.geometry
@@ -239,19 +232,6 @@ mod tests {
         let failures = FailureModel::iid(1.0, 3).unwrap();
         let report = Runner::new(&trace).with_failures(failures).run(&mut CdnOnly).unwrap();
         assert_eq!(report.total.cdn_server_load(), 1.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_churn_matches_with_failures() {
-        let trace = TraceConfig::small_test().generate();
-        let churn = crate::ChurnModel::new(0.4, 9).unwrap();
-        let old = Runner::new(&trace).with_churn(churn).run(&mut CdnOnly).unwrap();
-        let new = Runner::new(&trace)
-            .with_failures(FailureModel::iid(0.4, 9).unwrap())
-            .run(&mut CdnOnly)
-            .unwrap();
-        assert_eq!(old.total, new.total);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! violation.
 
 use crate::{OnlineReport, OnlineSlotOutcome, SlotMetrics};
+use ccdn_trace::VideoId;
 use std::fmt;
 
 /// A violated accounting invariant, with context for debugging.
@@ -83,6 +84,51 @@ pub fn check_slot_outcome(outcome: &OnlineSlotOutcome) -> Result<(), AccountingV
             outcome.slot, outcome.orphaned, outcome.metrics.cdn_served
         )));
     }
+    if outcome.failed_over + outcome.orphaned != outcome.disrupted {
+        return Err(AccountingViolation::new(format!(
+            "slot {}: failed_over {} + orphaned {} ≠ disrupted {} — a disrupted request \
+             must be either rescued or orphaned, never dropped or double-counted",
+            outcome.slot, outcome.failed_over, outcome.orphaned, outcome.disrupted
+        )));
+    }
+    if outcome.origin_spilled > outcome.metrics.cdn_served {
+        return Err(AccountingViolation::new(format!(
+            "slot {}: origin_spilled {} exceeds cdn_served {} — spilled requests are \
+             CDN-served by definition",
+            outcome.slot, outcome.origin_spilled, outcome.metrics.cdn_served
+        )));
+    }
+    Ok(())
+}
+
+/// Checks a degraded-mode plan against the capacity the controller
+/// believes exists: every hotspot's placement list must fit its believed
+/// cache capacity (offline-believed hotspots have capacity zero, so
+/// their placements must be empty).
+///
+/// # Errors
+///
+/// [`AccountingViolation`] naming the first over-capacity hotspot.
+pub fn check_degraded_plan(
+    placements: &[Vec<VideoId>],
+    cache_capacity: &[u64],
+) -> Result<(), AccountingViolation> {
+    if placements.len() != cache_capacity.len() {
+        return Err(AccountingViolation::new(format!(
+            "degraded plan covers {} hotspots but the capacity vector has {}",
+            placements.len(),
+            cache_capacity.len()
+        )));
+    }
+    for (h, (placement, &cap)) in placements.iter().zip(cache_capacity).enumerate() {
+        if placement.len() as u64 > cap {
+            return Err(AccountingViolation::new(format!(
+                "degraded plan places {} videos at hotspot {h} whose believed cache \
+                 capacity is {cap}",
+                placement.len()
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -99,6 +145,9 @@ pub fn check_report(report: &OnlineReport) -> Result<(), AccountingViolation> {
     let mut cdn = 0u64;
     let mut failed_over = 0u64;
     let mut orphaned = 0u64;
+    let mut disrupted = 0u64;
+    let mut origin_spilled = 0u64;
+    let mut degraded = 0u64;
     for outcome in &report.slots {
         check_slot_outcome(outcome)?;
         requests += outcome.metrics.total_requests;
@@ -106,6 +155,9 @@ pub fn check_report(report: &OnlineReport) -> Result<(), AccountingViolation> {
         cdn += outcome.metrics.cdn_served;
         failed_over += outcome.failed_over;
         orphaned += outcome.orphaned;
+        disrupted += outcome.disrupted;
+        origin_spilled += outcome.origin_spilled;
+        degraded += u64::from(outcome.degraded);
     }
     if report.total.slots as usize != report.slots.len() {
         return Err(AccountingViolation::new(format!(
@@ -126,6 +178,15 @@ pub fn check_report(report: &OnlineReport) -> Result<(), AccountingViolation> {
             "report failover totals ({}, {}) disagree with per-slot sums \
              ({failed_over}, {orphaned})",
             report.failed_over, report.orphaned
+        )));
+    }
+    if (report.disrupted, report.origin_spilled, report.degraded_slots)
+        != (disrupted, origin_spilled, degraded)
+    {
+        return Err(AccountingViolation::new(format!(
+            "report chaos totals (disrupted {}, origin_spilled {}, degraded_slots {}) \
+             disagree with per-slot sums ({disrupted}, {origin_spilled}, {degraded})",
+            report.disrupted, report.origin_spilled, report.degraded_slots
         )));
     }
     Ok(())
@@ -170,11 +231,28 @@ mod tests {
             offline_hotspots: 1,
             failed_over: 7,
             orphaned: 3,
+            disrupted: 10,
+            origin_spilled: 0,
+            degraded: false,
         };
         check_slot_outcome(&ok).unwrap();
         let bad = OnlineSlotOutcome { failed_over: 8, ..ok.clone() };
         assert!(check_slot_outcome(&bad).is_err());
-        let bad = OnlineSlotOutcome { orphaned: 4, ..ok };
+        let bad = OnlineSlotOutcome { orphaned: 4, ..ok.clone() };
         assert!(check_slot_outcome(&bad).is_err());
+        // Disrupted requests either fail over or orphan — never vanish.
+        let bad = OnlineSlotOutcome { disrupted: 9, ..ok.clone() };
+        assert!(check_slot_outcome(&bad).is_err());
+        // Spilled requests are CDN-served by definition.
+        let bad = OnlineSlotOutcome { origin_spilled: 4, ..ok };
+        assert!(check_slot_outcome(&bad).is_err());
+    }
+
+    #[test]
+    fn degraded_plan_capacity_bounds() {
+        let placements = vec![vec![VideoId(1), VideoId(2)], Vec::new(), vec![VideoId(3)]];
+        check_degraded_plan(&placements, &[2, 0, 1]).unwrap();
+        assert!(check_degraded_plan(&placements, &[1, 0, 1]).is_err());
+        assert!(check_degraded_plan(&placements, &[2, 0]).is_err());
     }
 }

@@ -1,0 +1,135 @@
+//! Property tests for the chaos plane (see DESIGN.md, "Deterministic
+//! chaos plane"): a quiet fault plan is invisible, a windowed fault plan
+//! converges back to the fault-free baseline after the window closes, and
+//! the whole injected pipeline is thread-count invariant (fault decisions
+//! fire only in the sequential planning and replay phases).
+
+use ccdn_chaos::{Backoff, ChaosConfig, FaultPlan};
+use ccdn_sim::{ChaosOptions, OnlineReport, OnlineRunner, Scheme, SlotDecision, SlotInput};
+use ccdn_trace::{HotspotId, Trace, TraceConfig};
+use proptest::prelude::*;
+
+/// Places each hotspot's top predicted videos (the stock online-test
+/// scheme: only placements matter to the online runner).
+struct TopLocal;
+
+impl Scheme for TopLocal {
+    fn name(&self) -> &'static str {
+        "top-local"
+    }
+
+    fn schedule(&mut self, input: &SlotInput<'_>) -> SlotDecision {
+        let mut d = SlotDecision::new(input.hotspot_count());
+        for h in 0..input.hotspot_count() {
+            let hid = HotspotId(h);
+            let mut vids: Vec<_> = input.demand.videos(hid).to_vec();
+            vids.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
+            for vd in vids.into_iter().take(input.cache_capacity[h] as usize) {
+                d.place(hid, vd.video);
+            }
+        }
+        d
+    }
+}
+
+fn trace(seed: u64) -> Trace {
+    TraceConfig::small_test()
+        .with_request_count(6_000)
+        .with_video_count(300)
+        .with_seed(seed)
+        .generate()
+}
+
+fn chaos_run(trace: &Trace, chaos: Option<ChaosOptions>, threads: usize) -> OnlineReport {
+    let mut runner = OnlineRunner::new(trace).with_threads(threads);
+    if let Some(c) = chaos {
+        runner = runner.with_chaos(c);
+    }
+    runner.run_with_oracle(&mut TopLocal).expect("scheme validates")
+}
+
+fn ratio(report: &OnlineReport, slot: usize) -> f64 {
+    let m = &report.slots[slot].metrics;
+    if m.total_requests == 0 {
+        1.0
+    } else {
+        m.hotspot_served as f64 / m.total_requests as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A quiet fault plan (all rates zero) must leave the run
+    /// byte-identical to running without chaos at all, whatever the
+    /// trace.
+    #[test]
+    fn quiet_plan_is_invisible(trace_seed in 0u64..1000, chaos_seed in 0u64..1000) {
+        let t = trace(trace_seed);
+        let plain = chaos_run(&t, None, 1);
+        let quiet = FaultPlan::new(ChaosConfig::quiet(chaos_seed)).unwrap();
+        let injected = chaos_run(&t, Some(ChaosOptions::new(quiet)), 1);
+        prop_assert_eq!(plain, injected);
+    }
+
+    /// With faults confined to a window, the run converges back to the
+    /// fault-free baseline: once the window closes and the retry backoff
+    /// horizon drains, per-slot serving sits near the baseline's. (A push
+    /// abandoned after retry exhaustion can leave a small believed/actual
+    /// gap until the plan churns it out, hence the tolerance.)
+    #[test]
+    fn windowed_faults_recover(
+        trace_seed in 0u64..1000,
+        chaos_seed in 0u64..1000,
+        intensity in 0.1f64..1.0,
+    ) {
+        let t = trace(trace_seed);
+        let baseline = chaos_run(&t, None, 1);
+        let backoff = Backoff::new(1, 4);
+        let window_end = 12u32;
+        let cfg = ChaosConfig::at_intensity(chaos_seed, intensity)
+            .unwrap()
+            .with_window(4, window_end);
+        let plan = FaultPlan::new(cfg).unwrap();
+        prop_assert_eq!(plan.quiesce_slot(), Some(window_end));
+        let faulty =
+            chaos_run(&t, Some(ChaosOptions::new(plan).with_backoff(backoff)), 1);
+
+        // Every retry scheduled inside the window has fired by here.
+        let drained = window_end as usize + backoff.horizon_slots() as usize;
+        prop_assert!(drained < faulty.slots.len(), "trace too short for the horizon");
+        for s in drained..faulty.slots.len() {
+            let (got, want) = (ratio(&faulty, s), ratio(&baseline, s));
+            prop_assert!(
+                got >= want - 0.1,
+                "slot {s}: serving {got:.3} never re-joined the baseline {want:.3}"
+            );
+        }
+    }
+
+    /// The injected pipeline is thread-count invariant: fault decisions
+    /// fire only in the sequential planning and replay phases, and the
+    /// parallel routing fan-out merges in slot order.
+    #[test]
+    fn chaos_runs_are_thread_count_invariant(
+        chaos_seed in 0u64..1000,
+        intensity in 0.0f64..1.0,
+    ) {
+        let t = trace(7);
+        let chaos = || {
+            let cfg = ChaosConfig::at_intensity(chaos_seed, intensity).unwrap();
+            let plan = FaultPlan::new(cfg).unwrap();
+            Some(
+                ChaosOptions::new(plan)
+                    .with_degraded_mode()
+                    .with_chain_budget(3)
+                    .with_backoff(Backoff::new(1, 5)),
+            )
+        };
+        let one = chaos_run(&t, chaos(), 1);
+        let two = chaos_run(&t, chaos(), 2);
+        let eight = chaos_run(&t, chaos(), 8);
+        prop_assert_eq!(&one, &two);
+        prop_assert_eq!(&one, &eight);
+    }
+}

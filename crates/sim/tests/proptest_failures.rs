@@ -3,7 +3,8 @@
 //! online loop's degraded-mode serving rests on (see DESIGN.md).
 
 use ccdn_sim::{
-    route_with_failover, CacheState, FailureModel, HotspotGeometry, SlotDemand, Target,
+    route_with_failover, CacheState, FailureModel, HotspotGeometry, RouteOptions, SlotDemand,
+    Target,
 };
 use ccdn_trace::{HotspotId, TraceConfig, VideoId};
 use proptest::prelude::*;
@@ -93,6 +94,7 @@ proptest! {
             placements,
             &alive,
             RADIUS_KM,
+            RouteOptions::default(),
         );
 
         let mut served = 0u64;
