@@ -62,12 +62,14 @@ pub fn hierarchical_cluster(
         return Vec::new();
     }
 
-    // Working copy of inter-cluster distances; `active[c]` marks live
+    // Working copy of inter-cluster distances, row-major in one flat
+    // allocation (n inner `Vec`s would mean n separate heap blocks and
+    // pointer-chasing in the O(n³) merge loop); `active[c]` marks live
     // clusters, `members[c]` their item lists, `sizes[c]` their sizes.
-    let mut dist = vec![vec![0.0f64; n]; n];
+    let mut dist = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {
-            dist[i][j] = distances.get(i, j);
+            dist[i * n + j] = distances.get(i, j);
         }
     }
     let mut active = vec![true; n];
@@ -86,7 +88,7 @@ pub fn hierarchical_cluster(
                 if !active[j] {
                     continue;
                 }
-                let d = dist[i][j];
+                let d = dist[i * n + j];
                 if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
@@ -102,8 +104,8 @@ pub fn hierarchical_cluster(
             if !active[k] || k == a || k == b {
                 continue;
             }
-            let dak = dist[a][k];
-            let dbk = dist[b][k];
+            let dak = dist[a * n + k];
+            let dbk = dist[b * n + k];
             let merged = match linkage {
                 Linkage::Complete => dak.max(dbk),
                 Linkage::Single => dak.min(dbk),
@@ -112,8 +114,8 @@ pub fn hierarchical_cluster(
                     (sa * dak + sb * dbk) / (sa + sb)
                 }
             };
-            dist[a][k] = merged;
-            dist[k][a] = merged;
+            dist[a * n + k] = merged;
+            dist[k * n + a] = merged;
         }
         let moved = std::mem::take(&mut members[b]);
         members[a].extend(moved);

@@ -74,9 +74,18 @@ impl GdStats {
     /// Computes the Fig. 9 data point for one slot at threshold
     /// `theta_km`: build `Gd` over the slot's overloaded/under-utilized
     /// hotspots and measure its size and max flow.
+    // lint: allow(panic-reach): delegates to compute_with, whose only panic
+    // sinks are the Gd builder's infallible add_edge expects and the Dinic
+    // solver shared with every balancing entry.
     pub fn compute(input: &SlotInput<'_>, theta_km: f64) -> GdStats {
         let parts = Participants::from_input(input);
-        let mut builder = GraphBuilder::new(&parts);
+        GdStats::compute_with(input, &parts, theta_km)
+    }
+
+    /// [`GdStats::compute`] against a pre-computed hotspot partition, so
+    /// a sweep builds the `Participants` once instead of once per θ.
+    fn compute_with(input: &SlotInput<'_>, parts: &Participants, theta_km: f64) -> GdStats {
+        let mut builder = GraphBuilder::new(parts);
         for (si, &(i, phi_i)) in parts.overloaded.iter().enumerate() {
             for (ti, &(j, phi_j)) in parts.under.iter().enumerate() {
                 let d = input.geometry.distance(HotspotId(i), HotspotId(j));
@@ -104,8 +113,15 @@ impl GdStats {
     /// independent, so they fan out over the worker pool and come back in
     /// `thetas` order (the resolved thread count never changes the
     /// values, only the wall-clock time).
+    // lint: allow(panic-reach): same sinks as compute — the shared
+    // compute_with helper behind the θ-sweep fan-out.
     pub fn compute_sweep(input: &SlotInput<'_>, thetas: &[f64]) -> Vec<GdStats> {
-        ccdn_par::par_map(Threads::Auto, thetas, |&theta| GdStats::compute(input, theta))
+        // One partition shared by every θ worker; the per-point work
+        // only reads it.
+        let parts = Participants::from_input(input);
+        ccdn_par::par_map(Threads::Auto, thetas, |&theta| {
+            GdStats::compute_with(input, &parts, theta)
+        })
     }
 }
 
@@ -159,23 +175,33 @@ struct GraphBuilder {
 
 impl GraphBuilder {
     fn new(parts: &Participants) -> Self {
+        Self::from_slacks(
+            parts.overloaded.iter().map(|&(_, phi)| phi),
+            parts.under.iter().map(|&(_, phi)| phi),
+        )
+    }
+
+    /// Builds the source/sink skeleton straight from slack iterators.
+    /// `solve_round` feeds the current residual slacks through this, so
+    /// the θ loop no longer materializes a throwaway [`Participants`]
+    /// (two `Vec` collects) on every round.
+    fn from_slacks(
+        overloaded: impl Iterator<Item = u64>,
+        under: impl Iterator<Item = u64>,
+    ) -> Self {
         let mut net = FlowNetwork::new();
         let source = net.add_node();
         let sink = net.add_node();
-        let s_nodes: Vec<usize> = parts
-            .overloaded
-            .iter()
-            .map(|&(_, phi)| {
+        let s_nodes: Vec<usize> = overloaded
+            .map(|phi| {
                 let node = net.add_node();
                 // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
                 net.add_edge(source, node, phi as i64, 0.0).expect("valid edge");
                 node
             })
             .collect();
-        let t_nodes: Vec<usize> = parts
-            .under
-            .iter()
-            .map(|&(_, phi)| {
+        let t_nodes: Vec<usize> = under
+            .map(|phi| {
                 let node = net.add_node();
                 // lint: allow(no-panic): zero cost and in-range nodes make add_edge infallible
                 net.add_edge(node, sink, phi as i64, 0.0).expect("valid edge");
@@ -319,10 +345,7 @@ fn solve_round(
     cluster_of: &[usize],
     allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> Vec<((usize, usize), u64)> {
-    let mut builder = GraphBuilder::new(&Participants {
-        overloaded: parts.overloaded.iter().zip(phi_s).map(|(&(h, _), &p)| (h, p)).collect(),
-        under: parts.under.iter().zip(phi_t).map(|(&(h, _), &p)| (h, p)).collect(),
-    });
+    let mut builder = GraphBuilder::from_slacks(phi_s.iter().copied(), phi_t.iter().copied());
 
     // The per-under-hotspot subproblem — candidate scan under the
     // threshold plus flow-guide grouping — is pure, so it fans out over

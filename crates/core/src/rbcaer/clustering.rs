@@ -34,10 +34,15 @@ pub(crate) fn content_clusters_subset(
     first_cluster_id: usize,
     cluster_of: &mut [usize],
 ) -> usize {
-    let sets: Vec<Vec<VideoId>> = members
-        .iter()
-        .map(|&h| input.demand.top_videos(HotspotId(h), config.top_fraction))
-        .collect();
+    // One ranking scratch shared across the member loop; each hotspot
+    // still owns its final top set (the matrix closure borrows them all).
+    let mut scratch = Vec::new();
+    let mut sets: Vec<Vec<VideoId>> = Vec::with_capacity(members.len());
+    for &h in members {
+        let mut top = Vec::new();
+        input.demand.top_videos_into(HotspotId(h), config.top_fraction, &mut scratch, &mut top);
+        sets.push(top);
+    }
     let matrix = DistanceMatrix::from_fn(members.len(), |i, j| 1.0 - jaccard(&sets[i], &sets[j]));
     let clusters = hierarchical_cluster(&matrix, config.linkage, config.cluster_threshold);
     for (k, cluster) in clusters.iter().enumerate() {

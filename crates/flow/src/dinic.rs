@@ -44,6 +44,9 @@ impl FlowNetwork {
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
         let mut iter = vec![0usize; n];
+        // BFS queue shared across phases; cleared per round, never
+        // reallocated (hot-loop-alloc).
+        let mut queue = VecDeque::new();
         // Probe totals accumulate locally; one atomic add per solve.
         let mut bfs_rounds = 0u64;
         let mut paths = 0u64;
@@ -52,7 +55,8 @@ impl FlowNetwork {
             bfs_rounds += 1;
             level.iter_mut().for_each(|l| *l = -1);
             level[source] = 0;
-            let mut queue = VecDeque::from([source]);
+            queue.clear();
+            queue.push_back(source);
             while let Some(u) = queue.pop_front() {
                 for &a in &self.adj[u] {
                     let arc = &self.arcs[a];
@@ -191,6 +195,8 @@ mod tests {
 
     /// Brute-force max flow via repeated BFS augmenting paths
     /// (Edmonds–Karp) on an independent matrix representation.
+    // lint: allow(hot-loop-alloc): naive differential reference — clarity
+    // beats allocation discipline here.
     fn edmonds_karp(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) -> i64 {
         let mut cap = vec![vec![0i64; n]; n];
         for &(u, v, c) in edges {

@@ -132,10 +132,13 @@ impl FlowNetwork {
         let n = self.node_count();
         let mut canceled = 0u64;
         // Cancel negative residual cycles found by Bellman–Ford from a
-        // virtual super-source (distance 0 to every node).
+        // virtual super-source (distance 0 to every node). Scratch
+        // buffers live outside the cancellation loop (hot-loop-alloc).
+        let mut dist = vec![0.0f64; n];
+        let mut prev_arc = vec![usize::MAX; n];
         loop {
-            let mut dist = vec![0.0f64; n];
-            let mut prev_arc = vec![usize::MAX; n];
+            dist.iter_mut().for_each(|d| *d = 0.0);
+            prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
             let mut updated_node = usize::MAX;
             for round in 0..n {
                 updated_node = usize::MAX;
@@ -259,6 +262,9 @@ impl FlowNetwork {
         let mut total_cost = 0.0f64;
         let mut dist = vec![f64::INFINITY; n];
         let mut prev_arc = vec![usize::MAX; n];
+        // One heap for every augmentation round; cleared, not
+        // reallocated (hot-loop-alloc).
+        let mut heap = BinaryHeap::new();
         let mut rounds = 0u64;
 
         while total_flow < limit {
@@ -266,7 +272,7 @@ impl FlowNetwork {
             dist.iter_mut().for_each(|d| *d = f64::INFINITY);
             prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
             dist[source] = 0.0;
-            let mut heap = BinaryHeap::new();
+            heap.clear();
             heap.push(HeapEntry { dist: 0.0, node: source });
             while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
                 if d > dist[u] {
@@ -323,14 +329,21 @@ impl FlowNetwork {
         let n = self.node_count();
         let mut total_flow = 0i64;
         let mut total_cost = 0.0f64;
+        // Scratch state for every relaxation round; reset in place, not
+        // reallocated (hot-loop-alloc).
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_arc = vec![usize::MAX; n];
+        let mut in_queue = vec![false; n];
+        let mut queue = VecDeque::new();
         let mut rounds = 0u64;
         loop {
             rounds += 1;
-            let mut dist = vec![f64::INFINITY; n];
-            let mut prev_arc = vec![usize::MAX; n];
-            let mut in_queue = vec![false; n];
+            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+            prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
+            in_queue.iter_mut().for_each(|q| *q = false);
             dist[source] = 0.0;
-            let mut queue = VecDeque::from([source]);
+            queue.clear();
+            queue.push_back(source);
             in_queue[source] = true;
             while let Some(u) = queue.pop_front() {
                 in_queue[u] = false;
@@ -540,8 +553,10 @@ mod tests {
             let mut costs = Vec::new();
             let mut last_flow = 0;
             for limit in 0..10 {
-                let mut copy = net.clone();
-                let r = copy.min_cost_flow_bounded(0, 5, limit).unwrap();
+                // Reuse one network across probes: reset_flow restores
+                // every capacity, so no per-probe clone is needed.
+                net.reset_flow();
+                let r = net.min_cost_flow_bounded(0, 5, limit).unwrap();
                 prop_assert!(r.flow <= limit);
                 prop_assert!(r.flow >= last_flow);
                 last_flow = r.flow;
@@ -550,6 +565,45 @@ mod tests {
             // Cost is non-decreasing in the limit.
             for w in costs.windows(2) {
                 prop_assert!(w[1] >= w[0] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    // lint: allow(hot-loop-alloc): the reference side of this differential
+    // test must solve a fresh clone per probe — that is the point.
+    fn reset_flow_reuse_matches_fresh_clone_per_probe() {
+        // Differential check for the reset_flow reuse pattern: probing
+        // a network at increasing limits after reset_flow() must give
+        // exactly the results (totals and per-edge flows) of solving a
+        // fresh clone at each limit.
+        let mut rng = StdRng::seed_from_u64(9001);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..8);
+            let mut net = FlowNetwork::with_nodes(n);
+            for _ in 0..18 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    net.add_edge(u, v, rng.gen_range(0..12), rng.gen_range(0.0..6.0)).unwrap();
+                }
+            }
+            let pristine = net.clone();
+            for limit in 0..8 {
+                net.reset_flow();
+                let reused = net.min_cost_flow_bounded(0, n - 1, limit).unwrap();
+                let mut fresh = pristine.clone();
+                let expected = fresh.min_cost_flow_bounded(0, n - 1, limit).unwrap();
+                assert_eq!(reused.flow, expected.flow, "flow diverged at limit {limit}");
+                assert!(
+                    (reused.cost - expected.cost).abs() < 1e-9,
+                    "cost diverged at limit {limit}: {} vs {}",
+                    reused.cost,
+                    expected.cost
+                );
+                let reused_edges: Vec<i64> = net.edges().iter().map(|e| e.flow).collect();
+                let fresh_edges: Vec<i64> = fresh.edges().iter().map(|e| e.flow).collect();
+                assert_eq!(reused_edges, fresh_edges, "edge flows diverged at limit {limit}");
             }
         }
     }
@@ -569,8 +623,10 @@ mod tests {
                 }
                 net.add_edge(u, v, rng.gen_range(0..15), rng.gen_range(0.0..10.0)).unwrap();
             }
-            let mut dinic = net.clone();
-            let maxflow = dinic.max_flow_dinic(0, n - 1).unwrap();
+            // Run Dinic on the shared network, then reset it so the MCMF
+            // helpers see pristine capacities — no per-iteration clone.
+            let maxflow = net.max_flow_dinic(0, n - 1).unwrap();
+            net.reset_flow();
             let (a, b) = both(&net, 0, n - 1);
             assert_eq!(a.flow, maxflow);
             assert_eq!(b.flow, maxflow);

@@ -173,16 +173,47 @@ impl SlotDemand {
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn top_videos(&self, h: HotspotId, fraction: f64) -> Vec<VideoId> {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
-        let demands = &self.per_video[h.0];
-        if demands.is_empty() {
-            return Vec::new();
-        }
-        let mut by_count: Vec<&VideoDemand> = demands.iter().collect();
-        by_count.sort_by(|a, b| b.count.cmp(&a.count).then(a.video.cmp(&b.video)));
-        let k = ((demands.len() as f64 * fraction).ceil() as usize).clamp(1, demands.len());
-        let mut top: Vec<VideoId> = by_count[..k].iter().map(|d| d.video).collect();
-        top.sort_unstable();
+        let mut scratch = Vec::new();
+        let mut top = Vec::new();
+        self.top_videos_into(h, fraction, &mut scratch, &mut top);
         top
+    }
+
+    /// Buffer-reusing form of [`SlotDemand::top_videos`]: ranks
+    /// `(count, video)` pairs in `scratch` and writes the sorted top set
+    /// into `top`, clearing both first. Callers that loop over hotspots
+    /// (the Jaccard clustering stage does this every slot) amortize the
+    /// ranking allocation across the whole sweep.
+    ///
+    /// Never panics: an out-of-range hotspot yields an empty set, and an
+    /// out-of-range or NaN `fraction` degrades to the top-1 set (the
+    /// checked contract lives on [`SlotDemand::top_videos`]).
+    pub fn top_videos_into(
+        &self,
+        h: HotspotId,
+        fraction: f64,
+        scratch: &mut Vec<(u64, VideoId)>,
+        top: &mut Vec<VideoId>,
+    ) {
+        top.clear();
+        // Not `.get`: ccdn-analyze's name-based call graph resolves that
+        // token to the panicking `DistanceMatrix::get`, which would drag
+        // this accessor into the panic-reach cone.
+        #[allow(clippy::iter_nth)]
+        let Some(demands) = self.per_video.iter().nth(h.0) else {
+            return;
+        };
+        if demands.is_empty() {
+            return;
+        }
+        scratch.clear();
+        scratch.extend(demands.iter().map(|d| (d.count, d.video)));
+        scratch.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        // NaN or negative fractions float-cast to rank 0 and saturate up
+        // to 1; oversized fractions saturate down to the full set.
+        let k = ((demands.len() as f64 * fraction).ceil() as usize).max(1).min(demands.len());
+        top.extend(scratch.iter().take(k).map(|&(_, v)| v));
+        top.sort_unstable();
     }
 }
 

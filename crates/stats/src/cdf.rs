@@ -79,22 +79,23 @@ impl Cdf {
         &self.sorted
     }
 
-    /// Nearest-rank quantile for `q ∈ [0, 1]`.
-    ///
-    /// `quantile(0.0)` is the minimum, `quantile(1.0)` the maximum.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]` or NaN.
+    /// Nearest-rank quantile. `q` outside `[0, 1]` is clamped to the
+    /// range, and a NaN `q` reads as 0 — `quantile(0.0)` is the minimum,
+    /// `quantile(1.0)` the maximum, so every input maps to a sample and
+    /// the accessor cannot panic.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        // lint: allow(float-eq): exact sentinel — q = 0 must short-circuit before rank arithmetic
-        if q == 0.0 {
-            return self.sorted[0];
+        let q = q.clamp(0.0, 1.0);
+        // q = 0 (and NaN, which survives clamp) must short-circuit
+        // before rank arithmetic.
+        // lint: allow(float-eq): post-clamp, exactly 0.0 is the one value that must short-circuit; a tolerance would misroute tiny positive quantiles
+        if q.is_nan() || q == 0.0 {
+            return self.min();
         }
         let n = self.sorted.len() as f64;
+        // q ∈ (0, 1] puts rank in [1, n]; saturating keeps the
+        // impossible rank-0 case in range instead of underflowing.
         let rank = (q * n).ceil() as usize;
-        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+        self.sorted.iter().copied().nth(rank.saturating_sub(1)).unwrap_or(f64::NAN)
     }
 
     /// The median (`quantile(0.5)`).
@@ -108,15 +109,16 @@ impl Cdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// Minimum sample.
+    /// Minimum sample. (NaN for the empty case, which
+    /// [`Cdf::from_samples`] makes unconstructible.)
     pub fn min(&self) -> f64 {
-        self.sorted[0]
+        self.sorted.first().copied().unwrap_or(f64::NAN)
     }
 
-    /// Maximum sample.
+    /// Maximum sample. (NaN for the empty case, which
+    /// [`Cdf::from_samples`] makes unconstructible.)
     pub fn max(&self) -> f64 {
-        // lint: allow(no-panic): Cdf construction rejects empty samples, so `sorted` is non-empty
-        *self.sorted.last().expect("cdf is never empty")
+        self.sorted.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Arithmetic mean of the samples.
@@ -230,10 +232,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn out_of_range_quantile_panics() {
-        let cdf = Cdf::from_samples([1.0]).unwrap();
-        let _ = cdf.quantile(1.5);
+    fn out_of_range_quantile_clamps() {
+        let cdf = Cdf::from_samples([1.0, 2.0]).unwrap();
+        assert_eq!(cdf.quantile(1.5), 2.0);
+        assert_eq!(cdf.quantile(-0.5), 1.0);
+        assert_eq!(cdf.quantile(f64::NAN), 1.0);
     }
 
     proptest! {

@@ -3,7 +3,7 @@
 //! Where ccdn-lint matches single lines, these passes run reachability
 //! over an over-approximate call graph (see [`crate::index`] and
 //! [`crate::graph`]), so a nondeterministic source laundered through a
-//! helper in another crate is still caught. Four passes:
+//! helper in another crate is still caught. Seven passes:
 //!
 //! - **nondet-taint** — transitive reachability from nondeterminism
 //!   roots (`Instant` / `SystemTime`, `HashMap` / `HashSet`,
@@ -17,6 +17,22 @@
 //!   indexing, integer div/rem, panic-family macros, and *transitive
 //!   calls* into panicking or panic-waived functions, reported with the
 //!   full call chain from every `pub` fn that can reach one.
+//! - **hot-loop-alloc** — loop-aware dataflow over the committed
+//!   hot-entry list (`hot-paths.toml`): inside the call cone of a hot
+//!   entry, any allocation or `.clone()` event lexically inside a
+//!   `for` / `while` / `loop` body is flagged, and a call made inside
+//!   a loop charges the callee's allocations to that loop
+//!   (interprocedural one-level inlining). Unlike the other passes
+//!   this one does *not* skip `#[cfg(test)]` code: a clone-per-probe
+//!   loop in a hot path's test burns the same CI minutes the pass
+//!   exists to protect.
+//! - **unchecked-arith-reach** — unguarded integer `+` / `-` / `*`
+//!   (counter overflow/underflow surface) reachable from the seeded
+//!   entry crates' `pub` fns, complementing panic-reach's div/rem and
+//!   indexing coverage. One finding per entry: the nearest root.
+//! - **clone-in-loop** — the `.clone()`-inside-a-loop subset reported
+//!   with full `qname (file:line)` call chains from every `pub` fn
+//!   that can reach one, like panic-reach.
 //! - **unused-waiver** — a `// lint: allow(..)` that no longer
 //!   suppresses any finding (token-level or semantic) is itself a
 //!   finding, so waivers cannot rot; unknown rule names are caught too.
@@ -26,14 +42,17 @@
 //!
 //! Findings are keyed by stable identifiers (qualified names, not line
 //! numbers) and diffed against the committed `lint-baseline.json`
-//! ratchet: a finding not in the baseline fails the run, and a baseline
-//! entry that no longer fires fails it too, so the baseline can only
-//! shrink. Waive a fn-level finding with the same comment syntax as the
-//! lint, placed directly above the `fn` line:
+//! ratchet — since version 2 a *multi-pass* document with one key
+//! namespace per pass: a finding not in its pass's baseline fails the
+//! run, and a baseline entry that no longer fires fails it too, so
+//! every pass's baseline can only shrink. Waive a fn-level finding
+//! with the same comment syntax as the lint, placed directly above the
+//! `fn` line:
 //! `// lint: allow(panic-reach): bench harness aborts loudly by design`.
 
 use crate::graph::{self, Graph, NondetKind};
-use crate::index::{self, Index};
+use crate::hotpaths::{self, HotPaths};
+use crate::index::{self, CostKind, FileIndex, FnItem, Index};
 use crate::lint::{self, WaiverUse};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -47,7 +66,25 @@ const NONDET_ENTRY_CRATES: [&str; 5] = ["cluster", "core", "flow", "sim", "trace
 const TRUSTED_CRATES: [&str; 2] = ["obs", "par"];
 
 /// Rules the semantic passes accept in waivers.
-const ANALYZE_RULES: [&str; 3] = ["nondet-taint", "panic-reach", "pub-api-error"];
+const ANALYZE_RULES: [&str; 6] = [
+    "nondet-taint",
+    "panic-reach",
+    "pub-api-error",
+    "hot-loop-alloc",
+    "unchecked-arith-reach",
+    "clone-in-loop",
+];
+
+/// Every pass name, in report order.
+const ALL_PASSES: [&str; 7] = [
+    "clone-in-loop",
+    "hot-loop-alloc",
+    "nondet-taint",
+    "panic-reach",
+    "pub-api-error",
+    "unchecked-arith-reach",
+    "unused-waiver",
+];
 /// Rules the token lint accepts in waivers.
 const LINT_RULES: [&str; 8] = [
     "no-panic",
@@ -108,7 +145,7 @@ impl Analysis {
     /// Finding counts per pass, for the report summary.
     pub fn counts(&self) -> BTreeMap<&'static str, usize> {
         let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
-        for pass in ["nondet-taint", "panic-reach", "unused-waiver", "pub-api-error"] {
+        for pass in ALL_PASSES {
             counts.insert(pass, 0);
         }
         for finding in &self.findings {
@@ -123,7 +160,7 @@ impl Analysis {
     /// time- or environment-dependent is recorded.
     pub fn to_json(&self) -> String {
         use ccdn_obs::json_string as js;
-        let mut out = String::from("{\"tool\":\"ccdn-analyze\",\"version\":1,\"passes\":{");
+        let mut out = String::from("{\"tool\":\"ccdn-analyze\",\"version\":2,\"passes\":{");
         let counts = self.counts();
         for (i, (pass, n)) in counts.iter().enumerate() {
             if i > 0 {
@@ -174,6 +211,9 @@ pub enum AnalyzeError {
     Lint(std::io::Error),
     /// `lint-baseline.json` exists but cannot be read or parsed.
     Baseline(String),
+    /// `hot-paths.toml` is malformed or names qnames the index no
+    /// longer contains (stale hot entries).
+    HotPaths(String),
 }
 
 impl fmt::Display for AnalyzeError {
@@ -182,25 +222,37 @@ impl fmt::Display for AnalyzeError {
             AnalyzeError::Index(e) => write!(f, "{e}"),
             AnalyzeError::Lint(e) => write!(f, "lint pre-pass: {e}"),
             AnalyzeError::Baseline(e) => write!(f, "lint-baseline.json: {e}"),
+            AnalyzeError::HotPaths(e) => write!(f, "{}: {e}", hotpaths::FILE),
         }
     }
 }
 
 impl std::error::Error for AnalyzeError {}
 
-/// Runs the four passes over the tree at `root` and diffs against the
+/// Runs every pass over the tree at `root` and diffs against the
 /// baseline at `root/lint-baseline.json` (an absent baseline means an
-/// empty one).
+/// empty one). An absent `hot-paths.toml` skips only hot-loop-alloc;
+/// a *stale* entry in it (matching nothing in the index) is an error.
 ///
 /// # Errors
 ///
-/// [`AnalyzeError`] on I/O failure or an unreadable baseline; findings
-/// are never errors.
+/// [`AnalyzeError`] on I/O failure, an unreadable baseline, or a
+/// malformed / stale hot-entry list; findings are never errors.
 pub fn run(root: &Path) -> Result<Analysis, AnalyzeError> {
     let index = index::build(root).map_err(AnalyzeError::Index)?;
     let graph = graph::build(&index);
     let lint_run = lint::run_full(root).map_err(AnalyzeError::Lint)?;
     let waivers = lint_run.waivers;
+    let hot = hotpaths::load(root).map_err(AnalyzeError::HotPaths)?;
+    if let Some(hot) = &hot {
+        let stale = hot.stale_patterns(&index);
+        if !stale.is_empty() {
+            return Err(AnalyzeError::HotPaths(format!(
+                "stale hot entries (no indexed fn matches): {}",
+                stale.join(", ")
+            )));
+        }
+    }
 
     let mut findings = Vec::new();
     let mut sem_used: Vec<bool> = vec![false; waivers.len()];
@@ -217,6 +269,11 @@ pub fn run(root: &Path) -> Result<Analysis, AnalyzeError> {
         };
         nondet_taint_pass(&index, &graph, &mut waive, &mut findings);
         panic_reach_pass(&index, &graph, &mut waive, &mut findings);
+        if let Some(hot) = &hot {
+            hot_loop_alloc_pass(&index, &graph, hot, &mut waive, &mut findings);
+        }
+        unchecked_arith_pass(&index, &graph, &mut waive, &mut findings);
+        clone_in_loop_pass(&index, &graph, &mut waive, &mut findings);
         pub_api_error_pass(&index, &mut waive, &mut findings);
     }
     unused_waiver_pass(&waivers, &sem_used, &mut findings);
@@ -369,7 +426,248 @@ fn panic_reach_pass(
     }
 }
 
-/// Pass 3: every justified waiver must still suppress something, and
+/// Max nesting of any loop of `item` (in `file`) whose body contains
+/// token `tok`; `None` when the token is outside every loop.
+fn loop_nesting(file: &FileIndex, item: &FnItem, tok: usize) -> Option<u32> {
+    file.loops
+        .iter()
+        .filter(|l| item.body.contains(&l.keyword) && l.body.contains(&tok))
+        .map(|l| l.nesting)
+        .max()
+}
+
+/// Pass 3: allocations and clones inside loops, in the call cone of
+/// the committed hot-entry list. Direct events are keyed per fn and
+/// event label (with an ordinal for repeats); a call made inside a
+/// loop additionally charges the callee's allocations to that loop
+/// (one-level inlining), keyed `hot-loop-alloc|caller|via:callee`.
+/// Test code is scanned too — hot-path tests iterate the same
+/// solvers, and a clone-per-probe loop there is still paid for on
+/// every CI run.
+fn hot_loop_alloc_pass(
+    index: &Index,
+    graph: &Graph,
+    hot: &HotPaths,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    // The hot cone: every fn matching an entry pattern, plus everything
+    // reachable from one.
+    let mut cone: BTreeSet<usize> = BTreeSet::new();
+    for (id, item) in index.fns.iter().enumerate() {
+        if !hot.matches(&item.qname) {
+            continue;
+        }
+        cone.extend(bfs(graph, id, &|_| true).keys());
+    }
+    for file in &index.files {
+        for &id in &file.fns {
+            if !cone.contains(&id) {
+                continue;
+            }
+            let item = &index.fns[id];
+            if waive(&item.file, item.line, "hot-loop-alloc") {
+                continue;
+            }
+            // Direct cost events lexically inside one of this fn's loops.
+            let mut ordinals: BTreeMap<&str, usize> = BTreeMap::new();
+            for event in &item.costs {
+                let Some(nesting) = loop_nesting(file, item, event.tok) else {
+                    continue;
+                };
+                let n = ordinals.entry(event.what.as_str()).or_insert(0);
+                let ordinal = *n;
+                *n += 1;
+                let verb = match event.kind {
+                    CostKind::Alloc => "allocates",
+                    CostKind::Clone => "deep-copies",
+                };
+                findings.push(SemFinding {
+                    pass: "hot-loop-alloc",
+                    file: item.file.clone(),
+                    line: event.line,
+                    key: format!("hot-loop-alloc|{}|{}#{ordinal}", item.qname, event.what),
+                    message: format!(
+                        "hot fn `{}` {verb} inside a depth-{nesting} loop: {} ({}:{})",
+                        item.qname,
+                        event.what,
+                        item.file.display(),
+                        event.line
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+            // One-level inlining: helper() called in a loop charges the
+            // helper's allocations to the loop.
+            for (&callee_id, sites) in &graph.facts[id].call_sites {
+                if callee_id == id {
+                    continue;
+                }
+                let callee = &index.fns[callee_id];
+                if callee.in_test {
+                    continue;
+                }
+                let Some(event) = callee.costs.iter().find(|c| !c.in_test) else {
+                    continue;
+                };
+                let Some(nesting) = sites.iter().filter_map(|&s| loop_nesting(file, item, s)).max()
+                else {
+                    continue;
+                };
+                findings.push(SemFinding {
+                    pass: "hot-loop-alloc",
+                    file: item.file.clone(),
+                    line: item.line,
+                    key: format!("hot-loop-alloc|{}|via:{}", item.qname, callee.qname),
+                    message: format!(
+                        "hot fn `{}` calls `{}` inside a depth-{nesting} loop; the callee \
+                         allocates: {} ({}:{})",
+                        item.qname,
+                        callee.qname,
+                        event.what,
+                        callee.file.display(),
+                        event.line
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Pass 4: unguarded integer `+` / `-` / `*` reachable from the seeded
+/// entry crates' `pub` surface. Like panic-reach, one finding per
+/// entry — the nearest root — so the count is bounded by the entry
+/// surface, not the arithmetic density.
+fn unchecked_arith_pass(
+    index: &Index,
+    graph: &Graph,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    let mut roots: BTreeSet<usize> = BTreeSet::new();
+    for (id, item) in index.fns.iter().enumerate() {
+        if item.in_test || graph.facts[id].arith.is_empty() {
+            continue;
+        }
+        if waive(&item.file, item.line, "unchecked-arith-reach") {
+            continue;
+        }
+        roots.insert(id);
+    }
+    for (entry_id, entry) in index.fns.iter().enumerate() {
+        if !entry.is_pub
+            || entry.in_bin
+            || entry.in_test
+            || !NONDET_ENTRY_CRATES.contains(&entry.crate_name.as_str())
+        {
+            continue;
+        }
+        if waive(&entry.file, entry.line, "unchecked-arith-reach") {
+            continue;
+        }
+        let parents = bfs(graph, entry_id, &|_| true);
+        let mut nearest: Option<(usize, usize)> = None; // (dist, id)
+        for (&id, &(_, dist)) in &parents {
+            if roots.contains(&id) && nearest.is_none_or(|best| (dist, id) < best) {
+                nearest = Some((dist, id));
+            }
+        }
+        let Some((_, root_id)) = nearest else {
+            continue;
+        };
+        let root = &index.fns[root_id];
+        let site = graph.facts[root_id]
+            .arith
+            .first()
+            .cloned()
+            .unwrap_or_else(|| graph::RootSite { line: root.line, what: "arith".into() });
+        let chain = render_chain(index, &parents, entry_id, root_id);
+        findings.push(SemFinding {
+            pass: "unchecked-arith-reach",
+            file: entry.file.clone(),
+            line: entry.line,
+            key: format!("unchecked-arith-reach|{}|{}", entry.qname, root.qname),
+            message: format!(
+                "pub fn `{}` can reach unguarded integer arithmetic: `{}` has {} ({}:{})",
+                entry.qname,
+                root.qname,
+                site.what,
+                root.file.display(),
+                site.line
+            ),
+            chain,
+        });
+    }
+}
+
+/// Pass 5: `.clone()` inside a loop, reported with full call chains
+/// from every `pub` fn that can reach one (the clone subset of
+/// hot-loop-alloc, but over the *whole* `pub` surface, not just the
+/// hot cone).
+fn clone_in_loop_pass(
+    index: &Index,
+    graph: &Graph,
+    waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
+    findings: &mut Vec<SemFinding>,
+) {
+    // Roots: fns with a non-test `.clone()` event inside a loop.
+    let mut roots: BTreeMap<usize, index::CostEvent> = BTreeMap::new();
+    for file in &index.files {
+        for &id in &file.fns {
+            let item = &index.fns[id];
+            if item.in_test {
+                continue;
+            }
+            let Some(event) = item.costs.iter().find(|c| {
+                c.kind == CostKind::Clone && !c.in_test && loop_nesting(file, item, c.tok).is_some()
+            }) else {
+                continue;
+            };
+            if waive(&item.file, item.line, "clone-in-loop") {
+                continue;
+            }
+            roots.insert(id, event.clone());
+        }
+    }
+    for (entry_id, entry) in index.fns.iter().enumerate() {
+        if !entry.is_pub || entry.in_bin || entry.in_test {
+            continue;
+        }
+        if waive(&entry.file, entry.line, "clone-in-loop") {
+            continue;
+        }
+        let parents = bfs(graph, entry_id, &|_| true);
+        let mut nearest: Option<(usize, usize)> = None; // (dist, id)
+        for (&id, &(_, dist)) in &parents {
+            if roots.contains_key(&id) && nearest.is_none_or(|best| (dist, id) < best) {
+                nearest = Some((dist, id));
+            }
+        }
+        let Some((_, root_id)) = nearest else {
+            continue;
+        };
+        let root = &index.fns[root_id];
+        let site = &roots[&root_id];
+        let chain = render_chain(index, &parents, entry_id, root_id);
+        findings.push(SemFinding {
+            pass: "clone-in-loop",
+            file: entry.file.clone(),
+            line: entry.line,
+            key: format!("clone-in-loop|{}|{}", entry.qname, root.qname),
+            message: format!(
+                "pub fn `{}` reaches a clone-in-loop: `{}` deep-copies inside a loop ({}:{})",
+                entry.qname,
+                root.qname,
+                root.file.display(),
+                site.line
+            ),
+            chain,
+        });
+    }
+}
+
+/// Pass 6: every justified waiver must still suppress something, and
 /// every waiver must name a known rule.
 fn unused_waiver_pass(waivers: &[WaiverUse], sem_used: &[bool], findings: &mut Vec<SemFinding>) {
     // Ordinal per (file, rule) pair keeps keys stable under line edits.
@@ -413,7 +711,7 @@ fn unused_waiver_pass(waivers: &[WaiverUse], sem_used: &[bool], findings: &mut V
     }
 }
 
-/// Pass 4: `pub` fns returning `Result` must use typed errors.
+/// Pass 7: `pub` fns returning `Result` must use typed errors.
 fn pub_api_error_pass(
     index: &Index,
     waive: &mut dyn FnMut(&Path, usize, &str) -> bool,
@@ -542,7 +840,11 @@ fn render_chain(
 }
 
 /// Reads the baseline key set from `root/lint-baseline.json`; an absent
-/// file is an empty baseline.
+/// file is an empty baseline. Understands both the version-2 multi-pass
+/// document (`"passes": {"<pass>": {"keys": [..]}}`) and the legacy
+/// version-1 flat `"findings"` list; keys carry their pass name as a
+/// `pass|` prefix in either format, so the flattened set keeps one
+/// namespace per pass.
 pub fn read_baseline(root: &Path) -> Result<BTreeSet<String>, AnalyzeError> {
     let path = root.join("lint-baseline.json");
     if !path.exists() {
@@ -552,11 +854,31 @@ pub fn read_baseline(root: &Path) -> Result<BTreeSet<String>, AnalyzeError> {
         std::fs::read_to_string(&path).map_err(|e| AnalyzeError::Baseline(format!("read: {e}")))?;
     let value =
         ccdn_obs::json::parse(&text).map_err(|e| AnalyzeError::Baseline(format!("parse: {e}")))?;
-    let findings = value
-        .get("findings")
-        .and_then(ccdn_obs::json::Value::as_array)
-        .ok_or_else(|| AnalyzeError::Baseline("missing `findings` array".into()))?;
     let mut keys = BTreeSet::new();
+    if let Some(passes) = value.get("passes").and_then(ccdn_obs::json::Value::as_object) {
+        for (pass, entry) in passes {
+            let pass_keys =
+                entry.get("keys").and_then(ccdn_obs::json::Value::as_array).ok_or_else(|| {
+                    AnalyzeError::Baseline(format!("pass `{pass}` without a `keys` array"))
+                })?;
+            for key in pass_keys {
+                let key = key.as_str().ok_or_else(|| {
+                    AnalyzeError::Baseline(format!("pass `{pass}` has a non-string key"))
+                })?;
+                if key.split('|').next() != Some(pass.as_str()) {
+                    return Err(AnalyzeError::Baseline(format!(
+                        "key `{key}` filed under pass `{pass}` but prefixed otherwise"
+                    )));
+                }
+                keys.insert(key.to_string());
+            }
+        }
+        return Ok(keys);
+    }
+    let findings =
+        value.get("findings").and_then(ccdn_obs::json::Value::as_array).ok_or_else(|| {
+            AnalyzeError::Baseline("missing `passes` object or `findings` array".into())
+        })?;
     for entry in findings {
         let key = entry
             .get("key")
@@ -567,23 +889,31 @@ pub fn read_baseline(root: &Path) -> Result<BTreeSet<String>, AnalyzeError> {
     Ok(keys)
 }
 
-/// Serialises the current findings as the baseline document.
+/// Serialises the current findings as the version-2 multi-pass
+/// baseline document: one sorted key array per pass that has findings.
 pub fn baseline_json(analysis: &Analysis) -> String {
     use ccdn_obs::json_string as js;
     let mut out = String::from(
-        "{\"tool\":\"ccdn-analyze\",\"version\":1,\"note\":\"ratchet: entries may only be removed; regenerate with `cargo xtask analyze --write-baseline`\",\"findings\":[",
+        "{\"tool\":\"ccdn-analyze\",\"version\":2,\"note\":\"multi-pass ratchet: keys may only be removed, per pass; regenerate with `cargo xtask analyze --write-baseline`\",\"passes\":{",
     );
-    let mut keys: Vec<(&str, &str)> =
-        analysis.findings.iter().map(|f| (f.pass, f.key.as_str())).collect();
-    keys.sort();
-    keys.dedup();
-    for (i, (pass, key)) in keys.iter().enumerate() {
+    let mut by_pass: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for finding in &analysis.findings {
+        by_pass.entry(finding.pass).or_default().insert(finding.key.as_str());
+    }
+    for (i, (pass, keys)) in by_pass.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!("{{\"pass\":{},\"key\":{}}}", js(pass), js(key)));
+        out.push_str(&format!("{}:{{\"keys\":[", js(pass)));
+        for (j, key) in keys.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&js(key));
+        }
+        out.push_str("]}");
     }
-    out.push_str("]}\n");
+    out.push_str("}}\n");
     out
 }
 

@@ -71,10 +71,17 @@ pub struct FnFacts {
     /// sites are *included* — a waiver justifies the panic, it does not
     /// remove it from callers' reachability.
     pub panics: Vec<RootSite>,
+    /// Unguarded integer `+` / `-` / `*` sites (counter overflow /
+    /// underflow surface). Float arithmetic is excluded when visible.
+    pub arith: Vec<RootSite>,
     /// Resolved callee fn ids, deduplicated and sorted.
     pub calls: Vec<usize>,
     /// Call-site line per callee (first site), for chain rendering.
     pub call_lines: BTreeMap<usize, usize>,
+    /// Every call-site token index per callee, *absolute* in the file's
+    /// token stream — lets the loop-aware passes test whether a call
+    /// sits inside a loop body.
+    pub call_sites: BTreeMap<usize, Vec<usize>>,
 }
 
 /// The call graph: per-fn facts, indexed by fn id.
@@ -93,7 +100,7 @@ pub fn build(index: &Index) -> Graph {
         for &fn_id in &file.fns {
             let item = &index.fns[fn_id];
             let body = &file.tokens[item.body.clone()];
-            facts[fn_id] = scan_body(index, file, body, &item.crate_name);
+            facts[fn_id] = scan_body(index, file, body, &item.crate_name, item.body.start);
         }
     }
     Graph { facts }
@@ -101,8 +108,16 @@ pub fn build(index: &Index) -> Graph {
 
 /// Scans one fn body for roots and call sites. Two independent passes:
 /// the root pass visits *every* token (so `env` inside `std::env::var`
-/// is seen), while the call pass consumes whole paths.
-fn scan_body(index: &Index, file: &FileIndex, body: &[Tok], crate_name: &str) -> FnFacts {
+/// is seen), while the call pass consumes whole paths. `offset` is the
+/// body's start in the file's token stream, so recorded call sites are
+/// absolute.
+fn scan_body(
+    index: &Index,
+    file: &FileIndex,
+    body: &[Tok],
+    crate_name: &str,
+    offset: usize,
+) -> FnFacts {
     let mut facts = FnFacts::default();
     scan_roots(&mut facts, body);
 
@@ -123,6 +138,7 @@ fn scan_body(index: &Index, file: &FileIndex, body: &[Tok], crate_name: &str) ->
                         if callees.insert(callee) {
                             facts.call_lines.insert(callee, line);
                         }
+                        facts.call_sites.entry(callee).or_default().push(offset + i);
                     }
                 }
                 i = after;
@@ -142,6 +158,7 @@ fn scan_body(index: &Index, file: &FileIndex, body: &[Tok], crate_name: &str) ->
                         if callees.insert(callee) {
                             facts.call_lines.insert(callee, line);
                         }
+                        facts.call_sites.entry(callee).or_default().push(offset + i + 1);
                     }
                 }
                 i += 2;
@@ -228,6 +245,28 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                     facts
                         .panics
                         .push(RootSite { line, what: format!("`{}[..]` indexing", prev.text) });
+                }
+            }
+            // Unguarded integer `+` / `-` / `*` (binary or compound
+            // assignment): an overflow/underflow surface on counters.
+            // Binary position requires an expression end on the left and
+            // an expression start (or `=` for `+=`-style) on the right;
+            // unary minus, derefs (`*x`, `*mut`), path globs (`::*`) and
+            // visible float arithmetic never match.
+            if matches!(tok.text.as_str(), "+" | "-" | "*") && i > 0 {
+                let prev = &toks[i - 1];
+                let lhs = matches!(prev.kind, TokKind::Ident | TokKind::Num)
+                    && !is_keyword(&prev.text)
+                    || prev.text == ")"
+                    || prev.text == "]";
+                let rhs = toks.get(i + 1).is_some_and(|t| {
+                    matches!(t.kind, TokKind::Ident | TokKind::Num)
+                        && !is_keyword(&t.text)
+                        && !matches!(t.text.as_str(), "mut" | "const" | "dyn")
+                        || matches!(t.text.as_str(), "(" | "=")
+                });
+                if lhs && rhs && !float_context(toks, i) {
+                    facts.arith.push(RootSite { line, what: format!("`{}` arith", tok.text) });
                 }
             }
             // Integer division / remainder (`/`, `%`, `/=`, `%=`):
@@ -519,6 +558,45 @@ mod tests {
                 "{name} should not be flagged"
             );
         }
+    }
+
+    #[test]
+    fn detects_unchecked_arith_roots() {
+        let src = "fn counter(mut n: u64) -> u64 { n += 1; n }\n\
+                   fn shrink(v: &[u32]) -> usize { v.len() - 1 }\n\
+                   fn scale(a: i64, b: i64) -> i64 { a * b }\n\
+                   fn floaty(x: f64, y: f64) -> f64 { x * y + 1.0 }\n\
+                   fn deref(p: &u32) -> u32 { *p }\n\
+                   fn neg(x: i64) -> i64 { -x }\n";
+        let (idx, graph) = build_one("crates/geo/src/lib.rs", src);
+        for name in ["counter", "shrink", "scale"] {
+            assert!(!graph.facts[fn_id(&idx, name)].arith.is_empty(), "{name} should have arith");
+        }
+        for name in ["floaty", "deref", "neg"] {
+            assert!(
+                graph.facts[fn_id(&idx, name)].arith.is_empty(),
+                "{name} should not be flagged: {:?}",
+                graph.facts[fn_id(&idx, name)].arith
+            );
+        }
+    }
+
+    #[test]
+    fn records_absolute_call_site_tokens() {
+        let src = "pub fn entry() {\n    for i in 0..3 {\n        helper(i);\n    }\n    helper(9);\n}\nfn helper(_i: u32) {}\n";
+        let (idx, graph) = build_one("crates/core/src/lib.rs", src);
+        let entry = fn_id(&idx, "entry");
+        let helper = fn_id(&idx, "helper");
+        let sites = graph.facts[entry].call_sites.get(&helper).expect("sites recorded");
+        assert_eq!(sites.len(), 2);
+        let file = &idx.files[0];
+        for &site in sites {
+            assert_eq!(file.tokens[site].text, "helper");
+        }
+        // The first site must fall inside the file's only loop body.
+        assert_eq!(file.loops.len(), 1);
+        assert!(file.loops[0].body.contains(&sites[0]));
+        assert!(!file.loops[0].body.contains(&sites[1]));
     }
 
     #[test]

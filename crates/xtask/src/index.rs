@@ -14,13 +14,132 @@
 //! land in the index. Both err on the side of more reachability, which
 //! is the safe direction for the taint and panic passes.
 
-use crate::source::{self, Tok, TokKind};
+use crate::source::{self, LoopSpan, Tok, TokKind};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+
+/// What a cost event spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// A heap allocation (`Vec::new`, `vec![]`, `.collect()`, `format!`,
+    /// `Box::new`, ...).
+    Alloc,
+    /// A deep copy (`.clone()`). The scan cannot see receiver types, so
+    /// clones of `Copy` values are over-counted — documented limitation.
+    Clone,
+}
+
+/// One allocation or deep-copy site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CostEvent {
+    /// Absolute index of the triggering token in the file's stream.
+    pub tok: usize,
+    /// One-based source line.
+    pub line: usize,
+    /// Allocation or clone.
+    pub kind: CostKind,
+    /// Compact label (`Vec::new`, `vec!`, `.clone()`, `.collect()`, ...).
+    pub what: String,
+    /// True when the event sits in `#[cfg(test)]`-gated code.
+    pub in_test: bool,
+}
+
+/// Container / smart-pointer types whose `::new` / `::with_capacity` /
+/// `::from` constructors allocate.
+const ALLOC_TYPES: [&str; 11] = [
+    "Vec",
+    "VecDeque",
+    "BinaryHeap",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+];
+
+/// Allocating constructor names recognized after `Type::`.
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Allocating method calls recognized after `.` (turbofish allowed on
+/// `collect`).
+const ALLOC_METHODS: [&str; 4] = ["to_vec", "to_owned", "to_string", "collect"];
+
+/// Scans a body token range for allocation and clone events.
+pub fn cost_events(tokens: &[Tok], body: &Range<usize>) -> Vec<CostEvent> {
+    let mut events = Vec::new();
+    let push = |events: &mut Vec<CostEvent>, i: usize, kind: CostKind, what: String| {
+        events.push(CostEvent {
+            tok: i,
+            line: tokens[i].line,
+            kind,
+            what,
+            in_test: tokens[i].in_test,
+        });
+    };
+    for i in body.clone() {
+        let tok = &tokens[i];
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Ident, ty) if ALLOC_TYPES.contains(&ty) => {
+                // `Type::ctor(` — tolerate a `::<T>` turbofish after the
+                // type (`Vec::<u8>::new()`).
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.text == "::")
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "<")
+                {
+                    match skip_angles(tokens, j + 1) {
+                        Some(past) => j = past,
+                        None => continue,
+                    }
+                }
+                if tokens.get(j).is_some_and(|t| t.text == "::")
+                    && tokens.get(j + 2).is_some_and(|t| t.text == "(")
+                {
+                    if let Some(ctor) = ident_at(tokens, j + 1) {
+                        if ALLOC_CTORS.contains(&ctor.as_str()) {
+                            push(&mut events, i, CostKind::Alloc, format!("{ty}::{ctor}"));
+                        }
+                    }
+                }
+            }
+            (TokKind::Ident, mac @ ("vec" | "format")) => {
+                if tokens.get(i + 1).is_some_and(|t| t.text == "!") {
+                    push(&mut events, i, CostKind::Alloc, format!("{mac}!"));
+                }
+            }
+            (TokKind::Punct, ".") => {
+                let Some(method) = ident_at(tokens, i + 1) else { continue };
+                // The call's `(`, allowing `::<...>` turbofish between
+                // name and parens.
+                let mut j = i + 2;
+                if tokens.get(j).is_some_and(|t| t.text == "::")
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "<")
+                {
+                    match skip_angles(tokens, j + 1) {
+                        Some(past) => j = past,
+                        None => continue,
+                    }
+                }
+                if !tokens.get(j).is_some_and(|t| t.text == "(") {
+                    continue;
+                }
+                if method == "clone" {
+                    push(&mut events, i, CostKind::Clone, ".clone()".to_string());
+                } else if ALLOC_METHODS.contains(&method.as_str()) {
+                    push(&mut events, i, CostKind::Alloc, format!(".{method}()"));
+                }
+            }
+            _ => {}
+        }
+    }
+    events
+}
 
 /// One indexed function.
 #[derive(Debug, Clone)]
@@ -50,6 +169,10 @@ pub struct FnItem {
     /// scripts; indexed for reachability but not part of the checked
     /// `pub` surface).
     pub in_bin: bool,
+    /// True when the `fn` keyword sits inside a `#[cfg(test)]` block.
+    pub in_test: bool,
+    /// Allocation / clone events in the body, in token order.
+    pub costs: Vec<CostEvent>,
 }
 
 /// One indexed file: its token stream plus the fns defined in it.
@@ -61,6 +184,8 @@ pub struct FileIndex {
     pub tokens: Vec<Tok>,
     /// Indices into [`Index::fns`] for fns defined in this file.
     pub fns: Vec<usize>,
+    /// Loop constructs in the file, in keyword-token order.
+    pub loops: Vec<LoopSpan>,
 }
 
 /// The whole-workspace item index.
@@ -270,7 +395,8 @@ pub fn index_file(index: &mut Index, rel: PathBuf, text: &str) {
     let base = index.fns.len();
     let ids: Vec<usize> = (base..base + fns.len()).collect();
     index.fns.extend(fns);
-    index.files.push(FileIndex { path: rel, tokens, fns: ids });
+    let loops = source::find_loops(&tokens);
+    index.files.push(FileIndex { path: rel, tokens, fns: ids, loops });
 }
 
 /// Module path of a file: its stem unless it is `lib` / `mod` / `main`.
@@ -475,6 +601,7 @@ fn parse_fn(
     qname.push_str("::");
     qname.push_str(&name);
 
+    let costs = cost_events(tokens, &body);
     Some(FnItem {
         crate_name: crate_name.to_string(),
         file: rel.to_path_buf(),
@@ -486,6 +613,8 @@ fn parse_fn(
         ret,
         body,
         in_bin,
+        in_test: tokens[at].in_test,
+        costs,
     })
 }
 
@@ -554,5 +683,43 @@ mod tests {
     fn bin_files_are_marked() {
         let index = index_of("crates/bench/src/bin/fig2.rs", "pub fn main() {}\n");
         assert!(index.fns[0].in_bin);
+    }
+
+    #[test]
+    fn records_cost_events_per_fn() {
+        let src = "pub fn hot(xs: &[u32]) -> Vec<u32> {\n\
+                   \x20   let mut out = Vec::with_capacity(xs.len());\n\
+                   \x20   let copy = xs.to_vec();\n\
+                   \x20   let s = format!(\"n={}\", xs.len());\n\
+                   \x20   let t: Vec<u32> = xs.iter().copied().collect::<Vec<_>>();\n\
+                   \x20   let c = copy.clone();\n\
+                   \x20   drop((s, t, c));\n\
+                   \x20   out.push(1);\n\
+                   \x20   out\n}\n\
+                   pub fn cold() {}\n";
+        let index = index_of("crates/flow/src/mcmf.rs", src);
+        let whats: Vec<&str> = index.fns[0].costs.iter().map(|c| c.what.as_str()).collect();
+        assert_eq!(whats, ["Vec::with_capacity", ".to_vec()", "format!", ".collect()", ".clone()"]);
+        assert_eq!(index.fns[0].costs.iter().filter(|c| c.kind == CostKind::Clone).count(), 1);
+        assert!(index.fns[1].costs.is_empty());
+        assert!(!index.fns[0].in_test);
+    }
+
+    #[test]
+    fn test_gated_fns_are_marked_in_test() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; drop(v); }\n}\n";
+        let index = index_of("crates/flow/src/network.rs", src);
+        let t = index.fns.iter().find(|f| f.name == "t").expect("test fn indexed");
+        assert!(t.in_test);
+        assert!(t.costs.iter().all(|c| c.in_test));
+        assert!(!index.fns[0].in_test);
+    }
+
+    #[test]
+    fn file_index_carries_loops() {
+        let src = "pub fn f() {\n    for i in 0..3 {\n        g(i);\n    }\n}\nfn g(_i: u32) {}\n";
+        let index = index_of("crates/core/src/balancing.rs", src);
+        assert_eq!(index.files[0].loops.len(), 1);
+        assert_eq!(index.files[0].loops[0].line, 2);
     }
 }

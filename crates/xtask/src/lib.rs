@@ -17,6 +17,7 @@
 
 pub mod analyze;
 pub mod graph;
+pub mod hotpaths;
 pub mod index;
 pub mod lint;
 pub mod source;

@@ -21,11 +21,16 @@ fn usage() {
     eprintln!();
     eprintln!("subcommands:");
     eprintln!("  lint                     run ccdn-lint over the workspace sources");
-    eprintln!("  analyze                  run the ccdn-analyze call-graph passes and");
-    eprintln!("                           diff against lint-baseline.json");
+    eprintln!("  analyze                  run the ccdn-analyze call-graph passes");
+    eprintln!("                           (nondet-taint, panic-reach, hot-loop-alloc,");
+    eprintln!("                           unchecked-arith-reach, clone-in-loop,");
+    eprintln!("                           unused-waiver, pub-api-error) and diff against");
+    eprintln!("                           the multi-pass lint-baseline.json; hot-loop-");
+    eprintln!("                           alloc reads hot-paths.toml and fails on stale");
+    eprintln!("                           entries");
     eprintln!("    --json                 print the full findings report as JSON");
-    eprintln!("    --write-baseline       regenerate lint-baseline.json from the");
-    eprintln!("                           current findings");
+    eprintln!("    --write-baseline       regenerate lint-baseline.json (all passes)");
+    eprintln!("                           from the current findings");
 }
 
 /// Why the workspace root could not be determined.

@@ -360,6 +360,103 @@ pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
     toks
 }
 
+/// One `for` / `while` / `loop` body recovered from the token stream.
+///
+/// Spans are token-index ranges into the same stream [`find_loops`] was
+/// given, so containment checks (`body.contains(&tok_idx)`) compose with
+/// the absolute token indexes `index` records for items and cost events.
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    /// Index of the loop keyword token.
+    pub keyword: usize,
+    /// Token range of the loop body, braces excluded.
+    pub body: std::ops::Range<usize>,
+    /// One-based source line of the loop keyword.
+    pub line: usize,
+    /// Nesting depth: 1 for a top-level loop, 2 inside another loop, ...
+    pub nesting: u32,
+}
+
+/// Finds every `for`/`while`/`loop` construct in a token stream.
+///
+/// The body is the token range between the loop's braces. The opening
+/// brace is located by scanning forward from the keyword while skipping
+/// anything inside parentheses or brackets, so closures in loop headers
+/// (`for x in xs.iter().map(|y| { f(y) })`) do not truncate the span.
+/// Known over-approximations: a struct literal in a `for` header
+/// (`for x in S { .. }.iter()`) would be taken as the body, and `loop`
+/// used as an identifier cannot occur (it is a reserved word).
+pub fn find_loops(toks: &[Tok]) -> Vec<LoopSpan> {
+    let mut spans: Vec<LoopSpan> = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let is_loop_kw = match tok.text.as_str() {
+            "while" | "loop" => true,
+            // `for` is also a trait-impl / HRTB keyword. A loop `for`
+            // sits in statement position (after `{`, `}`, `;`, a label's
+            // `:`, or a match arm's `=>`) and is never followed by `<`.
+            "for" => {
+                let prev_ok = match i.checked_sub(1).and_then(|p| toks.get(p)) {
+                    None => true,
+                    Some(p) => {
+                        p.kind == TokKind::Punct
+                            && matches!(p.text.as_str(), "{" | "}" | ";" | ":" | "=>")
+                    }
+                };
+                let next_ok = toks.get(i + 1).is_none_or(|n| n.text != "<");
+                prev_ok && next_ok
+            }
+            _ => false,
+        };
+        if !is_loop_kw {
+            continue;
+        }
+        if let Some(body) = loop_body(toks, i) {
+            spans.push(LoopSpan { keyword: i, body, line: tok.line, nesting: 1 });
+        }
+    }
+    // Nesting = 1 + number of other loop bodies enclosing the keyword.
+    let keyword_spans: Vec<(usize, std::ops::Range<usize>)> =
+        spans.iter().map(|s| (s.keyword, s.body.clone())).collect();
+    for span in &mut spans {
+        let enclosing = keyword_spans
+            .iter()
+            .filter(|(kw, body)| *kw != span.keyword && body.contains(&span.keyword));
+        span.nesting = 1 + enclosing.count() as u32;
+    }
+    spans
+}
+
+/// Token range of the loop body whose keyword is at `kw`: scan past the
+/// header (skipping parenthesized / bracketed groups) to the opening
+/// brace, then to its matching close.
+fn loop_body(toks: &[Tok], kw: usize) -> Option<std::ops::Range<usize>> {
+    let mut group: i64 = 0;
+    let mut i = kw + 1;
+    let open = loop {
+        let tok = toks.get(i)?;
+        if tok.kind == TokKind::Punct {
+            match tok.text.as_str() {
+                "(" | "[" => group += 1,
+                ")" | "]" => group -= 1,
+                "{" if group == 0 => break i,
+                // A `;` or `}` before the body means the header was
+                // malformed (or this was not a loop after all).
+                ";" | "}" if group == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    };
+    let open_depth = toks.get(open)?.depth;
+    let close = (open + 1..toks.len()).find(|&j| {
+        toks[j].text == "}" && toks[j].kind == TokKind::Punct && toks[j].depth == open_depth
+    })?;
+    Some(open + 1..close)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +508,42 @@ mod tests {
         assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
         assert!(toks.iter().any(|t| t.kind == TokKind::Lit));
         assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5f64"));
+    }
+
+    #[test]
+    fn finds_loops_with_nesting_and_bodies() {
+        let src = "fn f() {\n    for x in xs {\n        while x > 0 {\n            g();\n        }\n    }\n    loop {\n        break;\n    }\n}\n";
+        let toks = tokenize(&preprocess(src));
+        let loops = find_loops(&toks);
+        assert_eq!(loops.len(), 3);
+        let kinds: Vec<(&str, u32)> =
+            loops.iter().map(|l| (toks[l.keyword].text.as_str(), l.nesting)).collect();
+        assert_eq!(kinds, [("for", 1), ("while", 2), ("loop", 1)]);
+        // The `while` body holds the `g()` call; the `for` body encloses it.
+        let g = toks.iter().position(|t| t.text == "g").expect("g token");
+        assert!(loops[0].body.contains(&g));
+        assert!(loops[1].body.contains(&g));
+        assert!(!loops[2].body.contains(&g));
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let src = "impl Display for S {\n    fn fmt(&self) {}\n}\nfn takes(f: impl for<'a> Fn(&'a u8)) {\n    while ready() {\n        f(&0);\n    }\n}\n";
+        let toks = tokenize(&preprocess(src));
+        let loops = find_loops(&toks);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(toks[loops[0].keyword].text, "while");
+    }
+
+    #[test]
+    fn closure_in_loop_header_does_not_truncate_the_body() {
+        let src =
+            "fn f() {\n    for x in xs.iter().map(|y| { y + 1 }) {\n        sink(x);\n    }\n}\n";
+        let toks = tokenize(&preprocess(src));
+        let loops = find_loops(&toks);
+        assert_eq!(loops.len(), 1);
+        let sink = toks.iter().position(|t| t.text == "sink").expect("sink token");
+        assert!(loops[0].body.contains(&sink));
     }
 
     #[test]

@@ -112,6 +112,39 @@ fn fn_level_waivers_suppress_chains_and_count_as_used() {
 }
 
 #[test]
+fn hot_loop_allocations_and_clones_are_flagged() {
+    check_case("hot_loop_alloc");
+}
+
+#[test]
+fn helper_allocation_in_hot_loop_is_charged_via_inlining() {
+    check_case("loop_helper_launder");
+}
+
+#[test]
+fn unchecked_arith_reach_reports_nearest_root() {
+    check_case("unchecked_arith");
+}
+
+#[test]
+fn stale_hot_entry_fails_the_run() {
+    let err = analyze::run(&corpus_case("hot_stale")).expect_err("stale entry must error");
+    let msg = err.to_string();
+    assert!(msg.contains("stale hot entries"), "unexpected error: {msg}");
+    assert!(msg.contains("flow::missing"), "error must name the pattern: {msg}");
+}
+
+#[test]
+fn corpus_runs_are_byte_identical() {
+    // The loop-aware passes must stay deterministic: two runs over the
+    // same fixture serialize to the same bytes.
+    let dir = corpus_case("hot_loop_alloc");
+    let first = analyze::run(&dir).expect("first run").to_json();
+    let second = analyze::run(&dir).expect("second run").to_json();
+    assert_eq!(first, second);
+}
+
+#[test]
 fn taint_chain_reports_full_call_path() {
     let analysis = analyze::run(&corpus_case("taint_launder")).expect("analyze");
     let finding = &analysis.findings[0];

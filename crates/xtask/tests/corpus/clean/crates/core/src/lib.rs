@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
     let mut counts = BTreeMap::new();
     for &x in xs {
-        *counts.entry(x).or_insert(0) += 1;
+        let c = counts.entry(x).or_insert(0u32);
+        *c = c.saturating_add(1);
     }
     counts
 }

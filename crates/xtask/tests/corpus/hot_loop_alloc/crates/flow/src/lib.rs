@@ -1,0 +1,17 @@
+//! A hot entry that allocates and deep-copies inside its solver loop:
+//! hot-loop-alloc must flag both events, and the clone must also show
+//! up in the crate-wide clone-in-loop pass.
+
+pub fn solve(rounds: usize) -> usize {
+    let base = vec![1u64, 2, 3];
+    let mut best = 0usize;
+    for _ in 0..rounds {
+        let mut probe = base.clone();
+        probe.push(0);
+        let scratch = vec![0u64; probe.len()];
+        if scratch.len() > best {
+            best = scratch.len();
+        }
+    }
+    best
+}

@@ -1,0 +1,6 @@
+//! The hot-paths.toml next door names `flow::missing`, which is not
+//! here: stale-entry detection must fail the whole run.
+
+pub fn present(x: u64) -> u64 {
+    x
+}

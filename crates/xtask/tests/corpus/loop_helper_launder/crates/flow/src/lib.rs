@@ -1,0 +1,15 @@
+//! The allocation hides in a helper called from the hot loop — only the
+//! one-level inlining step can see it and charge it to the loop.
+
+pub fn drive(rounds: usize) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        acc = step(acc);
+    }
+    acc
+}
+
+fn step(x: u64) -> u64 {
+    let staged = vec![x; 4];
+    staged.iter().sum()
+}

@@ -1,0 +1,10 @@
+//! An unguarded multiply one hop below the pub surface: the pass must
+//! report the entry with `amplify` as the nearest root.
+
+pub fn scale(x: u64, k: u64) -> u64 {
+    amplify(x, k)
+}
+
+fn amplify(x: u64, k: u64) -> u64 {
+    x * k
+}
