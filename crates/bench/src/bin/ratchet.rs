@@ -1,0 +1,115 @@
+//! Fixed-seed workloads for the **bench-ratchet** perf gate
+//! (`cargo xtask bench-ratchet`).
+//!
+//! Each workload is fully deterministic — seeded inputs, seeded solver
+//! tie-breaking — so every `ccdn-obs` counter and span *count* it emits
+//! is reproducible bit-for-bit and can be exact-matched against
+//! `BENCH_baseline.json`; only the timings need a noise band. One run
+//! measures one workload (`--workload NAME --obs PATH`), keeping the
+//! observed deltas from different workloads from blurring together.
+//!
+//! Workloads:
+//!
+//! - `dinic` — random max-flow instances through [`FlowNetwork::max_flow_dinic`];
+//! - `mcmf-dial` — successive-shortest-path MCMF on quarter-integer
+//!   costs, which the solver routes through Dial's bucket queue;
+//! - `mcmf-float` — the same shape with costs `k/3`, which cannot be
+//!   scaled to integers and exercises the float binary-heap path;
+//! - `planner` — one paper-scale slot through [`Runner`] + [`Rbcaer`],
+//!   covering aggregation, balancing, and plan evaluation end to end.
+
+use ccdn_bench::{init_threads, obs_init};
+use ccdn_core::{Rbcaer, RbcaerConfig};
+use ccdn_flow::{FlowNetwork, McmfAlgorithm};
+use ccdn_sim::Runner;
+use ccdn_trace::TraceConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Seeded random flow instance: `n` nodes, about `m` arcs, capacities in
+/// `1..50`, costs `numerator/denominator` for exact cross-workload
+/// control of the Dial-vs-float dispatch.
+fn random_network(rng: &mut StdRng, n: usize, m: usize, denominator: f64) -> FlowNetwork {
+    let mut net = FlowNetwork::with_nodes(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let cap = rng.gen_range(1..50);
+        let cost = f64::from(rng.gen_range(0u32..32)) / denominator;
+        net.add_edge(u, v, cap, cost).expect("nodes in range");
+    }
+    net
+}
+
+/// Max-flow workload: 40 seeded graphs of 200 nodes / 2400 arcs.
+fn run_dinic() -> i64 {
+    let mut rng = StdRng::seed_from_u64(0x5eed_d171c);
+    let mut checksum = 0i64;
+    for _ in 0..40 {
+        let mut net = random_network(&mut rng, 200, 2400, 1.0);
+        checksum += net.max_flow_dinic(0, 199).expect("valid endpoints");
+    }
+    checksum
+}
+
+/// MCMF workload: 25 seeded graphs of 120 nodes / 1400 arcs, costs
+/// `k/denominator`. With `denominator` a power of two the solver takes
+/// Dial's bucket queue; with 3.0 it stays on the float binary heap.
+fn run_mcmf(seed: u64, denominator: f64) -> i64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checksum = 0i64;
+    for _ in 0..25 {
+        let mut net = random_network(&mut rng, 120, 1400, denominator);
+        let result =
+            net.min_cost_max_flow(0, 119, McmfAlgorithm::SspDijkstra).expect("valid endpoints");
+        checksum += result.flow + result.cost.round() as i64;
+    }
+    checksum
+}
+
+/// End-to-end planner workload: one paper-scale slot (310 hotspots,
+/// 212k requests) scheduled by RBCAer.
+fn run_planner() -> i64 {
+    let trace = TraceConfig::paper_eval()
+        .with_slot_count(1)
+        .with_hotspot_count(310)
+        .with_request_count(212_472)
+        .generate();
+    let runner = Runner::new(&trace);
+    let mut scheme = Rbcaer::new(RbcaerConfig::default());
+    let report = runner.run(&mut scheme).expect("scheme validates");
+    (report.total.hotspot_serving_ratio() * 1e6).round() as i64
+}
+
+fn main() {
+    let threads = init_threads();
+    let obs = obs_init();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--workload" {
+            workload = iter.next().cloned();
+        }
+    }
+    let Some(workload) = workload else {
+        eprintln!("usage: ratchet --workload <dinic|mcmf-dial|mcmf-float|planner> [--obs PATH]");
+        std::process::exit(2);
+    };
+    let checksum = match workload.as_str() {
+        "dinic" => run_dinic(),
+        "mcmf-dial" => run_mcmf(0x5eed_d1a1, 4.0),
+        "mcmf-float" => run_mcmf(0x5eed_f10a7, 3.0),
+        "planner" => run_planner(),
+        other => {
+            eprintln!("ratchet: unknown workload `{other}`");
+            std::process::exit(2);
+        }
+    };
+    println!("ratchet: workload={workload} threads={threads} checksum={checksum}");
+    if let Some(obs) = obs {
+        obs.finish(&workload);
+    }
+}

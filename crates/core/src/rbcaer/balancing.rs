@@ -79,13 +79,21 @@ impl GdStats {
     // solver shared with every balancing entry.
     pub fn compute(input: &SlotInput<'_>, theta_km: f64) -> GdStats {
         let parts = Participants::from_input(input);
-        GdStats::compute_with(input, &parts, theta_km)
+        let mut arena = FlowNetwork::new();
+        GdStats::compute_with(input, &parts, theta_km, &mut arena)
     }
 
-    /// [`GdStats::compute`] against a pre-computed hotspot partition, so
-    /// a sweep builds the `Participants` once instead of once per θ.
-    fn compute_with(input: &SlotInput<'_>, parts: &Participants, theta_km: f64) -> GdStats {
-        let mut builder = GraphBuilder::new(parts);
+    /// [`GdStats::compute`] against a pre-computed hotspot partition and
+    /// a reusable `arena` network, so a sweep builds the `Participants`
+    /// once and rebuilds each θ's `Gd` into the same backing allocations
+    /// instead of reallocating the graph per point.
+    fn compute_with(
+        input: &SlotInput<'_>,
+        parts: &Participants,
+        theta_km: f64,
+        arena: &mut FlowNetwork,
+    ) -> GdStats {
+        let mut builder = GraphBuilder::new(arena, parts);
         for (si, &(i, phi_i)) in parts.overloaded.iter().enumerate() {
             for (ti, &(j, phi_j)) in parts.under.iter().enumerate() {
                 let d = input.geometry.distance(HotspotId(i), HotspotId(j));
@@ -95,9 +103,10 @@ impl GdStats {
             }
         }
         let edges = builder.pair_edges.len();
-        let mut net = builder.net;
-        let maxflow_at_theta = net
-            .max_flow_dinic(builder.source, builder.sink)
+        let (source, sink) = (builder.source, builder.sink);
+        let maxflow_at_theta = builder
+            .net
+            .max_flow_dinic(source, sink)
             // lint: allow(no-panic): builder endpoints are two distinct freshly added nodes
             .expect("valid endpoints") as u64;
         GdStats {
@@ -113,15 +122,31 @@ impl GdStats {
     /// independent, so they fan out over the worker pool and come back in
     /// `thetas` order (the resolved thread count never changes the
     /// values, only the wall-clock time).
+    ///
+    /// The sweep is split into one contiguous chunk per worker, and each
+    /// chunk reuses a single arena [`FlowNetwork`] across its θ points.
+    /// Chunking varies with the resolved thread count, but every point is
+    /// a pure function of `(input, parts, θ)` — the arena is fully
+    /// cleared between points — so the output values stay thread-count
+    /// invariant.
     // lint: allow(panic-reach): same sinks as compute — the shared
     // compute_with helper behind the θ-sweep fan-out.
     pub fn compute_sweep(input: &SlotInput<'_>, thetas: &[f64]) -> Vec<GdStats> {
         // One partition shared by every θ worker; the per-point work
         // only reads it.
         let parts = Participants::from_input(input);
-        ccdn_par::par_map(Threads::Auto, thetas, |&theta| {
-            GdStats::compute_with(input, &parts, theta)
-        })
+        let workers = Threads::Auto.resolve().max(1);
+        let chunk_len = thetas.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[f64]> = thetas.chunks(chunk_len).collect();
+        let per_chunk = ccdn_par::par_map(Threads::Auto, &chunks, |chunk| {
+            let mut arena = FlowNetwork::new();
+            let mut out = Vec::with_capacity(chunk.len());
+            for &theta in *chunk {
+                out.push(GdStats::compute_with(input, &parts, theta, &mut arena));
+            }
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -161,8 +186,12 @@ impl Participants {
 
 /// Incremental builder for `Gd`/`Gc`: source → overloaded → (guides) →
 /// under-utilized → sink, with an edge-id map back to hotspot pairs.
-struct GraphBuilder {
-    net: FlowNetwork,
+///
+/// Borrows its network from the caller so round/θ loops can rebuild into
+/// one arena [`FlowNetwork`] (cleared, allocations kept) instead of
+/// reallocating a graph per iteration.
+struct GraphBuilder<'n> {
+    net: &'n mut FlowNetwork,
     source: usize,
     sink: usize,
     /// Node id of overloaded hotspot `overloaded[k]`.
@@ -173,9 +202,10 @@ struct GraphBuilder {
     pair_edges: Vec<(EdgeId, usize, usize)>,
 }
 
-impl GraphBuilder {
-    fn new(parts: &Participants) -> Self {
+impl<'n> GraphBuilder<'n> {
+    fn new(net: &'n mut FlowNetwork, parts: &Participants) -> Self {
         Self::from_slacks(
+            net,
             parts.overloaded.iter().map(|&(_, phi)| phi),
             parts.under.iter().map(|&(_, phi)| phi),
         )
@@ -186,10 +216,11 @@ impl GraphBuilder {
     /// the θ loop no longer materializes a throwaway [`Participants`]
     /// (two `Vec` collects) on every round.
     fn from_slacks(
+        net: &'n mut FlowNetwork,
         overloaded: impl Iterator<Item = u64>,
         under: impl Iterator<Item = u64>,
     ) -> Self {
-        let mut net = FlowNetwork::new();
+        net.clear();
         let source = net.add_node();
         let sink = net.add_node();
         let s_nodes: Vec<usize> = overloaded
@@ -289,6 +320,10 @@ pub(crate) fn balance_filtered(
     let mut moved = 0u64;
 
     if max_movable > 0 {
+        // Hoisted out of the θ loop: one arena network rebuilt per round
+        // and one under-slot index list shared by every round's fan-out.
+        let mut arena = FlowNetwork::new();
+        let under_ids: Vec<usize> = (0..parts.under.len()).collect();
         let mut theta = config.theta1_km;
         // Guard against pathological δd ever looping forever.
         let mut iterations = 0;
@@ -303,6 +338,8 @@ pub(crate) fn balance_filtered(
                 config.content_aggregation,
                 cluster_of,
                 allow_pair,
+                &mut arena,
+                &under_ids,
             );
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
             theta += config.delta_km;
@@ -323,6 +360,8 @@ pub(crate) fn balance_filtered(
                 false,
                 cluster_of,
                 allow_pair,
+                &mut arena,
+                &under_ids,
             );
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
             RESIDUAL_ROUNDS.incr();
@@ -344,16 +383,18 @@ fn solve_round(
     with_guides: bool,
     cluster_of: &[usize],
     allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
+    arena: &mut FlowNetwork,
+    under_ids: &[usize],
 ) -> Vec<((usize, usize), u64)> {
-    let mut builder = GraphBuilder::from_slacks(phi_s.iter().copied(), phi_t.iter().copied());
+    let mut builder =
+        GraphBuilder::from_slacks(arena, phi_s.iter().copied(), phi_t.iter().copied());
 
     // The per-under-hotspot subproblem — candidate scan under the
     // threshold plus flow-guide grouping — is pure, so it fans out over
     // the worker pool; the resulting plans are applied to the builder
     // sequentially in `ti` order below, which pins node/edge ids (and
     // with them MCMF tie-breaking) to the sequential construction.
-    let under_ids: Vec<usize> = (0..parts.under.len()).collect();
-    let plans: Vec<Vec<EdgePlan>> = ccdn_par::par_map(Threads::Auto, &under_ids, |&ti| {
+    let plans: Vec<Vec<EdgePlan>> = ccdn_par::par_map(Threads::Auto, under_ids, |&ti| {
         let phi_j = phi_t[ti];
         if phi_j == 0 {
             return Vec::new();
@@ -426,9 +467,9 @@ fn solve_round(
     }
 
     let pair_edges = std::mem::take(&mut builder.pair_edges);
-    let mut net = builder.net;
+    let GraphBuilder { net, source, sink, .. } = builder;
     let _ = net
-        .min_cost_max_flow(builder.source, builder.sink, config.mcmf)
+        .min_cost_max_flow(source, sink, config.mcmf)
         // lint: allow(no-panic): builder endpoints are two distinct freshly added nodes
         .expect("valid endpoints");
     pair_edges

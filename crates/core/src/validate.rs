@@ -88,6 +88,69 @@ fn check_replication_budget(
     Ok(())
 }
 
+/// Allocation-free twin of [`check_flow_entry`]: `true` iff the entry
+/// violates any invariant. The hot per-entry loop in [`check_flows`]
+/// scans with this predicate and only then calls the formatting twin —
+/// outside the loop — so messages materialize exclusively on the error
+/// path (hot-loop-alloc).
+fn flow_entry_is_invalid(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    i: HotspotId,
+    j: HotspotId,
+    f: u64,
+) -> bool {
+    f == 0
+        || i == j
+        || input.geometry.distance(i, j) > config.theta2_km + THETA_EPS
+        || input.demand.load(i) <= input.service_capacity[i.0]
+        || input.demand.load(j) >= input.service_capacity[j.0]
+        || input.cache_capacity[j.0] == 0
+}
+
+/// Invariants of one `(i → j, f)` flow entry, with the diagnostic
+/// message for the first violation. Must mirror
+/// [`flow_entry_is_invalid`] condition for condition.
+fn check_flow_entry(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    i: HotspotId,
+    j: HotspotId,
+    f: u64,
+) -> Result<(), PlanViolation> {
+    if f == 0 {
+        return Err(PlanViolation::new(format!("zero-valued flow entry {i}→{j}")));
+    }
+    if i == j {
+        return Err(PlanViolation::new(format!("self-flow at {i}")));
+    }
+    let d = input.geometry.distance(i, j);
+    if d > config.theta2_km + THETA_EPS {
+        return Err(PlanViolation::new(format!(
+            "flow {i}→{j} spans {d:.3} km, beyond θ₂ = {} km",
+            config.theta2_km
+        )));
+    }
+    let load_i = input.demand.load(i);
+    if load_i <= input.service_capacity[i.0] {
+        return Err(PlanViolation::new(format!(
+            "flow source {i} is not overloaded (λ = {load_i}, s = {})",
+            input.service_capacity[i.0]
+        )));
+    }
+    let load_j = input.demand.load(j);
+    if load_j >= input.service_capacity[j.0] {
+        return Err(PlanViolation::new(format!(
+            "flow target {j} is not under-utilized (λ = {load_j}, s = {})",
+            input.service_capacity[j.0]
+        )));
+    }
+    if input.cache_capacity[j.0] == 0 {
+        return Err(PlanViolation::new(format!("flow target {j} cannot cache anything")));
+    }
+    Ok(())
+}
+
 /// Flow-level invariants of the balancing stage.
 fn check_flows(
     input: &SlotInput<'_>,
@@ -97,56 +160,37 @@ fn check_flows(
     let mut out_per_source: BTreeMap<HotspotId, u64> = BTreeMap::new();
     let mut in_per_target: BTreeMap<HotspotId, u64> = BTreeMap::new();
     let mut total = 0u64;
+    let invalid = outcome
+        .flows
+        .iter()
+        .map(|(&(i, j), &f)| (i, j, f))
+        .find(|&(i, j, f)| flow_entry_is_invalid(input, config, i, j, f));
+    if let Some((i, j, f)) = invalid {
+        check_flow_entry(input, config, i, j, f)?;
+    }
     for (&(i, j), &f) in &outcome.flows {
-        if f == 0 {
-            return Err(PlanViolation::new(format!("zero-valued flow entry {i}→{j}")));
-        }
-        if i == j {
-            return Err(PlanViolation::new(format!("self-flow at {i}")));
-        }
-        let d = input.geometry.distance(i, j);
-        if d > config.theta2_km + THETA_EPS {
-            return Err(PlanViolation::new(format!(
-                "flow {i}→{j} spans {d:.3} km, beyond θ₂ = {} km",
-                config.theta2_km
-            )));
-        }
-        let load_i = input.demand.load(i);
-        if load_i <= input.service_capacity[i.0] {
-            return Err(PlanViolation::new(format!(
-                "flow source {i} is not overloaded (λ = {load_i}, s = {})",
-                input.service_capacity[i.0]
-            )));
-        }
-        let load_j = input.demand.load(j);
-        if load_j >= input.service_capacity[j.0] {
-            return Err(PlanViolation::new(format!(
-                "flow target {j} is not under-utilized (λ = {load_j}, s = {})",
-                input.service_capacity[j.0]
-            )));
-        }
-        if input.cache_capacity[j.0] == 0 {
-            return Err(PlanViolation::new(format!("flow target {j} cannot cache anything")));
-        }
         *out_per_source.entry(i).or_insert(0) += f;
         *in_per_target.entry(j).or_insert(0) += f;
         total += f;
     }
-    for (&i, &out) in &out_per_source {
-        let phi = input.demand.load(i) - input.service_capacity[i.0];
-        if out > phi {
-            return Err(PlanViolation::new(format!(
-                "{i} redirects {out} requests but is only overloaded by φ = {phi}"
-            )));
-        }
+    // Find first, format outside the loops (hot-loop-alloc).
+    let oversent = out_per_source
+        .iter()
+        .map(|(&i, &out)| (i, out, input.demand.load(i) - input.service_capacity[i.0]))
+        .find(|&(_, out, phi)| out > phi);
+    if let Some((i, out, phi)) = oversent {
+        return Err(PlanViolation::new(format!(
+            "{i} redirects {out} requests but is only overloaded by φ = {phi}"
+        )));
     }
-    for (&j, &inflow) in &in_per_target {
-        let slack = input.service_capacity[j.0] - input.demand.load(j);
-        if inflow > slack {
-            return Err(PlanViolation::new(format!(
-                "{j} receives {inflow} requests but only has slack φ = {slack}"
-            )));
-        }
+    let overfilled = in_per_target
+        .iter()
+        .map(|(&j, &inflow)| (j, inflow, input.service_capacity[j.0] - input.demand.load(j)))
+        .find(|&(_, inflow, slack)| inflow > slack);
+    if let Some((j, inflow, slack)) = overfilled {
+        return Err(PlanViolation::new(format!(
+            "{j} receives {inflow} requests but only has slack φ = {slack}"
+        )));
     }
     if total != outcome.moved {
         return Err(PlanViolation::new(format!(
@@ -169,23 +213,26 @@ fn check_offline_ownership(
     input: &SlotInput<'_>,
     decision: &SlotDecision,
 ) -> Result<(), PlanViolation> {
-    for (h, placement) in decision.placements.iter().enumerate() {
-        if input.cache_capacity[h] == 0 && !placement.is_empty() {
-            return Err(PlanViolation::new(format!(
-                "hotspot {h} has zero cache capacity but {} placements",
-                placement.len()
-            )));
-        }
+    // Find first, format outside the loops (hot-loop-alloc).
+    let cacheless = decision
+        .placements
+        .iter()
+        .enumerate()
+        .find(|&(h, placement)| input.cache_capacity[h] == 0 && !placement.is_empty());
+    if let Some((h, placement)) = cacheless {
+        return Err(PlanViolation::new(format!(
+            "hotspot {h} has zero cache capacity but {} placements",
+            placement.len()
+        )));
     }
-    for a in &decision.assignments {
-        if let Target::Hotspot(j) = a.target {
-            if input.service_capacity[j.0] == 0 {
-                return Err(PlanViolation::new(format!(
-                    "{} requests assigned to {j}, which has zero service capacity",
-                    a.count
-                )));
-            }
-        }
+    let unserved = decision.assignments.iter().find_map(|a| match a.target {
+        Target::Hotspot(j) if input.service_capacity[j.0] == 0 => Some((j, a.count)),
+        _ => None,
+    });
+    if let Some((j, count)) = unserved {
+        return Err(PlanViolation::new(format!(
+            "{count} requests assigned to {j}, which has zero service capacity"
+        )));
     }
     Ok(())
 }
@@ -205,13 +252,15 @@ fn check_redirections_granted(
             }
         }
     }
-    for (&(i, j), &count) in &redirected {
-        let granted = outcome.flows.get(&(i, j)).copied().unwrap_or(0);
-        if count > granted {
-            return Err(PlanViolation::new(format!(
-                "decision redirects {count} requests {i}→{j} but balancing granted only {granted}"
-            )));
-        }
+    // Find first, format outside the loop (hot-loop-alloc).
+    let ungranted = redirected
+        .iter()
+        .map(|(&(i, j), &count)| (i, j, count, outcome.flows.get(&(i, j)).copied().unwrap_or(0)))
+        .find(|&(_, _, count, granted)| count > granted);
+    if let Some((i, j, count, granted)) = ungranted {
+        return Err(PlanViolation::new(format!(
+            "decision redirects {count} requests {i}→{j} but balancing granted only {granted}"
+        )));
     }
     Ok(())
 }

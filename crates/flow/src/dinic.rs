@@ -1,4 +1,4 @@
-use crate::network::{FlowError, FlowNetwork};
+use crate::network::{FlowError, FlowNetwork, NO_ARC};
 use ccdn_obs::Counter;
 use std::collections::VecDeque;
 
@@ -40,10 +40,13 @@ impl FlowNetwork {
     /// ```
     pub fn max_flow_dinic(&mut self, source: usize, sink: usize) -> Result<i64, FlowError> {
         self.check_endpoints(source, sink)?;
+        let _span = ccdn_obs::span("flow.dinic.solve");
         let n = self.node_count();
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
-        let mut iter = vec![0usize; n];
+        // Per-node "current arc" pointer into the intrusive out-arc
+        // list (the CSR analogue of the classic per-node index).
+        let mut iter = vec![NO_ARC; n];
         // BFS queue shared across phases; cleared per round, never
         // reallocated (hot-loop-alloc).
         let mut queue = VecDeque::new();
@@ -58,18 +61,18 @@ impl FlowNetwork {
             queue.clear();
             queue.push_back(source);
             while let Some(u) = queue.pop_front() {
-                for &a in &self.adj[u] {
-                    let arc = &self.arcs[a];
-                    if arc.cap > 0 && level[arc.to] < 0 {
-                        level[arc.to] = level[u] + 1;
-                        queue.push_back(arc.to);
+                for a in self.out_arcs(u) {
+                    let to = self.arc_to[a];
+                    if self.arc_cap[a] > 0 && level[to] < 0 {
+                        level[to] = level[u] + 1;
+                        queue.push_back(to);
                     }
                 }
             }
             if level[sink] < 0 {
                 break;
             }
-            iter.iter_mut().for_each(|i| *i = 0);
+            iter.copy_from_slice(&self.head);
             loop {
                 let pushed = self.dfs_augment(source, sink, i64::MAX, &level, &mut iter);
                 if pushed == 0 {
@@ -95,21 +98,18 @@ impl FlowNetwork {
         if u == sink {
             return limit;
         }
-        while iter[u] < self.adj[u].len() {
-            let a = self.adj[u][iter[u]];
-            let (to, cap) = {
-                let arc = &self.arcs[a];
-                (arc.to, arc.cap)
-            };
+        while iter[u] != NO_ARC {
+            let a = iter[u];
+            let (to, cap) = (self.arc_to[a], self.arc_cap[a]);
             if cap > 0 && level[to] == level[u] + 1 {
                 let pushed = self.dfs_augment(to, sink, limit.min(cap), level, iter);
                 if pushed > 0 {
-                    self.arcs[a].cap -= pushed;
-                    self.arcs[a ^ 1].cap += pushed;
+                    self.arc_cap[a] -= pushed;
+                    self.arc_cap[a ^ 1] += pushed;
                     return pushed;
                 }
             }
-            iter[u] += 1;
+            iter[u] = self.arc_next[a];
         }
         0
     }

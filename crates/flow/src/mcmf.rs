@@ -10,8 +10,33 @@ static DIJKSTRA_ROUNDS: Counter = Counter::new("flow.mcmf.dijkstra_rounds");
 static SPFA_ROUNDS: Counter = Counter::new("flow.mcmf.spfa_rounds");
 /// Negative residual cycles canceled by the Klein solver.
 static CYCLES_CANCELED: Counter = Counter::new("flow.mcmf.cycles_canceled");
+/// Shortest-path rounds served by the Dial bucket queue (a subset of
+/// `dijkstra_rounds`: integer-cost graphs only).
+static DIAL_ROUNDS: Counter = Counter::new("flow.mcmf.dial_rounds");
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
+
+/// Largest scaled arc cost eligible for the Dial path. Bounds the bucket
+/// ring (and with it the empty-bucket scan) — graphs with bigger integer
+/// costs stay on the `BinaryHeap`.
+const DIAL_MAX_SCALED_COST: f64 = 4096.0;
+/// Largest power-of-two cost scale tried; beyond this the costs are not
+/// "integers in disguise" and bucket indexing stops paying off.
+const DIAL_MAX_SCALE: f64 = 1024.0;
+/// Bucket ring size (power of two above `DIAL_MAX_SCALED_COST`). Labels
+/// in flight span at most the maximum reduced cost, so a ring this size
+/// maps every live distance to a distinct slot.
+const DIAL_RING: usize = 8192;
+const DIAL_RING_MASK: usize = DIAL_RING - 1;
+
+/// Reduced cost of an arc under integer potentials, clamped at zero —
+/// the integer mirror of the float path's `.max(0.0)` clamp. Saturating,
+/// so pathological potential growth degrades into "never relaxes"
+/// instead of overflowing.
+fn reduced_cost(cost: i64, pot_u: i64, pot_v: i64) -> i64 {
+    cost.saturating_add(pot_u.saturating_sub(pot_v)).max(0)
+}
 
 /// Choice of minimum-cost max-flow algorithm.
 ///
@@ -110,6 +135,7 @@ impl FlowNetwork {
     ) -> Result<McmfResult, FlowError> {
         self.check_endpoints(source, sink)?;
         SOLVES.incr();
+        let _span = ccdn_obs::span("flow.mcmf.solve");
         let result = match algorithm {
             McmfAlgorithm::SspDijkstra => self.mcmf_dijkstra(source, sink),
             McmfAlgorithm::Spfa => self.mcmf_spfa(source, sink),
@@ -146,16 +172,16 @@ impl FlowNetwork {
                     if !dist[u].is_finite() {
                         continue;
                     }
-                    for &a in &self.adj[u] {
-                        let arc = &self.arcs[a];
-                        if arc.cap <= 0 {
+                    for a in self.out_arcs(u) {
+                        if self.arc_cap[a] <= 0 {
                             continue;
                         }
-                        let nd = dist[u] + arc.cost;
-                        if nd + 1e-9 < dist[arc.to] {
-                            dist[arc.to] = nd;
-                            prev_arc[arc.to] = a;
-                            updated_node = arc.to;
+                        let to = self.arc_to[a];
+                        let nd = dist[u] + self.arc_cost[a];
+                        if nd + 1e-9 < dist[to] {
+                            dist[to] = nd;
+                            prev_arc[to] = a;
+                            updated_node = to;
                         }
                     }
                 }
@@ -171,15 +197,15 @@ impl FlowNetwork {
             // cycle; walk n predecessors to land inside it.
             let mut v = updated_node;
             for _ in 0..n {
-                v = self.arcs[prev_arc[v] ^ 1].to;
+                v = self.arc_to[prev_arc[v] ^ 1];
             }
             // Collect the cycle and its bottleneck.
             let start = v;
             let mut bottleneck = i64::MAX;
             loop {
                 let a = prev_arc[v];
-                bottleneck = bottleneck.min(self.arcs[a].cap);
-                v = self.arcs[a ^ 1].to;
+                bottleneck = bottleneck.min(self.arc_cap[a]);
+                v = self.arc_to[a ^ 1];
                 if v == start {
                     break;
                 }
@@ -187,9 +213,9 @@ impl FlowNetwork {
             let mut v = start;
             loop {
                 let a = prev_arc[v];
-                self.arcs[a].cap -= bottleneck;
-                self.arcs[a ^ 1].cap += bottleneck;
-                v = self.arcs[a ^ 1].to;
+                self.arc_cap[a] -= bottleneck;
+                self.arc_cap[a ^ 1] += bottleneck;
+                v = self.arc_to[a ^ 1];
                 if v == start {
                     break;
                 }
@@ -242,6 +268,7 @@ impl FlowNetwork {
             return Err(FlowError::NegativeCapacity);
         }
         SOLVES.incr();
+        let _span = ccdn_obs::span("flow.mcmf.solve");
         let result = self.mcmf_dijkstra_bounded(source, sink, limit);
         #[cfg(feature = "strict-invariants")]
         if let Err(violation) = crate::validate::check_min_cost_flow(self, source, sink) {
@@ -256,6 +283,15 @@ impl FlowNetwork {
     }
 
     fn mcmf_dijkstra_bounded(&mut self, source: usize, sink: usize, limit: i64) -> McmfResult {
+        // Integer-cost graphs take the Dial bucket-queue path; costs that
+        // are not exactly scalable (real geometric distances) keep the
+        // float BinaryHeap below. Both settle nodes in identical
+        // (distance, node) order, so the chosen path never changes the
+        // computed flows — only the wall-clock (see the
+        // flow_layout_equivalence differential suite).
+        if let Some(scale) = self.dial_scale() {
+            return self.mcmf_dial_bounded(source, sink, limit, scale);
+        }
         let n = self.node_count();
         let mut potential = vec![0.0f64; n];
         let mut total_flow = 0i64;
@@ -278,20 +314,20 @@ impl FlowNetwork {
                 if d > dist[u] {
                     continue;
                 }
-                for &a in &self.adj[u] {
-                    let arc = &self.arcs[a];
-                    if arc.cap <= 0 {
+                for a in self.out_arcs(u) {
+                    if self.arc_cap[a] <= 0 {
                         continue;
                     }
+                    let to = self.arc_to[a];
                     // Reduced cost is non-negative for arcs on shortest
                     // paths; tiny negative values from float rounding are
                     // clamped to keep Dijkstra sound.
-                    let reduced = (arc.cost + potential[u] - potential[arc.to]).max(0.0);
+                    let reduced = (self.arc_cost[a] + potential[u] - potential[to]).max(0.0);
                     let nd = d + reduced;
-                    if nd + 1e-12 < dist[arc.to] {
-                        dist[arc.to] = nd;
-                        prev_arc[arc.to] = a;
-                        heap.push(HeapEntry { dist: nd, node: arc.to });
+                    if nd + 1e-12 < dist[to] {
+                        dist[to] = nd;
+                        prev_arc[to] = a;
+                        heap.push(HeapEntry { dist: nd, node: to });
                     }
                 }
             }
@@ -308,20 +344,205 @@ impl FlowNetwork {
             let mut v = sink;
             while v != source {
                 let a = prev_arc[v];
-                bottleneck = bottleneck.min(self.arcs[a].cap);
-                v = self.arcs[a ^ 1].to;
+                bottleneck = bottleneck.min(self.arc_cap[a]);
+                v = self.arc_to[a ^ 1];
             }
             let mut v = sink;
             while v != source {
                 let a = prev_arc[v];
-                self.arcs[a].cap -= bottleneck;
-                self.arcs[a ^ 1].cap += bottleneck;
-                total_cost += self.arcs[a].cost * bottleneck as f64;
-                v = self.arcs[a ^ 1].to;
+                self.arc_cap[a] -= bottleneck;
+                self.arc_cap[a ^ 1] += bottleneck;
+                total_cost += self.arc_cost[a] * bottleneck as f64;
+                v = self.arc_to[a ^ 1];
             }
             total_flow += bottleneck;
         }
         DIJKSTRA_ROUNDS.add(rounds);
+        McmfResult { flow: total_flow, cost: total_cost }
+    }
+
+    /// Smallest power-of-two scale that turns every arc cost into a small
+    /// exact integer, or `None` when the costs are not exactly scalable.
+    ///
+    /// Power-of-two scaling is exact on dyadic costs (no rounding ever),
+    /// which is what makes the integer and float Dijkstra relax and
+    /// tie-break identically: below 2^52 every float sum of such costs is
+    /// itself exact, and the 2^-10 grid sits far above the solver's 1e-12
+    /// relaxation epsilon.
+    fn dial_scale(&self) -> Option<f64> {
+        let mut scale = 1.0f64;
+        while scale <= DIAL_MAX_SCALE {
+            // Forward arcs carry the magnitude; reverse companions are
+            // exact negations, so checking even indices covers both.
+            let exact = self.arc_cost.iter().step_by(2).all(|&c| {
+                let s = c * scale;
+                // lint: allow(float-eq): exact integer-valuedness test, not a tolerance comparison
+                s.fract() == 0.0 && s <= DIAL_MAX_SCALED_COST
+            });
+            if exact {
+                return Some(scale);
+            }
+            scale *= 2.0;
+        }
+        None
+    }
+
+    /// [`mcmf_dijkstra_bounded`](Self::mcmf_dijkstra_bounded) with a Dial
+    /// bucket queue over exactly-scaled integer costs.
+    ///
+    /// Distances, potentials, and reduced costs are integers; the bucket
+    /// ring replaces the binary heap's `O(log n)` pushes with `O(1)`
+    /// appends. Within one bucket nodes settle in ascending id via a
+    /// per-bucket mini-heap, reproducing the float heap's (dist, node)
+    /// pop order bit for bit; a round whose reduced costs outgrow the
+    /// ring falls back to an integer binary heap with the same order.
+    /// Total cost accumulates in `f64` along the identical augmenting
+    /// paths, so results match the float path exactly.
+    fn mcmf_dial_bounded(
+        &mut self,
+        source: usize,
+        sink: usize,
+        limit: i64,
+        scale: f64,
+    ) -> McmfResult {
+        let n = self.node_count();
+        let arc_count = self.arc_to.len();
+        // Scaled integer cost per arc; exact by dial_scale's construction,
+        // so the cast below never truncates.
+        let mut cost_int = vec![0i64; arc_count];
+        for (a, slot) in cost_int.iter_mut().enumerate() {
+            let scaled = <[f64]>::get(&self.arc_cost, a).copied().unwrap_or(0.0) * scale;
+            // lint: allow(lossy-cast): dial_scale guarantees `scaled` is an exact integer within ±4096
+            *slot = scaled as i64;
+        }
+        let mut potential = vec![0i64; n];
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+        let mut dist = vec![i64::MAX; n];
+        let mut prev_arc = vec![usize::MAX; n];
+        // All queue storage is allocated once per solve and drained in
+        // place each round (hot-loop-alloc).
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); DIAL_RING];
+        let mut bucket_heap: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        let mut int_heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+        let mut rounds = 0u64;
+
+        while total_flow < limit {
+            rounds += 1;
+            dist.iter_mut().for_each(|d| *d = i64::MAX);
+            prev_arc.iter_mut().for_each(|p| *p = usize::MAX);
+            dist[source] = 0;
+            // Bound this round's reduced costs to validate the ring
+            // window (labels in flight span at most max_rc).
+            let mut max_rc = 0i64;
+            for a in 0..arc_count {
+                if self.arc_cap[a] > 0 {
+                    let u = self.arc_to[a ^ 1];
+                    let rc = reduced_cost(cost_int[a], potential[u], potential[self.arc_to[a]]);
+                    max_rc = max_rc.max(rc);
+                }
+            }
+            // lint: allow(lossy-cast): max_rc ≥ 0 by reduced-cost invariant, so the u64 reinterpretation is order-preserving; DIAL_RING is a small const
+            if (max_rc as u64) < DIAL_RING as u64 {
+                // Dial's ring: walk distances upward; each bucket drains
+                // into a mini-heap so same-distance nodes (including ones
+                // relaxed into the current bucket by zero-reduced-cost
+                // arcs) settle in ascending id order.
+                let mut pending: usize = 1;
+                buckets[0].push(source);
+                let mut d: i64 = 0;
+                while pending > 0 {
+                    // lint: allow(lossy-cast): ring index — the mask keeps only the low bits, so truncation is the point
+                    let slot = (d as usize) & DIAL_RING_MASK;
+                    if buckets[slot].is_empty() {
+                        d = d.saturating_add(1);
+                        continue;
+                    }
+                    bucket_heap.clear();
+                    for v in buckets[slot].drain(..) {
+                        bucket_heap.push(Reverse(v));
+                    }
+                    while let Some(Reverse(u)) = bucket_heap.pop() {
+                        pending = pending.saturating_sub(1);
+                        if dist[u] != d {
+                            continue; // stale: settled at a smaller distance
+                        }
+                        for a in self.out_arcs(u) {
+                            if self.arc_cap[a] <= 0 {
+                                continue;
+                            }
+                            let to = self.arc_to[a];
+                            let rc = reduced_cost(cost_int[a], potential[u], potential[to]);
+                            let nd = d.saturating_add(rc);
+                            if nd < dist[to] {
+                                dist[to] = nd;
+                                prev_arc[to] = a;
+                                pending = pending.saturating_add(1);
+                                if nd == d {
+                                    bucket_heap.push(Reverse(to));
+                                } else {
+                                    // lint: allow(lossy-cast): ring index — masked to DIAL_RING, truncation intended
+                                    buckets[(nd as usize) & DIAL_RING_MASK].push(to);
+                                }
+                            }
+                        }
+                    }
+                    d = d.saturating_add(1);
+                }
+            } else {
+                // Reduced costs outgrew the ring this round: integer
+                // binary heap, popping the smallest (dist, node) pair —
+                // the same settle order, just O(log n) per operation.
+                int_heap.clear();
+                int_heap.push(Reverse((0i64, source)));
+                while let Some(Reverse((dd, u))) = int_heap.pop() {
+                    if dd > dist[u] {
+                        continue;
+                    }
+                    for a in self.out_arcs(u) {
+                        if self.arc_cap[a] <= 0 {
+                            continue;
+                        }
+                        let to = self.arc_to[a];
+                        let rc = reduced_cost(cost_int[a], potential[u], potential[to]);
+                        let nd = dd.saturating_add(rc);
+                        if nd < dist[to] {
+                            dist[to] = nd;
+                            prev_arc[to] = a;
+                            int_heap.push(Reverse((nd, to)));
+                        }
+                    }
+                }
+            }
+            if dist[sink] == i64::MAX {
+                break;
+            }
+            for v in 0..n {
+                if dist[v] != i64::MAX {
+                    potential[v] = potential[v].saturating_add(dist[v]);
+                }
+            }
+            // Find bottleneck along the shortest path, then push. Cost
+            // accumulates in f64 exactly as the float path does.
+            let mut bottleneck = limit - total_flow;
+            let mut v = sink;
+            while v != source {
+                let a = prev_arc[v];
+                bottleneck = bottleneck.min(self.arc_cap[a]);
+                v = self.arc_to[a ^ 1];
+            }
+            let mut v = sink;
+            while v != source {
+                let a = prev_arc[v];
+                self.arc_cap[a] -= bottleneck;
+                self.arc_cap[a ^ 1] += bottleneck;
+                total_cost += self.arc_cost[a] * bottleneck as f64;
+                v = self.arc_to[a ^ 1];
+            }
+            total_flow += bottleneck;
+        }
+        DIJKSTRA_ROUNDS.add(rounds);
+        DIAL_ROUNDS.add(rounds);
         McmfResult { flow: total_flow, cost: total_cost }
     }
 
@@ -347,18 +568,18 @@ impl FlowNetwork {
             in_queue[source] = true;
             while let Some(u) = queue.pop_front() {
                 in_queue[u] = false;
-                for &a in &self.adj[u] {
-                    let arc = &self.arcs[a];
-                    if arc.cap <= 0 {
+                for a in self.out_arcs(u) {
+                    if self.arc_cap[a] <= 0 {
                         continue;
                     }
-                    let nd = dist[u] + arc.cost;
-                    if nd + 1e-12 < dist[arc.to] {
-                        dist[arc.to] = nd;
-                        prev_arc[arc.to] = a;
-                        if !in_queue[arc.to] {
-                            queue.push_back(arc.to);
-                            in_queue[arc.to] = true;
+                    let to = self.arc_to[a];
+                    let nd = dist[u] + self.arc_cost[a];
+                    if nd + 1e-12 < dist[to] {
+                        dist[to] = nd;
+                        prev_arc[to] = a;
+                        if !in_queue[to] {
+                            queue.push_back(to);
+                            in_queue[to] = true;
                         }
                     }
                 }
@@ -370,16 +591,16 @@ impl FlowNetwork {
             let mut v = sink;
             while v != source {
                 let a = prev_arc[v];
-                bottleneck = bottleneck.min(self.arcs[a].cap);
-                v = self.arcs[a ^ 1].to;
+                bottleneck = bottleneck.min(self.arc_cap[a]);
+                v = self.arc_to[a ^ 1];
             }
             let mut v = sink;
             while v != source {
                 let a = prev_arc[v];
-                self.arcs[a].cap -= bottleneck;
-                self.arcs[a ^ 1].cap += bottleneck;
-                total_cost += self.arcs[a].cost * bottleneck as f64;
-                v = self.arcs[a ^ 1].to;
+                self.arc_cap[a] -= bottleneck;
+                self.arc_cap[a ^ 1] += bottleneck;
+                total_cost += self.arc_cost[a] * bottleneck as f64;
+                v = self.arc_to[a ^ 1];
             }
             total_flow += bottleneck;
         }
@@ -701,6 +922,152 @@ mod tests {
                 prop_assert!(e.flow >= 0);
                 prop_assert!(e.flow <= e.capacity);
             }
+        }
+    }
+
+    /// Clone `net` with one extra zero-capacity arc whose cost is not
+    /// exactly scalable, disabling the Dial path without changing the
+    /// optimisation problem (zero capacity carries no flow).
+    fn float_forced(net: &FlowNetwork) -> FlowNetwork {
+        let mut forced = net.clone();
+        forced.add_edge(0, 1, 0, 1.0 / 3.0).unwrap();
+        forced
+    }
+
+    #[test]
+    fn dial_scale_detects_exactly_scalable_costs() {
+        let mut int_costs = FlowNetwork::with_nodes(3);
+        int_costs.add_edge(0, 1, 1, 3.0).unwrap();
+        int_costs.add_edge(1, 2, 1, 7.0).unwrap();
+        assert_eq!(int_costs.dial_scale(), Some(1.0));
+
+        let mut dyadic = FlowNetwork::with_nodes(3);
+        dyadic.add_edge(0, 1, 1, 0.5).unwrap();
+        dyadic.add_edge(1, 2, 1, 2.25).unwrap();
+        assert_eq!(dyadic.dial_scale(), Some(4.0));
+
+        let mut non_dyadic = FlowNetwork::with_nodes(2);
+        non_dyadic.add_edge(0, 1, 1, 1.0 / 3.0).unwrap();
+        assert_eq!(non_dyadic.dial_scale(), None);
+
+        let mut too_large = FlowNetwork::with_nodes(2);
+        too_large.add_edge(0, 1, 1, 5000.0).unwrap();
+        assert_eq!(too_large.dial_scale(), None);
+
+        let empty = FlowNetwork::with_nodes(2);
+        assert_eq!(empty.dial_scale(), Some(1.0));
+    }
+
+    #[test]
+    // lint: allow(hot-loop-alloc): differential test clones both solver
+    // inputs per random case — that is the point.
+    fn dial_matches_float_heap_per_edge_on_random_integer_costs() {
+        let mut rng = StdRng::seed_from_u64(20260808);
+        for case in 0..40 {
+            let n = rng.gen_range(3..10);
+            let mut net = FlowNetwork::with_nodes(n);
+            for _ in 0..24 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    // Quarter-integer costs: exactly scalable at 4.
+                    let cost = rng.gen_range(0..40) as f64 / 4.0;
+                    net.add_edge(u, v, rng.gen_range(0..12), cost).unwrap();
+                }
+            }
+            assert_eq!(net.dial_scale(), Some(4.0), "case {case}");
+            let mut dial = net.clone();
+            let mut float = float_forced(&net);
+            assert_eq!(float.dial_scale(), None, "case {case}");
+            let a = dial.min_cost_max_flow(0, n - 1, McmfAlgorithm::SspDijkstra).unwrap();
+            let b = float.min_cost_max_flow(0, n - 1, McmfAlgorithm::SspDijkstra).unwrap();
+            assert_eq!(a.flow, b.flow, "case {case}");
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "case {case}: costs not bitwise equal");
+            let dial_flows: Vec<i64> = dial.edges().iter().map(|e| e.flow).collect();
+            let float_flows: Vec<i64> =
+                float.edges().iter().take(dial_flows.len()).map(|e| e.flow).collect();
+            assert_eq!(dial_flows, float_flows, "case {case}: per-edge flows diverged");
+        }
+    }
+
+    #[test]
+    // lint: allow(hot-loop-alloc): differential test clones both solver
+    // inputs per random case — that is the point.
+    fn dial_bounded_matches_float_heap_per_edge() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        for case in 0..25 {
+            let n = rng.gen_range(3..9);
+            let mut net = FlowNetwork::with_nodes(n);
+            for _ in 0..18 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    net.add_edge(u, v, rng.gen_range(0..10), rng.gen_range(0..9) as f64).unwrap();
+                }
+            }
+            for limit in [0i64, 1, 3, 100] {
+                let mut dial = net.clone();
+                let mut float = float_forced(&net);
+                let a = dial.min_cost_flow_bounded(0, n - 1, limit).unwrap();
+                let b = float.min_cost_flow_bounded(0, n - 1, limit).unwrap();
+                assert_eq!(a.flow, b.flow, "case {case} limit {limit}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "case {case} limit {limit}");
+                let dial_flows: Vec<i64> = dial.edges().iter().map(|e| e.flow).collect();
+                let float_flows: Vec<i64> =
+                    float.edges().iter().take(dial_flows.len()).map(|e| e.flow).collect();
+                assert_eq!(dial_flows, float_flows, "case {case} limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn dial_large_potentials_fall_back_to_integer_heap_round() {
+        // Chain 0→1→2→3 at the maximum scaled cost per hop. After the
+        // first augmentation node 3's potential is 12288, so the
+        // cycle-back arc 3→0 has reduced cost 12288 ≥ DIAL_RING in the
+        // final round — exercising the integer-heap fallback round while
+        // still on the Dial path (dial_scale is Some).
+        let mut net = FlowNetwork::with_nodes(4);
+        net.add_edge(0, 1, 2, 4096.0).unwrap();
+        net.add_edge(1, 2, 2, 4096.0).unwrap();
+        net.add_edge(2, 3, 2, 4096.0).unwrap();
+        net.add_edge(3, 0, 1, 0.0).unwrap();
+        assert_eq!(net.dial_scale(), Some(1.0));
+        let mut float = float_forced(&net);
+        let a = net.min_cost_max_flow(0, 3, McmfAlgorithm::SspDijkstra).unwrap();
+        let b = float.min_cost_max_flow(0, 3, McmfAlgorithm::SspDijkstra).unwrap();
+        assert_eq!(a.flow, 2);
+        assert_eq!(a.cost, 2.0 * 3.0 * 4096.0);
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_dial_and_float_heap_agree_bitwise(
+            edges in prop::collection::vec(
+                (0usize..8, 0usize..8, 0i64..12, 0u16..24),
+                0..28,
+            ),
+        ) {
+            let mut net = FlowNetwork::with_nodes(8);
+            for (u, v, c, w) in edges {
+                if u != v {
+                    // Half-integer costs keep the graph exactly scalable.
+                    net.add_edge(u, v, c, w as f64 / 2.0).unwrap();
+                }
+            }
+            let mut dial = net.clone();
+            let mut float = float_forced(&net);
+            let a = dial.min_cost_max_flow(0, 7, McmfAlgorithm::SspDijkstra).unwrap();
+            let b = float.min_cost_max_flow(0, 7, McmfAlgorithm::SspDijkstra).unwrap();
+            prop_assert_eq!(a.flow, b.flow);
+            prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            let dial_flows: Vec<i64> = dial.edges().iter().map(|e| e.flow).collect();
+            let float_flows: Vec<i64> =
+                float.edges().iter().take(dial_flows.len()).map(|e| e.flow).collect();
+            prop_assert_eq!(dial_flows, float_flows);
         }
     }
 }

@@ -37,13 +37,9 @@ impl fmt::Display for FlowError {
 
 impl std::error::Error for FlowError {}
 
-#[derive(Debug, Clone)]
-pub(crate) struct Arc {
-    pub(crate) to: usize,
-    /// Remaining (residual) capacity.
-    pub(crate) cap: i64,
-    pub(crate) cost: f64,
-}
+/// Sentinel terminating a node's out-arc list ("no arc"). Out of range
+/// for every arc array, so checked lookups on it safely return `None`.
+pub(crate) const NO_ARC: usize = usize::MAX;
 
 /// A directed flow network in the paired-arc residual representation.
 ///
@@ -52,6 +48,14 @@ pub(crate) struct Arc {
 /// reverse of arc `e` is always `e ^ 1` — the standard competitive-
 /// programming layout, chosen here for cache-friendliness on the dense
 /// bipartite graphs RBCAer builds every timeslot.
+///
+/// Arc storage is struct-of-arrays: flat `arc_to`/`arc_cap`/`arc_cost`
+/// columns plus an intrusive `head`/`arc_next` adjacency list (CSR-style,
+/// no per-node `Vec`). Appending at the *tail* of each node's list keeps
+/// out-arc iteration in insertion order — load-bearing, because MCMF
+/// tie-breaking (first-set-wins predecessor arcs under strict `<`
+/// relaxation) depends on that order, and plan bytes must not move when
+/// the layout changes.
 ///
 /// Capacities are `i64` (request counts in the paper's model); costs are
 /// non-negative `f64` (geographic distances standing in for latency).
@@ -71,9 +75,20 @@ pub(crate) struct Arc {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
-    pub(crate) arcs: Vec<Arc>,
-    /// Outgoing arc indexes per node (forward and reverse arcs alike).
-    pub(crate) adj: Vec<Vec<usize>>,
+    /// Head node of each arc (arc `a` points *to* `arc_to[a]`; the tail
+    /// of `a` is therefore `arc_to[a ^ 1]`).
+    pub(crate) arc_to: Vec<usize>,
+    /// Remaining (residual) capacity of each arc.
+    pub(crate) arc_cap: Vec<i64>,
+    /// Per-unit cost of each arc (negated on reverse companions).
+    pub(crate) arc_cost: Vec<f64>,
+    /// Next arc out of the same tail node ([`NO_ARC`] terminates).
+    pub(crate) arc_next: Vec<usize>,
+    /// First out-arc per node ([`NO_ARC`] for isolated nodes).
+    pub(crate) head: Vec<usize>,
+    /// Last out-arc per node — lets `add_edge` append in O(1) while
+    /// preserving insertion order.
+    tail: Vec<usize>,
     /// Original capacity of each *forward* arc, indexed by `EdgeId.0 / 2`.
     original_caps: Vec<i64>,
 }
@@ -96,6 +111,25 @@ pub struct EdgeView {
     pub cost: f64,
 }
 
+/// Iterator over a node's out-arc ids in insertion order (see
+/// [`FlowNetwork::out_arcs`]). Non-panicking: the [`NO_ARC`] sentinel is
+/// out of range for `next`, so the checked lookup ends the walk.
+pub(crate) struct OutArcs<'a> {
+    next: &'a [usize],
+    cur: usize,
+}
+
+impl Iterator for OutArcs<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let a = self.cur;
+        let &nxt = <[usize]>::get(self.next, a)?;
+        self.cur = nxt;
+        Some(a)
+    }
+}
+
 impl FlowNetwork {
     /// Creates an empty network with no nodes.
     pub fn new() -> Self {
@@ -104,23 +138,71 @@ impl FlowNetwork {
 
     /// Creates a network with `n` isolated nodes `0..n`.
     pub fn with_nodes(n: usize) -> Self {
-        FlowNetwork { arcs: Vec::new(), adj: vec![Vec::new(); n], original_caps: Vec::new() }
+        FlowNetwork { head: vec![NO_ARC; n], tail: vec![NO_ARC; n], ..FlowNetwork::default() }
     }
 
     /// Adds a node, returning its id.
     pub fn add_node(&mut self) -> usize {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        self.head.push(NO_ARC);
+        self.tail.push(NO_ARC);
+        self.head.len() - 1
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.head.len()
     }
 
     /// Number of forward edges.
     pub fn edge_count(&self) -> usize {
-        self.arcs.len() / 2
+        self.arc_to.len() / 2
+    }
+
+    /// Empties the network (no nodes, no edges) while keeping every
+    /// backing allocation, so a solver loop can rebuild per-round graphs
+    /// into the same arena instead of reallocating them.
+    pub fn clear(&mut self) {
+        self.arc_to.clear();
+        self.arc_cap.clear();
+        self.arc_cost.clear();
+        self.arc_next.clear();
+        self.head.clear();
+        self.tail.clear();
+        self.original_caps.clear();
+    }
+
+    /// Out-arc ids of `u` in insertion order (forward and reverse arcs
+    /// alike); empty for out-of-range nodes.
+    pub(crate) fn out_arcs(&self, u: usize) -> OutArcs<'_> {
+        OutArcs {
+            next: &self.arc_next,
+            cur: <[usize]>::get(&self.head, u).copied().unwrap_or(NO_ARC),
+        }
+    }
+
+    /// Appends one arc `from → to`, linking it at the tail of `from`'s
+    /// out-list so iteration stays in insertion order.
+    fn push_arc(&mut self, from: usize, to: usize, cap: i64, cost: f64) {
+        let a = self.arc_to.len();
+        self.arc_to.push(to);
+        self.arc_cap.push(cap);
+        self.arc_cost.push(cost);
+        self.arc_next.push(NO_ARC);
+        match <[usize]>::get(&self.tail, from).copied() {
+            Some(t) if t != NO_ARC => {
+                if let Some(slot) = self.arc_next.get_mut(t) {
+                    *slot = a;
+                }
+            }
+            _ => {
+                if let Some(slot) = self.head.get_mut(from) {
+                    *slot = a;
+                }
+            }
+        }
+        if let Some(slot) = self.tail.get_mut(from) {
+            *slot = a;
+        }
     }
 
     /// Adds a directed edge `from → to` with the given capacity and
@@ -153,16 +235,9 @@ impl FlowNetwork {
         if !cost.is_finite() || cost < 0.0 {
             return Err(FlowError::BadCost);
         }
-        let fwd = self.arcs.len();
-        self.arcs.push(Arc { to, cap: capacity, cost });
-        self.arcs.push(Arc { to: from, cap: 0, cost: -cost });
-        // Endpoints were validated above, so both lookups succeed.
-        if let Some(out) = self.adj.get_mut(from) {
-            out.push(fwd);
-        }
-        if let Some(out) = self.adj.get_mut(to) {
-            out.push(fwd + 1);
-        }
+        let fwd = self.arc_to.len();
+        self.push_arc(from, to, capacity, cost);
+        self.push_arc(to, from, 0, -cost);
         self.original_caps.push(capacity);
         Ok(EdgeId(fwd))
     }
@@ -177,7 +252,7 @@ impl FlowNetwork {
     /// remaining residual capacity). Returns 0 for an id that did not
     /// come from this network.
     pub fn edge_flow(&self, id: EdgeId) -> i64 {
-        let residual = <[Arc]>::get(&self.arcs, id.0).map_or(0, |a| a.cap);
+        let residual = <[i64]>::get(&self.arc_cap, id.0).copied().unwrap_or(0);
         self.original_cap(id.0 / 2) - residual
     }
 
@@ -189,30 +264,29 @@ impl FlowNetwork {
 
     /// Views over all forward edges in insertion order.
     pub fn edges(&self) -> Vec<EdgeView> {
-        self.arcs
-            .chunks_exact(2)
-            .zip(&self.original_caps)
+        self.original_caps
+            .iter()
             .enumerate()
-            .filter_map(|(i, (pair, &capacity))| match pair {
-                [fwd_arc, rev_arc] => Some(EdgeView {
-                    id: EdgeId(2 * i),
-                    from: rev_arc.to,
-                    to: fwd_arc.to,
+            .filter_map(|(i, &capacity)| {
+                let fwd = 2 * i;
+                Some(EdgeView {
+                    id: EdgeId(fwd),
+                    from: <[usize]>::get(&self.arc_to, fwd + 1).copied()?,
+                    to: <[usize]>::get(&self.arc_to, fwd).copied()?,
                     capacity,
-                    flow: capacity - fwd_arc.cap,
-                    cost: fwd_arc.cost,
-                }),
-                _ => None,
+                    flow: capacity - <[i64]>::get(&self.arc_cap, fwd).copied()?,
+                    cost: <[f64]>::get(&self.arc_cost, fwd).copied()?,
+                })
             })
             .collect()
     }
 
     /// Resets all flows to zero, restoring original capacities.
     pub fn reset_flow(&mut self) {
-        for (pair, &cap) in self.arcs.chunks_exact_mut(2).zip(&self.original_caps) {
-            if let [fwd_arc, rev_arc] = pair {
-                fwd_arc.cap = cap;
-                rev_arc.cap = 0;
+        for (pair, &cap) in self.arc_cap.chunks_exact_mut(2).zip(&self.original_caps) {
+            if let [fwd, rev] = pair {
+                *fwd = cap;
+                *rev = 0;
             }
         }
     }
@@ -301,6 +375,40 @@ mod tests {
         let mut net = FlowNetwork::with_nodes(1);
         let e = net.add_edge(0, 0, 5, 1.0).unwrap();
         assert_eq!(net.edge_flow(e), 0);
+    }
+
+    #[test]
+    fn out_arcs_iterate_in_insertion_order() {
+        // Mixed forward and reverse arcs out of node 1: arc ids must come
+        // back exactly in the order add_edge created them.
+        let mut net = FlowNetwork::with_nodes(3);
+        let e0 = net.add_edge(1, 0, 1, 1.0).unwrap(); // fwd arc 0 out of 1
+        let e1 = net.add_edge(0, 1, 1, 1.0).unwrap(); // rev arc 3 out of 1
+        let e2 = net.add_edge(1, 2, 1, 1.0).unwrap(); // fwd arc 4 out of 1
+        assert_eq!((e0, e1, e2), (EdgeId(0), EdgeId(2), EdgeId(4)));
+        let out: Vec<usize> = net.out_arcs(1).collect();
+        assert_eq!(out, vec![0, 3, 4]);
+        assert_eq!(net.out_arcs(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(net.out_arcs(2).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(net.out_arcs(99).count(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_contents() {
+        let mut net = FlowNetwork::with_nodes(4);
+        net.add_edge(0, 1, 3, 1.0).unwrap();
+        net.add_edge(1, 2, 3, 1.0).unwrap();
+        net.clear();
+        assert_eq!(net.node_count(), 0);
+        assert_eq!(net.edge_count(), 0);
+        assert!(net.edges().is_empty());
+        // The arena is fully reusable after clear().
+        let a = net.add_node();
+        let b = net.add_node();
+        let e = net.add_edge(a, b, 9, 2.0).unwrap();
+        assert_eq!(e, EdgeId(0));
+        assert_eq!(net.edge_capacity(e), 9);
+        assert_eq!(net.out_arcs(a).collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! [`check_mcmf_optimal`] / [`check_min_cost_flow`] on every solution and
 //! abort on violation.
 
-use crate::network::{Arc, FlowNetwork};
+use crate::network::FlowNetwork;
 use ccdn_obs::Counter;
 use std::fmt;
 
@@ -58,15 +58,15 @@ impl std::error::Error for FlowViolation {}
 ///
 /// [`FlowViolation`] naming the first out-of-bounds edge.
 pub fn check_capacity_bounds(net: &FlowNetwork) -> Result<(), FlowViolation> {
-    for view in net.edges() {
-        if view.flow < 0 || view.flow > view.capacity {
-            return Err(FlowViolation::new(format!(
-                "edge {}→{} carries flow {} outside [0, {}]",
-                view.from, view.to, view.flow, view.capacity
-            )));
-        }
+    // Find first, format outside the loop (hot-loop-alloc).
+    let bad = net.edges().into_iter().find(|view| view.flow < 0 || view.flow > view.capacity);
+    match bad {
+        Some(view) => Err(FlowViolation::new(format!(
+            "edge {}→{} carries flow {} outside [0, {}]",
+            view.from, view.to, view.flow, view.capacity
+        ))),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Checks flow conservation: every node except `source` and `sink` has
@@ -91,12 +91,15 @@ pub fn check_conservation(
             *out -= view.flow;
         }
     }
-    for (node, &imbalance) in net_out.iter().enumerate() {
-        if node != source && node != sink && imbalance != 0 {
-            return Err(FlowViolation::new(format!(
-                "node {node} has net outflow {imbalance}, expected 0"
-            )));
-        }
+    // Find first, format outside the loop (hot-loop-alloc).
+    let unbalanced = net_out
+        .iter()
+        .enumerate()
+        .find(|&(node, &imbalance)| node != source && node != sink && imbalance != 0);
+    if let Some((node, imbalance)) = unbalanced {
+        return Err(FlowViolation::new(format!(
+            "node {node} has net outflow {imbalance}, expected 0"
+        )));
     }
     let source_out = <[i64]>::get(&net_out, source).copied().unwrap_or(0);
     let sink_out = <[i64]>::get(&net_out, sink).copied().unwrap_or(0);
@@ -128,25 +131,24 @@ pub fn check_max_flow(net: &FlowNetwork, source: usize, sink: usize) -> Result<(
         *s = true;
     }
     while let Some(u) = queue.pop_front() {
-        let Some(out) = <[Vec<usize>]>::get(&net.adj, u) else {
-            continue;
-        };
-        for &a in out {
-            let Some(arc) = <[Arc]>::get(&net.arcs, a) else {
+        for a in net.out_arcs(u) {
+            let (Some(&to), Some(&cap)) =
+                (<[usize]>::get(&net.arc_to, a), <[i64]>::get(&net.arc_cap, a))
+            else {
                 continue;
             };
             // Defaulting a missing entry to "seen" skips it safely.
-            let visited = <[bool]>::get(&seen, arc.to).copied().unwrap_or(true);
-            if arc.cap > 0 && !visited {
-                if arc.to == sink {
+            let visited = <[bool]>::get(&seen, to).copied().unwrap_or(true);
+            if cap > 0 && !visited {
+                if to == sink {
                     return Err(FlowViolation::new(
                         "an augmenting path remains in the residual graph; flow is not maximum",
                     ));
                 }
-                if let Some(s) = seen.get_mut(arc.to) {
+                if let Some(s) = seen.get_mut(to) {
                     *s = true;
                 }
-                queue.push_back(arc.to);
+                queue.push_back(to);
             }
         }
     }
@@ -174,18 +176,19 @@ pub fn check_min_cost_certificate(net: &FlowNetwork) -> Result<(), FlowViolation
     for round in 0..=n {
         let mut improved = false;
         for u in 0..n {
-            let Some(out) = <[Vec<usize>]>::get(&net.adj, u) else {
-                continue;
-            };
-            for &a in out {
-                let Some(arc) = <[Arc]>::get(&net.arcs, a) else {
+            for a in net.out_arcs(u) {
+                let (Some(&to), Some(&cap), Some(&cost)) = (
+                    <[usize]>::get(&net.arc_to, a),
+                    <[i64]>::get(&net.arc_cap, a),
+                    <[f64]>::get(&net.arc_cost, a),
+                ) else {
                     continue;
                 };
-                if arc.cap <= 0 {
+                if cap <= 0 {
                     continue;
                 }
-                let nd = <[f64]>::get(&dist, u).copied().unwrap_or(0.0) + arc.cost;
-                let Some(slot) = dist.get_mut(arc.to) else {
+                let nd = <[f64]>::get(&dist, u).copied().unwrap_or(0.0) + cost;
+                let Some(slot) = dist.get_mut(to) else {
                     continue;
                 };
                 if nd < *slot - COST_EPS {
@@ -285,8 +288,8 @@ mod tests {
         net.add_edge(0, 1, 1, 1.0).unwrap();
         let pricey = net.add_edge(0, 1, 1, 5.0).unwrap();
         // Manually move a unit onto the expensive edge.
-        net.arcs[pricey.0].cap -= 1;
-        net.arcs[pricey.0 ^ 1].cap += 1;
+        net.arc_cap[pricey.0] -= 1;
+        net.arc_cap[pricey.0 ^ 1] += 1;
         check_capacity_bounds(&net).unwrap();
         check_conservation(&net, 0, 1).unwrap();
         assert!(check_min_cost_certificate(&net).is_err());
@@ -296,7 +299,7 @@ mod tests {
     fn over_capacity_flow_is_caught() {
         let mut net = FlowNetwork::with_nodes(2);
         let e = net.add_edge(0, 1, 2, 1.0).unwrap();
-        net.arcs[e.0].cap = -1; // flow = 2 − (−1) = 3 > capacity 2
+        net.arc_cap[e.0] = -1; // flow = 2 − (−1) = 3 > capacity 2
         assert!(check_capacity_bounds(&net).is_err());
     }
 
@@ -306,8 +309,8 @@ mod tests {
         let e = net.add_edge(0, 1, 2, 1.0).unwrap();
         net.add_edge(1, 2, 2, 1.0).unwrap();
         // Push flow into node 1 but not out of it.
-        net.arcs[e.0].cap -= 2;
-        net.arcs[e.0 ^ 1].cap += 2;
+        net.arc_cap[e.0] -= 2;
+        net.arc_cap[e.0 ^ 1] += 2;
         assert!(check_conservation(&net, 0, 2).is_err());
     }
 

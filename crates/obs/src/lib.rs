@@ -457,36 +457,35 @@ impl ObsReport {
 
     /// What happened since `baseline`: per-name saturating differences,
     /// with all-zero entries dropped. Registries only grow, so names in
-    /// `baseline` are a subset of names in `self`.
-    pub fn delta(&self, baseline: &ObsReport) -> ObsReport {
+    /// `baseline` are a subset of names in `self`. Consumes the report,
+    /// so names and buckets move into the delta instead of being cloned.
+    pub fn delta(self, baseline: &ObsReport) -> ObsReport {
         let mut out = ObsReport::default();
-        for (name, &total) in &self.counters {
-            let before = baseline.counters.get(name).copied().unwrap_or(0);
+        for (name, total) in self.counters {
+            let before = baseline.counters.get(&name).copied().unwrap_or(0);
             let diff = total.saturating_sub(before);
             if diff > 0 {
-                out.counters.insert(name.clone(), diff);
+                out.counters.insert(name, diff);
             }
         }
-        for (name, buckets) in &self.histograms {
+        for (name, mut buckets) in self.histograms {
             let zero = Vec::new();
-            let before = baseline.histograms.get(name).unwrap_or(&zero);
-            let diff: Vec<u64> = buckets
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| b.saturating_sub(before.get(i).copied().unwrap_or(0)))
-                .collect();
-            if diff.iter().any(|&b| b > 0) {
-                out.histograms.insert(name.clone(), diff);
+            let before = baseline.histograms.get(&name).unwrap_or(&zero);
+            for (i, bucket) in buckets.iter_mut().enumerate() {
+                *bucket = bucket.saturating_sub(before.get(i).copied().unwrap_or(0));
+            }
+            if buckets.iter().any(|&b| b > 0) {
+                out.histograms.insert(name, buckets);
             }
         }
-        for (name, stat) in &self.spans {
-            let before = baseline.spans.get(name).copied().unwrap_or_default();
+        for (name, stat) in self.spans {
+            let before = baseline.spans.get(&name).copied().unwrap_or_default();
             let diff = SpanStat {
                 count: stat.count.saturating_sub(before.count),
                 total_ns: stat.total_ns.saturating_sub(before.total_ns),
             };
             if diff.count > 0 {
-                out.spans.insert(name.clone(), diff);
+                out.spans.insert(name, diff);
             }
         }
         out

@@ -120,14 +120,18 @@ pub fn check_degraded_plan(
             cache_capacity.len()
         )));
     }
-    for (h, (placement, &cap)) in placements.iter().zip(cache_capacity).enumerate() {
-        if placement.len() as u64 > cap {
-            return Err(AccountingViolation::new(format!(
-                "degraded plan places {} videos at hotspot {h} whose believed cache \
-                 capacity is {cap}",
-                placement.len()
-            )));
-        }
+    // Find first, format outside the loop (hot-loop-alloc).
+    let over = placements
+        .iter()
+        .zip(cache_capacity)
+        .enumerate()
+        .find(|&(_, (placement, &cap))| placement.len() as u64 > cap);
+    if let Some((h, (placement, &cap))) = over {
+        return Err(AccountingViolation::new(format!(
+            "degraded plan places {} videos at hotspot {h} whose believed cache \
+             capacity is {cap}",
+            placement.len()
+        )));
     }
     Ok(())
 }

@@ -1,0 +1,701 @@
+//! **bench-ratchet** — the perf-regression ratchet over fixed-seed
+//! solver workloads (`cargo xtask bench-ratchet`).
+//!
+//! The workspace's figures are byte-deterministic, but wall-clock speed
+//! was unmeasured and unprotected until this ratchet. It mirrors the
+//! `lint-baseline.json` ratchet one level up: a committed
+//! [`BASELINE_FILE`] records, per fixed-seed workload, the
+//! **deterministic work metrics** (every `ccdn-obs` counter total and
+//! span *count*) plus the **wall-clock metrics** (workload `wall_ns` and
+//! per-span `total_ns`). A run re-measures the same workloads via the
+//! `ccdn-bench` `ratchet` binary and diffs:
+//!
+//! - work metrics must match **exactly** — they are thread-count
+//!   invariant and fully seeded, so any drift is a real algorithmic
+//!   change (more Dijkstra rounds, more allocations of graphs, ...) that
+//!   either regresses perf or should be locked in by regenerating;
+//! - time metrics must stay within a **noise band**: `span_band`× for
+//!   span totals and `wall_band`× for the workload wall clock. Span
+//!   totals sum *worker* time across threads, so on a parallel stage
+//!   memory contention can legitimately inflate them by up to the
+//!   thread count relative to a single-threaded baseline — `span_band`
+//!   must therefore exceed the largest thread count CI runs (8) times
+//!   residual machine noise. Wall clock only shrinks (or holds) as
+//!   threads grow, so `wall_band` covers machine variance alone. Bands
+//!   and the `min_ns` floor below which timings are ignored are stored
+//!   in the baseline document itself;
+//! - stale baseline keys (a workload or metric that no longer fires)
+//!   fail with a shrink hint, exactly like the lint ratchet.
+//!
+//! `--write-baseline` regenerates the document from the current run;
+//! the serialisation is canonical (sorted maps, fixed float formatting),
+//! so write → parse → write round-trips byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use ccdn_obs::json::{self, Value};
+use ccdn_obs::json_string;
+
+/// The committed baseline document at the workspace root.
+pub const BASELINE_FILE: &str = "BENCH_baseline.json";
+
+/// Fixed-seed workloads the `ratchet` bench binary knows how to run, in
+/// the order they are measured and serialised.
+pub const WORKLOADS: &[&str] = &["dinic", "mcmf-dial", "mcmf-float", "planner"];
+
+/// Default multiplicative band for per-span `total_ns` comparisons.
+/// Wide because span totals sum worker time: on parallel stages,
+/// contention at `CCDN_THREADS=8` inflates them up to ~the thread count
+/// over a single-threaded baseline (measured ~7× on
+/// `trace.generate.shard`), before machine noise.
+pub const DEFAULT_SPAN_BAND: f64 = 12.0;
+/// Default multiplicative band for workload `wall_ns` comparisons —
+/// wall clock only shrinks or holds as threads grow, so this covers
+/// machine variance alone.
+pub const DEFAULT_WALL_BAND: f64 = 8.0;
+/// Timings below this baseline value are too small to compare reliably.
+pub const DEFAULT_MIN_NS: u64 = 1_000_000;
+
+/// Aggregated `count`/`total_ns` of one span within one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanTotal {
+    /// How many times the span closed (deterministic).
+    pub count: u64,
+    /// Wall-clock nanoseconds summed across closures and worker threads.
+    pub total_ns: u64,
+}
+
+/// Everything the ratchet records about one fixed-seed workload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkloadMetrics {
+    /// Wall-clock nanoseconds of the whole workload run.
+    pub wall_ns: u64,
+    /// `ccdn-obs` counter deltas by name (deterministic).
+    pub counters: BTreeMap<String, u64>,
+    /// `ccdn-obs` span deltas by name.
+    pub spans: BTreeMap<String, SpanTotal>,
+}
+
+/// The parsed [`BASELINE_FILE`] document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Band for per-span `total_ns` (measured ≤ band × baseline passes).
+    pub span_band: f64,
+    /// Band for workload `wall_ns`.
+    pub wall_band: f64,
+    /// Baseline timings below this many nanoseconds are not compared.
+    pub min_ns: u64,
+    /// Per-workload recorded metrics, keyed by workload name.
+    pub workloads: BTreeMap<String, WorkloadMetrics>,
+}
+
+impl Default for Baseline {
+    fn default() -> Self {
+        Baseline {
+            span_band: DEFAULT_SPAN_BAND,
+            wall_band: DEFAULT_WALL_BAND,
+            min_ns: DEFAULT_MIN_NS,
+            workloads: BTreeMap::new(),
+        }
+    }
+}
+
+/// One comparison failure; any finding fails the ratchet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchFinding {
+    /// Which workload the finding is about.
+    pub workload: String,
+    /// Machine-readable finding class (`stale-key`, `new-key`,
+    /// `work-drift`, `time-regression`, ...).
+    pub kind: &'static str,
+    /// Human-readable explanation with the numbers and the fix hint.
+    pub message: String,
+}
+
+impl fmt::Display for BenchFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.workload, self.message)
+    }
+}
+
+/// Why the bench ratchet could not run to a verdict.
+#[derive(Debug)]
+pub enum BenchError {
+    /// [`BASELINE_FILE`] is missing, unreadable, or malformed.
+    Baseline(String),
+    /// A measured obs report is unreadable or malformed.
+    Report(String),
+    /// Building or running the `ratchet` bench binary failed.
+    Run(String),
+    /// Writing the baseline or the report artifact failed.
+    Io(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Baseline(e) => write!(f, "{BASELINE_FILE}: {e}"),
+            BenchError::Report(e) => write!(f, "obs report: {e}"),
+            BenchError::Run(e) => write!(f, "ratchet workload: {e}"),
+            BenchError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+fn as_u64_field(value: &Value, field: &str, ctx: &str) -> Result<u64, BenchError> {
+    value
+        .get(field)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| BenchError::Baseline(format!("{ctx}: missing numeric `{field}`")))
+}
+
+fn parse_counters(value: Option<&Value>, ctx: &str) -> Result<BTreeMap<String, u64>, BenchError> {
+    let mut out = BTreeMap::new();
+    let Some(obj) = value.and_then(Value::as_object) else {
+        return Err(BenchError::Baseline(format!("{ctx}: missing `counters` object")));
+    };
+    for (name, total) in obj {
+        let total = total
+            .as_u64()
+            .ok_or_else(|| BenchError::Baseline(format!("{ctx}: counter `{name}` is not a u64")))?;
+        out.insert(name.clone(), total);
+    }
+    Ok(out)
+}
+
+fn parse_spans(
+    value: Option<&Value>,
+    ctx: &str,
+) -> Result<BTreeMap<String, SpanTotal>, BenchError> {
+    let mut out = BTreeMap::new();
+    let Some(obj) = value.and_then(Value::as_object) else {
+        return Err(BenchError::Baseline(format!("{ctx}: missing `spans` object")));
+    };
+    for (name, stat) in obj {
+        let span_ctx = format!("{ctx}: span `{name}`");
+        let count = as_u64_field(stat, "count", &span_ctx)?;
+        let total_ns = as_u64_field(stat, "total_ns", &span_ctx)?;
+        out.insert(name.clone(), SpanTotal { count, total_ns });
+    }
+    Ok(out)
+}
+
+/// Parses one labeled `ccdn-obs` perf report (the JSON object the
+/// `ratchet` binary writes via `--obs`) into [`WorkloadMetrics`].
+///
+/// # Errors
+///
+/// [`BenchError::Report`] when the document is not valid JSON or lacks
+/// the `wall_ns`/`counters`/`spans` fields.
+pub fn parse_report(text: &str) -> Result<WorkloadMetrics, BenchError> {
+    let value = json::parse(text).map_err(|e| BenchError::Report(format!("parse: {e}")))?;
+    let wall_ns = value
+        .get("wall_ns")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| BenchError::Report("missing numeric `wall_ns`".into()))?;
+    let counters = parse_counters(value.get("counters"), "report").map_err(rewrap_as_report)?;
+    let spans = parse_spans(value.get("spans"), "report").map_err(rewrap_as_report)?;
+    Ok(WorkloadMetrics { wall_ns, counters, spans })
+}
+
+fn rewrap_as_report(err: BenchError) -> BenchError {
+    match err {
+        BenchError::Baseline(msg) => BenchError::Report(msg),
+        other => other,
+    }
+}
+
+/// Parses the committed [`BASELINE_FILE`] document.
+///
+/// # Errors
+///
+/// [`BenchError::Baseline`] on any schema violation — the baseline is
+/// committed and canonical, so unknown shapes are always a bug.
+pub fn parse_baseline(text: &str) -> Result<Baseline, BenchError> {
+    let value = json::parse(text).map_err(|e| BenchError::Baseline(format!("parse: {e}")))?;
+    match value.get("tool").and_then(Value::as_str) {
+        Some("ccdn-bench-ratchet") => {}
+        _ => return Err(BenchError::Baseline("missing `tool: ccdn-bench-ratchet`".into())),
+    }
+    match value.get("version").and_then(Value::as_u64) {
+        Some(1) => {}
+        _ => return Err(BenchError::Baseline("unsupported `version` (want 1)".into())),
+    }
+    let band = |field: &str| -> Result<f64, BenchError> {
+        match value.get(field) {
+            Some(Value::Number(b)) if *b >= 1.0 => Ok(*b),
+            _ => Err(BenchError::Baseline(format!("missing or sub-1.0 `{field}`"))),
+        }
+    };
+    let span_band = band("span_band")?;
+    let wall_band = band("wall_band")?;
+    let min_ns = as_u64_field(&value, "min_ns", "document")?;
+    let Some(workload_obj) = value.get("workloads").and_then(Value::as_object) else {
+        return Err(BenchError::Baseline("missing `workloads` object".into()));
+    };
+    let mut workloads = BTreeMap::new();
+    for (name, entry) in workload_obj {
+        let ctx = format!("workload `{name}`");
+        let wall_ns = as_u64_field(entry, "wall_ns", &ctx)?;
+        let counters = parse_counters(entry.get("counters"), &ctx)?;
+        let spans = parse_spans(entry.get("spans"), &ctx)?;
+        workloads.insert(name.clone(), WorkloadMetrics { wall_ns, counters, spans });
+    }
+    Ok(Baseline { span_band, wall_band, min_ns, workloads })
+}
+
+/// Canonical f64 formatting (shortest round-trip representation, always
+/// with a decimal point) — keeps write → parse → write byte-identical.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:?}")
+}
+
+/// Serialises a [`Baseline`] as the canonical single-line document
+/// (sorted maps, fixed number formatting, trailing newline).
+pub fn baseline_json(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "{\"tool\":\"ccdn-bench-ratchet\",\"version\":1,\"note\":\"fixed-seed perf ratchet: \
+         counters and span counts must match exactly, timings within the bands; regenerate \
+         with `cargo xtask bench-ratchet --write-baseline`\",",
+    );
+    out.push_str(&format!(
+        "\"span_band\":{},\"wall_band\":{},\"min_ns\":{},\"workloads\":{{",
+        fmt_f64(baseline.span_band),
+        fmt_f64(baseline.wall_band),
+        baseline.min_ns
+    ));
+    for (i, (name, m)) in baseline.workloads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{{\"wall_ns\":{},\"counters\":{{", json_string(name), m.wall_ns));
+        for (j, (counter, total)) in m.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{total}", json_string(counter)));
+        }
+        out.push_str("},\"spans\":{");
+        for (j, (span, stat)) in m.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json_string(span),
+                stat.count,
+                stat.total_ns
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Diffs measured workloads against the baseline. An empty result is a
+/// pass; every finding is a failure (the caller never needs to rank).
+pub fn compare(
+    baseline: &Baseline,
+    measured: &BTreeMap<String, WorkloadMetrics>,
+) -> Vec<BenchFinding> {
+    let mut findings = Vec::new();
+    for (name, base) in &baseline.workloads {
+        let Some(got) = measured.get(name) else {
+            findings.push(BenchFinding {
+                workload: name.clone(),
+                kind: "stale-key",
+                message: format!(
+                    "baselined workload `{name}` was not measured — shrink the baseline \
+                     (remove the entry or rerun `cargo xtask bench-ratchet --write-baseline`)"
+                ),
+            });
+            continue;
+        };
+        diff_workload(&mut findings, baseline, name, base, got);
+    }
+    for name in measured.keys() {
+        if !baseline.workloads.contains_key(name) {
+            findings.push(BenchFinding {
+                workload: name.clone(),
+                kind: "new-key",
+                message: format!(
+                    "workload `{name}` is measured but not baselined — regenerate with \
+                     `cargo xtask bench-ratchet --write-baseline`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+fn diff_workload(
+    findings: &mut Vec<BenchFinding>,
+    baseline: &Baseline,
+    name: &str,
+    base: &WorkloadMetrics,
+    got: &WorkloadMetrics,
+) {
+    // Deterministic work metrics: exact equality, with stale/new keys
+    // called out separately so the hint matches the fix.
+    for (counter, &want) in &base.counters {
+        match got.counters.get(counter) {
+            None => findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "stale-key",
+                message: format!(
+                    "baselined counter `{counter}` no longer fires — shrink the baseline \
+                     (rerun `cargo xtask bench-ratchet --write-baseline`)"
+                ),
+            }),
+            Some(&got_total) if got_total != want => findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "work-drift",
+                message: format!(
+                    "counter `{counter}` moved {want} -> {got_total} ({}); deterministic \
+                     work changed — investigate, then regenerate the baseline if intended",
+                    if got_total > want { "regression" } else { "improvement" }
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for counter in got.counters.keys() {
+        if !base.counters.contains_key(counter) {
+            findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "new-key",
+                message: format!(
+                    "counter `{counter}` fires but is not baselined — regenerate with \
+                     `cargo xtask bench-ratchet --write-baseline`"
+                ),
+            });
+        }
+    }
+    for (span, want) in &base.spans {
+        match got.spans.get(span) {
+            None => findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "stale-key",
+                message: format!(
+                    "baselined span `{span}` no longer fires — shrink the baseline \
+                     (rerun `cargo xtask bench-ratchet --write-baseline`)"
+                ),
+            }),
+            Some(got_stat) => {
+                if got_stat.count != want.count {
+                    findings.push(BenchFinding {
+                        workload: name.to_string(),
+                        kind: "work-drift",
+                        message: format!(
+                            "span `{span}` count moved {} -> {}; deterministic work \
+                             changed — investigate, then regenerate the baseline if intended",
+                            want.count, got_stat.count
+                        ),
+                    });
+                }
+                if want.total_ns >= baseline.min_ns {
+                    let limit = (want.total_ns as f64) * baseline.span_band;
+                    if (got_stat.total_ns as f64) > limit {
+                        findings.push(BenchFinding {
+                            workload: name.to_string(),
+                            kind: "time-regression",
+                            message: format!(
+                                "span `{span}` total {} ns exceeds {} ns \
+                                 (baseline {} ns x band {})",
+                                got_stat.total_ns,
+                                limit as u64,
+                                want.total_ns,
+                                fmt_f64(baseline.span_band)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for span in got.spans.keys() {
+        if !base.spans.contains_key(span) {
+            findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "new-key",
+                message: format!(
+                    "span `{span}` fires but is not baselined — regenerate with \
+                     `cargo xtask bench-ratchet --write-baseline`"
+                ),
+            });
+        }
+    }
+    if base.wall_ns >= baseline.min_ns {
+        let limit = (base.wall_ns as f64) * baseline.wall_band;
+        if (got.wall_ns as f64) > limit {
+            findings.push(BenchFinding {
+                workload: name.to_string(),
+                kind: "time-regression",
+                message: format!(
+                    "wall clock {} ns exceeds {} ns (baseline {} ns x band {})",
+                    got.wall_ns,
+                    limit as u64,
+                    base.wall_ns,
+                    fmt_f64(baseline.wall_band)
+                ),
+            });
+        }
+    }
+}
+
+/// Serialises a finished comparison as the report artifact CI uploads:
+/// the verdict, every finding, and the measured metrics (canonical form,
+/// so two identical runs produce identical artifacts up to timings).
+pub fn report_json(
+    findings: &[BenchFinding],
+    measured: &BTreeMap<String, WorkloadMetrics>,
+) -> String {
+    let mut out = String::from("{\"tool\":\"ccdn-bench-ratchet\",\"verdict\":");
+    out.push_str(if findings.is_empty() { "\"pass\"" } else { "\"fail\"" });
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"workload\":{},\"kind\":{},\"message\":{}}}",
+            json_string(&f.workload),
+            json_string(f.kind),
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("],\"measured\":");
+    let snapshot = Baseline {
+        span_band: DEFAULT_SPAN_BAND,
+        wall_band: DEFAULT_WALL_BAND,
+        min_ns: DEFAULT_MIN_NS,
+        workloads: measured.clone(),
+    };
+    let doc = baseline_json(&snapshot);
+    out.push_str(doc.trim_end());
+    out.push_str("}\n");
+    out
+}
+
+/// Builds the `ratchet` bench binary and runs every [`WORKLOADS`] entry
+/// with a fixed seed, collecting the measured metrics from the per-run
+/// obs reports written under `target/bench-ratchet/`.
+///
+/// # Errors
+///
+/// [`BenchError::Run`] when cargo or a workload fails,
+/// [`BenchError::Report`]/[`BenchError::Io`] when a report cannot be
+/// read back.
+pub fn collect_measurements(root: &Path) -> Result<BTreeMap<String, WorkloadMetrics>, BenchError> {
+    let status = std::process::Command::new("cargo")
+        .args(["build", "--release", "-p", "ccdn-bench", "--bin", "ratchet"])
+        .current_dir(root)
+        .status()
+        .map_err(|e| BenchError::Run(format!("spawning cargo build: {e}")))?;
+    if !status.success() {
+        return Err(BenchError::Run(
+            "cargo build --release -p ccdn-bench --bin ratchet failed".into(),
+        ));
+    }
+    let bin = root.join("target").join("release").join("ratchet");
+    let obs_dir = root.join("target").join("bench-ratchet");
+    std::fs::create_dir_all(&obs_dir)
+        .map_err(|e| BenchError::Io(format!("{}: {e}", obs_dir.display())))?;
+    let mut measured = BTreeMap::new();
+    for &workload in WORKLOADS {
+        let obs_path: PathBuf = obs_dir.join(format!("{workload}.json"));
+        let status = std::process::Command::new(&bin)
+            .arg("--workload")
+            .arg(workload)
+            .arg("--obs")
+            .arg(&obs_path)
+            .current_dir(root)
+            .status()
+            .map_err(|e| BenchError::Run(format!("spawning {workload}: {e}")))?;
+        if !status.success() {
+            return Err(BenchError::Run(format!("workload `{workload}` exited nonzero")));
+        }
+        let text = std::fs::read_to_string(&obs_path)
+            .map_err(|e| BenchError::Io(format!("{}: {e}", obs_path.display())))?;
+        let metrics = parse_report(&text)
+            .map_err(|e| BenchError::Report(format!("workload `{workload}`: {e}")))?;
+        measured.insert(workload.to_string(), metrics);
+    }
+    Ok(measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> WorkloadMetrics {
+        let mut counters = BTreeMap::new();
+        counters.insert("flow.mcmf.solves".to_string(), 10);
+        counters.insert("flow.mcmf.dijkstra_rounds".to_string(), 40);
+        let mut spans = BTreeMap::new();
+        spans.insert("flow.mcmf.solve".to_string(), SpanTotal { count: 10, total_ns: 5_000_000 });
+        WorkloadMetrics { wall_ns: 20_000_000, counters, spans }
+    }
+
+    fn sample_baseline() -> Baseline {
+        let mut workloads = BTreeMap::new();
+        workloads.insert("mcmf-dial".to_string(), sample_metrics());
+        Baseline { workloads, ..Baseline::default() }
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let baseline = sample_baseline();
+        let measured = baseline.workloads.clone();
+        assert!(compare(&baseline, &measured).is_empty());
+    }
+
+    #[test]
+    fn within_noise_timing_passes() {
+        let baseline = sample_baseline();
+        let mut measured = baseline.workloads.clone();
+        if let Some(m) = measured.get_mut("mcmf-dial") {
+            m.wall_ns = m.wall_ns * 2; // < wall_band (8x)
+            if let Some(s) = m.spans.get_mut("flow.mcmf.solve") {
+                s.total_ns = s.total_ns * 2; // < span_band (3x)
+            }
+        }
+        assert!(compare(&baseline, &measured).is_empty());
+    }
+
+    #[test]
+    fn injected_slowdown_fails() {
+        let baseline = sample_baseline();
+        let mut measured = baseline.workloads.clone();
+        if let Some(m) = measured.get_mut("mcmf-dial") {
+            m.wall_ns = m.wall_ns * 20;
+            if let Some(s) = m.spans.get_mut("flow.mcmf.solve") {
+                s.total_ns = s.total_ns * 20;
+            }
+        }
+        let findings = compare(&baseline, &measured);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.kind == "time-regression"));
+    }
+
+    #[test]
+    fn tiny_baseline_timings_are_not_compared() {
+        let mut baseline = sample_baseline();
+        if let Some(m) = baseline.workloads.get_mut("mcmf-dial") {
+            m.wall_ns = 10; // below min_ns
+            if let Some(s) = m.spans.get_mut("flow.mcmf.solve") {
+                s.total_ns = 10;
+            }
+        }
+        let mut measured = baseline.workloads.clone();
+        if let Some(m) = measured.get_mut("mcmf-dial") {
+            m.wall_ns = 10_000; // 1000x, but under the floor
+            if let Some(s) = m.spans.get_mut("flow.mcmf.solve") {
+                s.total_ns = 10_000;
+            }
+        }
+        assert!(compare(&baseline, &measured).is_empty());
+    }
+
+    #[test]
+    fn work_drift_fails_in_both_directions() {
+        let baseline = sample_baseline();
+        for delta in [-5i64, 5] {
+            let mut measured = baseline.workloads.clone();
+            if let Some(m) = measured.get_mut("mcmf-dial") {
+                if let Some(c) = m.counters.get_mut("flow.mcmf.dijkstra_rounds") {
+                    *c = c.wrapping_add_signed(delta);
+                }
+            }
+            let findings = compare(&baseline, &measured);
+            assert_eq!(findings.len(), 1, "{findings:?}");
+            assert_eq!(findings[0].kind, "work-drift");
+        }
+    }
+
+    #[test]
+    fn stale_workload_fails_with_shrink_hint() {
+        let baseline = sample_baseline();
+        let measured = BTreeMap::new();
+        let findings = compare(&baseline, &measured);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "stale-key");
+        assert!(findings[0].message.contains("shrink the baseline"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn stale_metric_key_fails_with_shrink_hint() {
+        let baseline = sample_baseline();
+        let mut measured = baseline.workloads.clone();
+        if let Some(m) = measured.get_mut("mcmf-dial") {
+            m.counters.remove("flow.mcmf.dijkstra_rounds");
+            m.spans.remove("flow.mcmf.solve");
+        }
+        let findings = compare(&baseline, &measured);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.kind == "stale-key"));
+        assert!(findings.iter().all(|f| f.message.contains("shrink the baseline")));
+    }
+
+    #[test]
+    fn unknown_workload_and_metric_fail_with_regenerate_hint() {
+        let baseline = sample_baseline();
+        let mut measured = baseline.workloads.clone();
+        measured.insert("surprise".to_string(), sample_metrics());
+        if let Some(m) = measured.get_mut("mcmf-dial") {
+            m.counters.insert("flow.new.counter".to_string(), 1);
+        }
+        let findings = compare(&baseline, &measured);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.kind == "new-key"));
+        assert!(findings.iter().all(|f| f.message.contains("--write-baseline")));
+    }
+
+    #[test]
+    fn baseline_round_trips_byte_identically() {
+        let baseline = sample_baseline();
+        let doc = baseline_json(&baseline);
+        let reparsed = match parse_baseline(&doc) {
+            Ok(b) => b,
+            Err(e) => panic!("canonical document failed to parse: {e}"),
+        };
+        assert_eq!(reparsed, baseline);
+        assert_eq!(baseline_json(&reparsed), doc, "write -> parse -> write must be stable");
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"tool\":\"other\"}",
+            "{\"tool\":\"ccdn-bench-ratchet\",\"version\":2}",
+            "{\"tool\":\"ccdn-bench-ratchet\",\"version\":1,\"span_band\":0.5,\
+             \"wall_band\":8.0,\"min_ns\":1,\"workloads\":{}}",
+            "{\"tool\":\"ccdn-bench-ratchet\",\"version\":1,\"span_band\":3.0,\
+             \"wall_band\":8.0,\"min_ns\":1,\"workloads\":{\"w\":{}}}",
+        ] {
+            assert!(parse_baseline(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn report_parses_labeled_obs_document() {
+        let text = "{\"label\":\"mcmf-dial\",\"threads\":8,\"wall_ns\":123,\
+                    \"counters\":{\"a\":1},\
+                    \"spans\":{\"s\":{\"count\":2,\"total_ns\":3}},\"histograms\":{}}";
+        let metrics = match parse_report(text) {
+            Ok(m) => m,
+            Err(e) => panic!("labeled report failed to parse: {e}"),
+        };
+        assert_eq!(metrics.wall_ns, 123);
+        assert_eq!(metrics.counters.get("a"), Some(&1));
+        assert_eq!(metrics.spans.get("s"), Some(&SpanTotal { count: 2, total_ns: 3 }));
+        assert!(parse_report("{\"label\":\"x\"}").is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Corpus-style tests for the bench-ratchet perf gate and the committed
+//! `BENCH_baseline.json`.
+//!
+//! The compare logic is covered unit-style inside `xtask::bench`; these
+//! tests pin the *document*: the committed baseline must parse under
+//! the workspace's own strict JSON parser, carry the expected schema
+//! and workload set, and regenerate byte-identically from its own
+//! parse. The fixture corpus exercises the verdicts end to end
+//! (regression fails, within-noise passes, stale key fails with the
+//! shrink hint) against a hand-written baseline document rather than
+//! in-memory structs, so the parser sits inside the tested loop.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use xtask::bench;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+}
+
+fn committed_baseline_text() -> String {
+    std::fs::read_to_string(workspace_root().join(bench::BASELINE_FILE))
+        .expect("BENCH_baseline.json is committed at the workspace root")
+}
+
+/// A small fixture document exercised by the corpus tests below.
+const FIXTURE: &str = concat!(
+    "{\"tool\":\"ccdn-bench-ratchet\",\"version\":1,",
+    "\"span_band\":3.0,\"wall_band\":8.0,\"min_ns\":1000,",
+    "\"workloads\":{\"w\":{\"wall_ns\":100000,",
+    "\"counters\":{\"flow.mcmf.solves\":25},",
+    "\"spans\":{\"flow.mcmf.solve\":{\"count\":25,\"total_ns\":90000}}}}}",
+);
+
+fn fixture_measurement() -> BTreeMap<String, bench::WorkloadMetrics> {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    baseline.workloads
+}
+
+#[test]
+fn committed_baseline_parses_under_the_strict_parser() {
+    let text = committed_baseline_text();
+    // The raw document must already satisfy the workspace JSON grammar...
+    let value = ccdn_obs::json::parse(&text).expect("baseline is valid JSON");
+    assert_eq!(
+        value.get("tool").and_then(ccdn_obs::json::Value::as_str),
+        Some("ccdn-bench-ratchet")
+    );
+    assert_eq!(value.get("version").and_then(ccdn_obs::json::Value::as_u64), Some(1));
+    // ...and the typed schema on top of it.
+    let baseline = bench::parse_baseline(&text).expect("baseline matches the ratchet schema");
+    assert!(baseline.span_band >= 1.0);
+    assert!(baseline.wall_band >= 1.0);
+    let names: Vec<&str> = baseline.workloads.keys().map(String::as_str).collect();
+    assert_eq!(names, bench::WORKLOADS, "baseline must cover exactly the fixed workload set");
+    for (name, metrics) in &baseline.workloads {
+        assert!(!metrics.counters.is_empty(), "workload `{name}` baselined no counters");
+        assert!(!metrics.spans.is_empty(), "workload `{name}` baselined no spans");
+        assert!(metrics.wall_ns > 0, "workload `{name}` baselined zero wall time");
+    }
+}
+
+#[test]
+fn committed_baseline_regenerates_byte_identically() {
+    let text = committed_baseline_text();
+    let baseline = bench::parse_baseline(&text).expect("baseline parses");
+    assert_eq!(
+        bench::baseline_json(&baseline),
+        text,
+        "BENCH_baseline.json is not in canonical form — rewrite it with \
+         `cargo xtask bench-ratchet --write-baseline`"
+    );
+}
+
+#[test]
+fn identical_measurement_passes() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    assert!(bench::compare(&baseline, &fixture_measurement()).is_empty());
+}
+
+#[test]
+fn within_noise_slowdown_passes() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    let mut measured = fixture_measurement();
+    let m = measured.get_mut("w").expect("fixture workload");
+    m.wall_ns *= 7; // < wall_band 8
+    m.spans.get_mut("flow.mcmf.solve").expect("fixture span").total_ns *= 2; // < span_band 3
+    assert!(bench::compare(&baseline, &measured).is_empty());
+}
+
+#[test]
+fn injected_slowdown_fails_as_time_regression() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    let mut measured = fixture_measurement();
+    let m = measured.get_mut("w").expect("fixture workload");
+    m.wall_ns *= 9; // > wall_band 8
+    m.spans.get_mut("flow.mcmf.solve").expect("fixture span").total_ns *= 4; // > span_band 3
+    let findings = bench::compare(&baseline, &measured);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.kind == "time-regression"));
+}
+
+#[test]
+fn stale_baseline_key_fails_with_shrink_hint() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    let mut measured = fixture_measurement();
+    let m = measured.get_mut("w").expect("fixture workload");
+    m.counters.clear();
+    let findings = bench::compare(&baseline, &measured);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].kind, "stale-key");
+    assert!(
+        findings[0].message.contains("shrink the baseline"),
+        "stale finding must carry the shrink hint: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn work_drift_fails_even_when_faster() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    let mut measured = fixture_measurement();
+    let m = measured.get_mut("w").expect("fixture workload");
+    *m.counters.get_mut("flow.mcmf.solves").expect("fixture counter") = 24;
+    let findings = bench::compare(&baseline, &measured);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].kind, "work-drift");
+    assert!(findings[0].message.contains("improvement"), "{}", findings[0].message);
+}
+
+#[test]
+fn report_artifact_round_trips_and_carries_the_verdict() {
+    let baseline = bench::parse_baseline(FIXTURE).expect("fixture parses");
+    let measured = fixture_measurement();
+    let clean = bench::report_json(&[], &measured);
+    let value = ccdn_obs::json::parse(&clean).expect("report artifact is valid JSON");
+    assert_eq!(value.get("verdict").and_then(ccdn_obs::json::Value::as_str), Some("pass"));
+
+    let mut slow = measured.clone();
+    slow.get_mut("w").expect("fixture workload").wall_ns *= 9;
+    let findings = bench::compare(&baseline, &slow);
+    let report = bench::report_json(&findings, &slow);
+    let value = ccdn_obs::json::parse(&report).expect("report artifact is valid JSON");
+    assert_eq!(value.get("verdict").and_then(ccdn_obs::json::Value::as_str), Some("fail"));
+    let listed = value
+        .get("findings")
+        .and_then(ccdn_obs::json::Value::as_array)
+        .expect("report lists findings");
+    assert_eq!(listed.len(), findings.len());
+}
