@@ -16,10 +16,13 @@
 //! - `mcmf-float` — the same shape with costs `k/3`, which cannot be
 //!   scaled to integers and exercises the float binary-heap path;
 //! - `planner` — one paper-scale slot through [`Runner`] + [`Rbcaer`],
-//!   covering aggregation, balancing, and plan evaluation end to end.
+//!   covering aggregation, balancing, and plan evaluation end to end;
+//! - `sharded-planner` — a multi-slot city-scale run through
+//!   [`ShardedRbcaer`], covering geo-tiling, per-tile solves, border
+//!   reconciliation, and the warm-start reuse/top-up/cold split.
 
 use ccdn_bench::{init_threads, obs_init};
-use ccdn_core::{Rbcaer, RbcaerConfig};
+use ccdn_core::{Rbcaer, RbcaerConfig, ShardConfig, ShardedRbcaer};
 use ccdn_flow::{FlowNetwork, McmfAlgorithm};
 use ccdn_sim::Runner;
 use ccdn_trace::TraceConfig;
@@ -83,6 +86,22 @@ fn run_planner() -> i64 {
     (report.total.hotspot_serving_ratio() * 1e6).round() as i64
 }
 
+/// Sharded-planner workload: four city-scale slots (1 000 hotspots,
+/// 100k requests) through S-RBCAer with 4 km tiles, so the run covers
+/// cold solves on slot 0 and the warm reuse/top-up split afterwards.
+fn run_sharded_planner() -> i64 {
+    let trace = TraceConfig::paper_eval()
+        .with_slot_count(4)
+        .with_hotspot_count(1_000)
+        .with_request_count(100_000)
+        .generate();
+    let runner = Runner::new(&trace);
+    let shard = ShardConfig { tile_km: 4.0, ..ShardConfig::default() };
+    let mut scheme = ShardedRbcaer::new(RbcaerConfig::default(), shard);
+    let report = runner.run(&mut scheme).expect("scheme validates");
+    (report.total.hotspot_serving_ratio() * 1e6).round() as i64
+}
+
 fn main() {
     let threads = init_threads();
     let obs = obs_init();
@@ -95,7 +114,10 @@ fn main() {
         }
     }
     let Some(workload) = workload else {
-        eprintln!("usage: ratchet --workload <dinic|mcmf-dial|mcmf-float|planner> [--obs PATH]");
+        eprintln!(
+            "usage: ratchet --workload \
+             <dinic|mcmf-dial|mcmf-float|planner|sharded-planner> [--obs PATH]"
+        );
         std::process::exit(2);
     };
     let checksum = match workload.as_str() {
@@ -103,6 +125,7 @@ fn main() {
         "mcmf-dial" => run_mcmf(0x5eed_d1a1, 4.0),
         "mcmf-float" => run_mcmf(0x5eed_f10a7, 3.0),
         "planner" => run_planner(),
+        "sharded-planner" => run_sharded_planner(),
         other => {
             eprintln!("ratchet: unknown workload `{other}`");
             std::process::exit(2);

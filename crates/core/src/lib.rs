@@ -62,6 +62,7 @@ mod nearest;
 mod random;
 mod rbcaer;
 mod serving;
+mod sharded;
 pub mod validate;
 
 pub use config::{ConfigError, GuideCost, RbcaerConfig, RobustConfig};
@@ -71,3 +72,4 @@ pub use nearest::Nearest;
 pub use random::LocalRandom;
 pub use rbcaer::balancing::{BalanceOutcome, GdStats};
 pub use rbcaer::Rbcaer;
+pub use sharded::{ShardConfig, ShardedRbcaer};

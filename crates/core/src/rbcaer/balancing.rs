@@ -177,6 +177,31 @@ impl Participants {
         Participants { overloaded, under }
     }
 
+    /// The partition restricted to the hotspots yielded by `members`
+    /// (ascending order expected — it fixes the node order of every graph
+    /// built from the partition). With all hotspots this is exactly
+    /// [`Participants::from_input`]; the sharded planner feeds one tile's
+    /// membership list.
+    // lint: allow(panic-reach, unchecked-arith-reach): the same slice-indexed partition
+    // loop as from_input — load/cap differences are guarded by the comparisons above them
+    pub(crate) fn from_members(
+        input: &SlotInput<'_>,
+        members: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let mut overloaded = Vec::new();
+        let mut under = Vec::new();
+        for h in members {
+            let load = input.demand.load(HotspotId(h));
+            let cap = input.service_capacity[h];
+            if load > cap {
+                overloaded.push((h, load - cap));
+            } else if load < cap && input.cache_capacity[h] > 0 {
+                under.push((h, cap - load));
+            }
+        }
+        Participants { overloaded, under }
+    }
+
     pub(crate) fn max_movable(&self) -> u64 {
         let out: u64 = self.overloaded.iter().map(|&(_, p)| p).sum();
         let cap: u64 = self.under.iter().map(|&(_, p)| p).sum();
@@ -312,7 +337,47 @@ pub(crate) fn balance_filtered(
     cluster_of: &[usize],
     allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
 ) -> BalanceOutcome {
-    let parts = Participants::from_input(input);
+    balance_with_parts(
+        input,
+        config,
+        cluster_of,
+        allow_pair,
+        Participants::from_input(input),
+        Threads::Auto,
+    )
+}
+
+/// [`balance`] restricted to the hotspots in `members` — the sharded
+/// planner's per-tile entry point. Only members join the
+/// overloaded/under-utilized partition, so the θ loop and its MCMF stay
+/// tile-local; with `members` covering every hotspot (in ascending order)
+/// this is byte-identical to [`balance`].
+// lint: allow(panic-reach, unchecked-arith-reach): same sinks as balance — the shared
+// Algorithm-1 loop behind every balancing entry
+pub(crate) fn balance_subset(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    cluster_of: &[usize],
+    members: &[usize],
+) -> BalanceOutcome {
+    let parts = Participants::from_members(input, members.iter().copied());
+    // The sharded planner already fans out at the tile level; a nested
+    // per-under fan-out here would spawn a scoped pool per θ round per
+    // tile — thousands of short-lived threads per slot. The sequential
+    // path is bit-identical by the ccdn-par determinism contract.
+    balance_with_parts(input, config, cluster_of, &|_, _| true, parts, Threads::Fixed(1))
+}
+
+/// The Algorithm-1 loop over a pre-computed [`Participants`] partition —
+/// the shared core of [`balance_filtered`] and [`balance_subset`].
+fn balance_with_parts(
+    input: &SlotInput<'_>,
+    config: &RbcaerConfig,
+    cluster_of: &[usize],
+    allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
+    parts: Participants,
+    threads: Threads,
+) -> BalanceOutcome {
     let max_movable = parts.max_movable();
     let mut phi_s: Vec<u64> = parts.overloaded.iter().map(|&(_, p)| p).collect();
     let mut phi_t: Vec<u64> = parts.under.iter().map(|&(_, p)| p).collect();
@@ -340,6 +405,7 @@ pub(crate) fn balance_filtered(
                 allow_pair,
                 &mut arena,
                 &under_ids,
+                threads,
             );
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
             theta += config.delta_km;
@@ -362,6 +428,7 @@ pub(crate) fn balance_filtered(
                 allow_pair,
                 &mut arena,
                 &under_ids,
+                threads,
             );
             apply_round(&parts, &round, &mut phi_s, &mut phi_t, &mut flows, &mut moved);
             RESIDUAL_ROUNDS.incr();
@@ -385,6 +452,7 @@ fn solve_round(
     allow_pair: &(dyn Fn(usize, usize) -> bool + Sync),
     arena: &mut FlowNetwork,
     under_ids: &[usize],
+    threads: Threads,
 ) -> Vec<((usize, usize), u64)> {
     let mut builder =
         GraphBuilder::from_slacks(arena, phi_s.iter().copied(), phi_t.iter().copied());
@@ -394,7 +462,7 @@ fn solve_round(
     // the worker pool; the resulting plans are applied to the builder
     // sequentially in `ti` order below, which pins node/edge ids (and
     // with them MCMF tie-breaking) to the sequential construction.
-    let plans: Vec<Vec<EdgePlan>> = ccdn_par::par_map(Threads::Auto, under_ids, |&ti| {
+    let plans: Vec<Vec<EdgePlan>> = ccdn_par::par_map(threads, under_ids, |&ti| {
         let phi_j = phi_t[ti];
         if phi_j == 0 {
             return Vec::new();

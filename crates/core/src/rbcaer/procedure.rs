@@ -31,9 +31,16 @@ pub(crate) fn content_aggregation_replication(
     let mut decision = SlotDecision::new(n);
 
     // Remaining local demand per hotspot, mutated as videos redirect away.
-    let mut remaining: Vec<BTreeMap<VideoId, u64>> = (0..n)
+    // Kept as video-sorted vectors (the aggregation order) rather than
+    // per-hotspot maps: iteration order is identical, but at metro scale
+    // (10⁶ hotspots) the flat layout avoids millions of tree-node
+    // allocations that dominated the plan-assembly profile.
+    let mut remaining: Vec<Vec<(VideoId, u64)>> = (0..n)
         .map(|h| input.demand.videos(HotspotId(h)).iter().map(|vd| (vd.video, vd.count)).collect())
         .collect();
+    let demand_slot = |list: &[(VideoId, u64)], video: VideoId| {
+        list.binary_search_by_key(&video, |&(v, _)| v).ok()
+    };
 
     // Residual flows f_ij, plus per-target source lists.
     let mut f: BTreeMap<(HotspotId, HotspotId), u64> = balance.flows.clone();
@@ -55,7 +62,7 @@ pub(crate) fn content_aggregation_replication(
     let mut eu: Vec<((VideoId, HotspotId), u64)> = if config.content_aggregation {
         let mut acc: BTreeMap<(VideoId, HotspotId), u64> = BTreeMap::new();
         for (&(i, j), &fij) in &f {
-            for (&video, &demand) in &remaining[i.0] {
+            for &(video, demand) in &remaining[i.0] {
                 let ef = fij.min(demand);
                 if ef > 0 {
                     *acc.entry((video, j)).or_insert(0) += ef;
@@ -104,7 +111,8 @@ pub(crate) fn content_aggregation_replication(
             if *fij == 0 {
                 continue;
             }
-            let Some(demand) = remaining[i.0].get_mut(&video) else { continue };
+            let Some(slot) = demand_slot(&remaining[i.0], video) else { continue };
+            let demand = &mut remaining[i.0][slot].1;
             let m = (*fij).min(*demand);
             if m == 0 {
                 continue;
@@ -140,7 +148,7 @@ pub(crate) fn content_aggregation_replication(
         while fij > 0 {
             // Most-demanded video at i that j can take.
             let mut best: Option<(VideoId, u64, bool)> = None;
-            for (&video, &demand) in &remaining[i.0] {
+            for &(video, demand) in &remaining[i.0] {
                 if demand == 0 {
                     continue;
                 }
@@ -173,8 +181,8 @@ pub(crate) fn content_aggregation_replication(
             let Some((video, demand, cached)) = best else { break };
             let m = fij.min(demand);
             fij -= m;
-            if let Some(d) = remaining[i.0].get_mut(&video) {
-                *d -= m;
+            if let Some(slot) = demand_slot(&remaining[i.0], video) {
+                remaining[i.0][slot].1 -= m;
             }
             *redirects.entry((i, video, j)).or_insert(0) += m;
             incoming[j.0] += m;
@@ -202,12 +210,9 @@ pub(crate) fn content_aggregation_replication(
     // (Procedure 1 lines 14–18, with `B_peak` as the budget).
     for h in 0..n {
         let hid = HotspotId(h);
-        let demand: Vec<(VideoId, u64)> = {
-            let mut v: Vec<(VideoId, u64)> =
-                remaining[h].iter().map(|(&video, &count)| (video, count)).collect();
-            v.sort_unstable_by_key(|&(video, _)| video);
-            v
-        };
+        // `remaining[h]` is already video-sorted — the order the
+        // deterministic emission relies on.
+        let demand = std::mem::take(&mut remaining[h]);
         let capacity_left = input.service_capacity[h].saturating_sub(incoming[h]);
         serve_locally(
             &mut decision,

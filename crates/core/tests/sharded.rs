@@ -1,0 +1,177 @@
+//! Differential contract of the sharded planner against monolithic
+//! RBCAer: byte-identical plans when everything fits one tile, a bounded
+//! gap under real tiling, thread-count invariance, and warm-start
+//! equivalence at a zero delta threshold.
+
+use ccdn_core::{Rbcaer, RbcaerConfig, ShardConfig, ShardedRbcaer};
+use ccdn_sim::{HotspotGeometry, Runner, Scheme, SlotDemand, SlotInput};
+use ccdn_trace::{Trace, TraceConfig};
+use proptest::prelude::*;
+
+fn trace_with_seed(seed: u64) -> Trace {
+    TraceConfig::small_test()
+        .with_hotspot_count(48)
+        .with_request_count(9_000)
+        .with_video_count(400)
+        .with_seed(seed)
+        .generate()
+}
+
+/// Runs `f` on the per-slot inputs of `trace`, in slot order.
+fn for_each_slot(trace: &Trace, mut f: impl FnMut(&SlotInput<'_>)) {
+    let geometry = HotspotGeometry::new(trace.region, &trace.hotspots);
+    let service: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.service_capacity)).collect();
+    let cache: Vec<u64> = trace.hotspots.iter().map(|h| u64::from(h.cache_capacity)).collect();
+    for slot in 0..trace.slot_count {
+        let demand = SlotDemand::aggregate(trace.slot_requests(slot), &geometry);
+        let input = SlotInput {
+            geometry: &geometry,
+            demand: &demand,
+            service_capacity: &service,
+            cache_capacity: &cache,
+            video_count: trace.video_count,
+        };
+        f(&input);
+    }
+}
+
+/// One tile spanning the whole region and no warm start is the monolithic
+/// planner: every slot's decision must be byte-identical to
+/// [`Rbcaer::plan`].
+#[test]
+fn single_tile_cold_matches_flat_rbcaer_exactly() {
+    let trace = trace_with_seed(5);
+    let flat = Rbcaer::new(RbcaerConfig::default());
+    let mut sharded = ShardedRbcaer::new(
+        RbcaerConfig::default(),
+        ShardConfig { tile_km: 10_000.0, warm_start: false, ..ShardConfig::default() },
+    );
+    for_each_slot(&trace, |input| {
+        assert_eq!(sharded.schedule(input), flat.plan(input));
+    });
+}
+
+/// Real tiling (several tiles across the paper region) stays close to the
+/// monolithic plan: full coverage, and a hotspot serving ratio within a
+/// bounded gap of flat RBCAer.
+#[test]
+fn multi_tile_gap_is_bounded() {
+    let trace = trace_with_seed(7);
+    let runner = Runner::new(&trace);
+    let flat = runner.run(&mut Rbcaer::new(RbcaerConfig::default())).unwrap();
+    let shard = ShardConfig { tile_km: 4.0, ..ShardConfig::default() };
+    let sharded = runner.run(&mut ShardedRbcaer::new(RbcaerConfig::default(), shard)).unwrap();
+    assert_eq!(sharded.total.sums.total_requests, trace.requests.len() as u64);
+    let gap = flat.total.hotspot_serving_ratio() - sharded.total.hotspot_serving_ratio();
+    assert!(
+        gap < 0.05,
+        "sharded serving ratio {} trails flat {} by more than 5 points",
+        sharded.total.hotspot_serving_ratio(),
+        flat.total.hotspot_serving_ratio()
+    );
+}
+
+/// Plan bytes are invariant under the worker-pool size: the same trace
+/// planned at 1, 2, and 8 threads produces identical reports.
+#[test]
+fn plans_are_thread_count_invariant() {
+    let trace = trace_with_seed(9);
+    let runner = Runner::new(&trace);
+    let shard = ShardConfig { tile_km: 4.0, ..ShardConfig::default() };
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        ccdn_par::set_threads(threads);
+        let report = runner.run(&mut ShardedRbcaer::new(RbcaerConfig::default(), shard)).unwrap();
+        // Strip wall-clock timings: only the planned bytes must match.
+        let metrics: Vec<_> = report.slots.iter().map(|s| s.metrics.clone()).collect();
+        reports.push((metrics, report.total));
+    }
+    ccdn_par::set_threads(0);
+    assert_eq!(reports[0], reports[1], "1-thread vs 2-thread plans diverge");
+    assert_eq!(reports[0], reports[2], "1-thread vs 8-thread plans diverge");
+}
+
+/// With `warm_delta = 0` the warm path only ever replays a tile whose
+/// loads are byte-identical to the previous slot — which by determinism is
+/// exactly what a cold solve would produce. Property-checked over seeds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn prop_warm_start_at_zero_delta_equals_cold(seed in 0u64..200) {
+        let trace = trace_with_seed(seed);
+        let shard =
+            ShardConfig { tile_km: 4.0, warm_delta: 0.0, ..ShardConfig::default() };
+        let mut warm = ShardedRbcaer::new(RbcaerConfig::default(), shard);
+        let mut cold = ShardedRbcaer::new(
+            RbcaerConfig::default(),
+            ShardConfig { warm_start: false, ..shard },
+        );
+        for_each_slot(&trace, |input| {
+            assert_eq!(warm.schedule(input), cold.schedule(input));
+        });
+    }
+}
+
+/// The top-up path (huge `warm_delta` forces it whenever a tile changed)
+/// still yields a feasible, validated plan covering all demand, and its
+/// serving ratio stays within a bounded gap of the always-cold planner.
+#[test]
+fn topup_path_validates_and_stays_close_to_cold() {
+    let trace = trace_with_seed(13);
+    let runner = Runner::new(&trace);
+    let base = ShardConfig { tile_km: 4.0, ..ShardConfig::default() };
+    let cold = runner
+        .run(&mut ShardedRbcaer::new(
+            RbcaerConfig::default(),
+            ShardConfig { warm_start: false, ..base },
+        ))
+        .unwrap();
+    let warm = runner
+        .run(&mut ShardedRbcaer::new(
+            RbcaerConfig::default(),
+            ShardConfig { warm_delta: 1e18, ..base },
+        ))
+        .unwrap();
+    assert_eq!(warm.total.sums.total_requests, trace.requests.len() as u64);
+    let gap = cold.total.hotspot_serving_ratio() - warm.total.hotspot_serving_ratio();
+    assert!(
+        gap < 0.05,
+        "top-up serving ratio {} trails cold {} by more than 5 points",
+        warm.total.hotspot_serving_ratio(),
+        cold.total.hotspot_serving_ratio()
+    );
+}
+
+#[test]
+fn reset_warm_state_forces_cold_replan() {
+    let trace = trace_with_seed(17);
+    let shard = ShardConfig { tile_km: 4.0, ..ShardConfig::default() };
+    let mut stateful = ShardedRbcaer::new(RbcaerConfig::default(), shard);
+    let mut stateless = ShardedRbcaer::new(RbcaerConfig::default(), shard);
+    for_each_slot(&trace, |input| {
+        stateless.reset_warm_state();
+        // A reset scheduler always cold-solves, so it must agree with the
+        // never-warmed scheduler's very first slot behaviour.
+        let _ = stateful.schedule(input);
+        let fresh = stateless.schedule(input);
+        let mut once = ShardedRbcaer::new(RbcaerConfig::default(), shard);
+        assert_eq!(fresh, once.schedule(input));
+    });
+}
+
+#[test]
+fn shard_config_rejects_bad_geometry() {
+    assert!(ShardConfig { tile_km: 0.0, ..ShardConfig::default() }.validate().is_err());
+    assert!(ShardConfig { tile_km: f64::NAN, ..ShardConfig::default() }.validate().is_err());
+    assert!(ShardConfig { border_km: -1.0, ..ShardConfig::default() }.validate().is_err());
+    assert!(ShardConfig { warm_delta: -0.1, ..ShardConfig::default() }.validate().is_err());
+    assert!(ShardedRbcaer::try_new(
+        RbcaerConfig::default(),
+        ShardConfig { tile_km: -3.0, ..ShardConfig::default() }
+    )
+    .is_err());
+    assert_eq!(
+        ShardedRbcaer::new(RbcaerConfig::default(), ShardConfig::default()).name(),
+        "S-RBCAer"
+    );
+}

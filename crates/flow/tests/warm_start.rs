@@ -1,0 +1,133 @@
+//! Behavioural contract of [`FlowNetwork::preload_edge_flow`], the
+//! warm-start entry point: preloaded units are committed (never rerouted),
+//! the top-up solve is a minimum-cost completion over the residual, and a
+//! preload of a previous optimal solution followed by a top-up reproduces
+//! the cold solve's flows exactly.
+
+use ccdn_flow::{FlowNetwork, McmfResult};
+use proptest::prelude::*;
+
+/// Bipartite over→under instance shaped like one balancing tile:
+/// source 0 → overloaded {1, 2} → underloaded {3, 4} → sink 5.
+fn tile_network() -> (FlowNetwork, Vec<ccdn_flow::EdgeId>) {
+    let mut net = FlowNetwork::with_nodes(6);
+    net.add_edge(0, 1, 6, 0.0).unwrap();
+    net.add_edge(0, 2, 4, 0.0).unwrap();
+    let mut cross = Vec::new();
+    cross.push(net.add_edge(1, 3, 10, 1.0).unwrap());
+    cross.push(net.add_edge(1, 4, 10, 2.0).unwrap());
+    cross.push(net.add_edge(2, 3, 10, 1.5).unwrap());
+    cross.push(net.add_edge(2, 4, 10, 0.5).unwrap());
+    net.add_edge(3, 5, 5, 0.0).unwrap();
+    net.add_edge(4, 5, 5, 0.0).unwrap();
+    (net, cross)
+}
+
+#[test]
+fn preloading_previous_optimum_reproduces_cold_solve() {
+    let (mut cold, cold_cross) = tile_network();
+    let McmfResult { flow, .. } = cold.min_cost_max_flow(0, 5, Default::default()).unwrap();
+    let cold_flows: Vec<i64> = cold_cross.iter().map(|&e| cold.edge_flow(e)).collect();
+
+    // Warm path: preload the cold optimum on the cross arcs (the
+    // source/sink skeleton carries it implicitly via the bounded top-up),
+    // then ask for the same total — nothing should move.
+    let (mut warm, warm_cross) = tile_network();
+    for (&e, &f) in warm_cross.iter().zip(&cold_flows) {
+        warm.preload_edge_flow(e, f).unwrap();
+    }
+    // Mirror the preload on the skeleton arcs so conservation holds.
+    for view in warm.edges() {
+        if view.from == 0 {
+            let into: i64 = warm_cross
+                .iter()
+                .zip(&cold_flows)
+                .filter(|&(&e, _)| warm.edges().iter().any(|v| v.id == e && v.from == view.to))
+                .map(|(_, &f)| f)
+                .sum();
+            warm.preload_edge_flow(view.id, into).unwrap();
+        }
+    }
+    for view in warm.edges() {
+        if view.to == 5 {
+            let into: i64 = warm_cross
+                .iter()
+                .zip(&cold_flows)
+                .filter(|&(&e, _)| warm.edges().iter().any(|v| v.id == e && v.to == view.from))
+                .map(|(_, &f)| f)
+                .sum();
+            warm.preload_edge_flow(view.id, into).unwrap();
+        }
+    }
+    let topup = warm.min_cost_flow_bounded(0, 5, flow - cold_flows.iter().sum::<i64>()).unwrap();
+    assert_eq!(topup.flow, 0, "preloaded optimum leaves nothing to route");
+    let warm_flows: Vec<i64> = warm_cross.iter().map(|&e| warm.edge_flow(e)).collect();
+    assert_eq!(warm_flows, cold_flows);
+}
+
+#[test]
+fn topup_routes_only_the_remainder_at_min_cost() {
+    let (mut net, cross) = tile_network();
+    // Commit 3 units on the most expensive arc 1→4 (cost 2.0) plus its
+    // skeleton legs, as if yesterday's plan had placed them there.
+    net.preload_edge_flow(cross[1], 3).unwrap();
+    let skeleton: Vec<_> = net.edges().into_iter().filter(|v| v.from == 0 || v.to == 5).collect();
+    for view in &skeleton {
+        if (view.from == 0 && view.to == 1) || (view.from == 4 && view.to == 5) {
+            net.preload_edge_flow(view.id, 3).unwrap();
+        }
+    }
+    let r = net.min_cost_flow_bounded(0, 5, i64::MAX).unwrap();
+    // Max flow of the cold instance is 10; 3 were preloaded, 7 remain.
+    assert_eq!(r.flow, 7);
+    // The preloaded units stay on 1→4 — committed flow is never rerouted.
+    assert_eq!(net.edge_flow(cross[1]), 3);
+    // The top-up is a min-cost completion: 2→4 has 2 residual units of
+    // sink capacity left at cost 0.5, cheaper than anything via node 4.
+    assert_eq!(net.edge_flow(cross[3]), 2);
+}
+
+proptest! {
+    /// Preload never changes feasibility accounting: for random preloads
+    /// on the cross arcs (clamped to caps), preload + top-up equals the
+    /// cold max flow, and per-edge flow never exceeds capacity.
+    #[test]
+    fn prop_preload_plus_topup_conserves(
+        preload in (0i64..6, 0i64..6, 0i64..6, 0i64..6),
+    ) {
+        let (mut cold, _) = tile_network();
+        let cold_total = cold.min_cost_max_flow(0, 5, Default::default()).unwrap().flow;
+
+        let (mut net, cross) = tile_network();
+        let wanted = [preload.0, preload.1, preload.2, preload.3];
+        // Clamp the wish to the skeleton's joint capacities, mirroring how
+        // the sharded planner clamps cached flows to current slacks.
+        let mut over_left = [6i64, 4];
+        let mut under_left = [5i64, 5];
+        let ends = [(0usize, 0usize), (0, 1), (1, 0), (1, 1)];
+        let mut committed = 0i64;
+        for (k, &e) in cross.iter().enumerate() {
+            let (o, u) = ends[k];
+            let f = wanted[k].min(over_left[o]).min(under_left[u]);
+            net.preload_edge_flow(e, f).unwrap();
+            over_left[o] -= f;
+            under_left[u] -= f;
+            committed += f;
+        }
+        // Skeleton legs carry the committed totals.
+        let over_cap = [6i64, 4];
+        for view in net.edges() {
+            if view.from == 0 {
+                net.preload_edge_flow(view.id, over_cap[view.to - 1] - over_left[view.to - 1])
+                    .unwrap();
+            } else if view.to == 5 {
+                net.preload_edge_flow(view.id, 5 - under_left[view.from - 3]).unwrap();
+            }
+        }
+        let r = net.min_cost_flow_bounded(0, 5, i64::MAX).unwrap();
+        prop_assert_eq!(committed + r.flow, cold_total);
+        for view in net.edges() {
+            prop_assert!(view.flow >= 0 && view.flow <= view.capacity);
+        }
+    }
+}

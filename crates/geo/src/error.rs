@@ -1,0 +1,25 @@
+use std::fmt;
+
+/// A geometry input rejected by validation, carrying a description of the
+/// first problem found.
+///
+/// Returned by [`GridIndex::try_build`](crate::GridIndex::try_build); the
+/// panicking [`GridIndex::build`](crate::GridIndex::build) formats it into
+/// its panic message. Mirrors the `ConfigError` style of the scheduler
+/// configuration types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeoError(String);
+
+impl GeoError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        GeoError(message.into())
+    }
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for GeoError {}

@@ -1,4 +1,4 @@
-use crate::{Point, Rect};
+use crate::{GeoError, Point, Rect};
 
 /// A uniform-grid spatial index over a fixed set of points.
 ///
@@ -8,12 +8,27 @@ use crate::{Point, Rect};
 /// - map every user request to its **nearest content hotspot** (the paper
 ///   aggregates requests to their nearest hotspot before scheduling, §III),
 /// - enumerate hotspot pairs within the latency threshold `θ` when building
-///   the balancing flow network `Gd` (§IV-A), and
+///   the balancing flow network `Gd` (§IV-A),
 /// - find candidate serving hotspots within 1.5 km for the Random baseline
-///   (§V-A).
+///   (§V-A), and
+/// - partition hotspots into geo-tiles for the sharded planner
+///   ([`GridIndex::cell_of`]).
 ///
 /// Build cost is `O(n)`; queries are `O(points inspected)`, which for the
 /// paper's densities is a small constant.
+///
+/// # Out-of-bounds points and queries
+///
+/// Points outside `bounds` are **not** bucketed into boundary cells: they
+/// live on a separate scan list that every query walks in full, so they can
+/// never be silently dropped by a cell-window computed from clamped
+/// coordinates. Queries outside `bounds` are clamped onto it for cell
+/// selection only — distances always use true coordinates, and clamping
+/// onto a rectangle is non-expansive (`|clamp(q) − p| ≤ |q − p|` for any
+/// in-bounds `p`), which keeps both the ring-termination bound of
+/// [`GridIndex::nearest`] and the cell window of
+/// [`GridIndex::within_radius`] exact. The differential proptests in this
+/// module pin that contract against a brute-force scan.
 ///
 /// # Examples
 ///
@@ -34,15 +49,75 @@ pub struct GridIndex {
     cell_km: f64,
     cols: usize,
     rows: usize,
-    /// For each cell, indexes of the points it contains.
+    /// For each cell, indexes of the in-bounds points it contains.
     cells: Vec<Vec<usize>>,
+    /// Points lying outside `bounds`, scanned in full by every query.
+    outside: Vec<usize>,
     points: Vec<Point>,
 }
 
 impl GridIndex {
     /// Builds an index over `points`, bucketing into square cells of side
-    /// `cell_km` within `bounds`. Points outside `bounds` are clamped into
-    /// the boundary cells (distances still use true coordinates).
+    /// `cell_km` within `bounds`. Points outside `bounds` stay queryable
+    /// through a separate full-scan list (see the type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// [`GeoError`] if `cell_km` is not strictly positive and finite, or if
+    /// any point has a non-finite coordinate.
+    // lint: allow(panic-reach): the only division is f64 width / cell_km (cell_km
+    // validated finite-positive above it); the cell allocation size is checked_mul
+    pub fn try_build<I>(bounds: Rect, cell_km: f64, points: I) -> Result<Self, GeoError>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        if !(cell_km.is_finite() && cell_km > 0.0) {
+            return Err(GeoError::new(format!(
+                "cell size must be positive and finite, got {cell_km}"
+            )));
+        }
+        let points: Vec<Point> = points.into_iter().collect();
+        for (i, p) in points.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(GeoError::new(format!(
+                    "point {i} has non-finite coordinates ({}, {})",
+                    p.x, p.y
+                )));
+            }
+        }
+        let cols = ((bounds.width() / cell_km).ceil() as usize).max(1);
+        let rows = ((bounds.height() / cell_km).ceil() as usize).max(1);
+        let Some(cell_count) = cols.checked_mul(rows) else {
+            return Err(GeoError::new(format!(
+                "grid of {cols} x {rows} cells overflows; cell size {cell_km} is too small \
+                 for the bounds"
+            )));
+        };
+        let mut cells = vec![Vec::new(); cell_count];
+        let mut outside = Vec::new();
+        let index = GridIndex {
+            bounds,
+            cell_km,
+            cols,
+            rows,
+            cells: Vec::new(),
+            outside: Vec::new(),
+            points,
+        };
+        for (i, &p) in index.points.iter().enumerate() {
+            if bounds.contains(p) {
+                if let Some(cell) = cells.get_mut(index.cell_of(p)) {
+                    cell.push(i);
+                }
+            } else {
+                outside.push(i);
+            }
+        }
+        Ok(GridIndex { cells, outside, ..index })
+    }
+
+    /// Builds an index over `points`; see [`GridIndex::try_build`] for the
+    /// typed-error path.
     ///
     /// # Panics
     ///
@@ -52,21 +127,11 @@ impl GridIndex {
     where
         I: IntoIterator<Item = Point>,
     {
-        assert!(cell_km.is_finite() && cell_km > 0.0, "cell size must be positive and finite");
-        let points: Vec<Point> = points.into_iter().collect();
-        for (i, p) in points.iter().enumerate() {
-            assert!(p.is_finite(), "point {i} has non-finite coordinates");
+        match Self::try_build(bounds, cell_km, points) {
+            Ok(index) => index,
+            // lint: allow(no-panic): documented constructor contract — try_build is the typed path
+            Err(e) => panic!("GridIndex::build: {e}"),
         }
-        let cols = ((bounds.width() / cell_km).ceil() as usize).max(1);
-        let rows = ((bounds.height() / cell_km).ceil() as usize).max(1);
-        let mut cells = vec![Vec::new(); cols * rows];
-        let mut index = GridIndex { bounds, cell_km, cols, rows, cells: Vec::new(), points };
-        for (i, &p) in index.points.iter().enumerate() {
-            let c = index.cell_of(p);
-            cells[c].push(i);
-        }
-        index.cells = cells;
-        index
     }
 
     /// Number of indexed points.
@@ -89,6 +154,26 @@ impl GridIndex {
         self.bounds
     }
 
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid cells (`cols × rows`).
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Side length of each square cell in km.
+    pub fn cell_km(&self) -> f64 {
+        self.cell_km
+    }
+
     fn col_row(&self, p: Point) -> (usize, usize) {
         let q = self.bounds.clamp(p);
         let col = (((q.x - self.bounds.min().x) / self.cell_km) as usize).min(self.cols - 1);
@@ -96,7 +181,12 @@ impl GridIndex {
         (col, row)
     }
 
-    fn cell_of(&self, p: Point) -> usize {
+    /// Flattened cell index of `p` (`row * cols + col`, out-of-bounds
+    /// points clamped onto the boundary cells). The sharded planner uses
+    /// this as the geo-tile id of each hotspot: every point maps to
+    /// exactly one of [`GridIndex::cell_count`] tiles.
+    // lint: allow(panic-reach): row * cols + col < cell_count, whose product was checked at build
+    pub fn cell_of(&self, p: Point) -> usize {
         let (col, row) = self.col_row(p);
         row * self.cols + col
     }
@@ -105,32 +195,40 @@ impl GridIndex {
     /// the index is empty. Ties break toward the lower point index.
     ///
     /// Exact: searches rings of cells outward until the best candidate is
-    /// provably closer than any unvisited cell.
+    /// provably closer than any unvisited cell, after seeding the best with
+    /// a full scan of the out-of-bounds list.
+    // lint: allow(panic-reach): every cell/point access is checked; remaining sinks are
+    // name-resolution false positives (`.get`/`.distance` matching foreign panicking fns)
     pub fn nearest(&self, query: Point) -> Option<(usize, f64)> {
         if self.points.is_empty() {
             return None;
         }
-        let (qc, qr) = self.col_row(query);
         let mut best: Option<(usize, f64)> = None;
+        // Out-of-bounds points are never bucketed — scan them all first.
+        for &i in &self.outside {
+            if let Some(p) = self.points.get(i) {
+                update_best(&mut best, i, p.distance(query));
+            }
+        }
+        let (qc, qr) = self.col_row(query);
         let max_ring = self.cols.max(self.rows);
         for ring in 0..=max_ring {
-            // Any point in a cell of ring `r` is at least `(r-1) * cell_km`
-            // away, so once we hold a candidate at distance `d`, rings beyond
-            // `d / cell_km + 1` cannot improve on it.
+            // Every bucketed point lies inside its cell, and the query's
+            // clamped cell is within bounds, so a point in a ring-`r` cell
+            // is at least `(r-1) * cell_km` from the clamped query — and
+            // clamping is non-expansive, so at least that far from the true
+            // query too. Once we hold a candidate at distance `d`, rings
+            // beyond `d / cell_km + 1` cannot improve on it.
             if let Some((_, d)) = best {
                 if (ring as f64 - 1.0) * self.cell_km > d {
                     break;
                 }
             }
             for (col, row) in ring_cells(qc, qr, ring, self.cols, self.rows) {
-                for &i in &self.cells[row * self.cols + col] {
-                    let d = self.points[i].distance(query);
-                    let better = match best {
-                        None => true,
-                        Some((bi, bd)) => d < bd || (d == bd && i < bi),
-                    };
-                    if better {
-                        best = Some((i, d));
+                let Some(cell) = self.cells.get(row * self.cols + col) else { continue };
+                for &i in cell {
+                    if let Some(p) = self.points.get(i) {
+                        update_best(&mut best, i, p.distance(query));
                     }
                 }
             }
@@ -138,27 +236,50 @@ impl GridIndex {
         best
     }
 
-    /// Indexes of all points strictly within `radius_km` of `query`
-    /// (inclusive of the boundary), in ascending index order.
+    /// Indexes of all points within `radius_km` of `query` (inclusive of
+    /// the boundary), in ascending index order. A negative or non-finite
+    /// negative radius yields no matches; an infinite radius matches every
+    /// point.
     pub fn within_radius(&self, query: Point, radius_km: f64) -> Vec<usize> {
-        assert!(radius_km >= 0.0, "radius must be non-negative");
         let mut out = Vec::new();
-        if self.points.is_empty() {
+        if self.points.is_empty() || radius_km < 0.0 || radius_km.is_nan() {
             return out;
         }
         let (qc, qr) = self.col_row(query);
-        let reach = (radius_km / self.cell_km).ceil() as usize + 1;
+        // Clamping the query is non-expansive, so any in-bounds point
+        // within `radius_km` of the true query is within `radius_km` of the
+        // clamped one — the window around the clamped cell cannot miss it.
+        // Cap the reach at the grid size so an infinite or huge radius
+        // degrades to a full-grid scan instead of overflowing.
+        let max_reach = self.cols.max(self.rows);
+        let reach_cells = (radius_km / self.cell_km).ceil();
+        let reach = if reach_cells.is_finite() && reach_cells < max_reach as f64 {
+            (reach_cells as usize).saturating_add(1)
+        } else {
+            max_reach
+        };
         let r2 = radius_km * radius_km;
         let c_lo = qc.saturating_sub(reach);
-        let c_hi = (qc + reach).min(self.cols - 1);
+        let c_hi = qc.saturating_add(reach).min(self.cols - 1);
         let r_lo = qr.saturating_sub(reach);
-        let r_hi = (qr + reach).min(self.rows - 1);
+        let r_hi = qr.saturating_add(reach).min(self.rows - 1);
         for row in r_lo..=r_hi {
             for col in c_lo..=c_hi {
-                for &i in &self.cells[row * self.cols + col] {
-                    if self.points[i].distance_squared(query) <= r2 {
-                        out.push(i);
+                let Some(cell) = self.cells.get(row * self.cols + col) else { continue };
+                for &i in cell {
+                    if let Some(p) = self.points.get(i) {
+                        if p.distance_squared(query) <= r2 {
+                            out.push(i);
+                        }
                     }
+                }
+            }
+        }
+        // Out-of-bounds points: always scanned in full.
+        for &i in &self.outside {
+            if let Some(p) = self.points.get(i) {
+                if p.distance_squared(query) <= r2 {
+                    out.push(i);
                 }
             }
         }
@@ -169,16 +290,30 @@ impl GridIndex {
     /// All unordered point pairs `(i, j)` with `i < j` whose distance is at
     /// most `radius_km`. Used to enumerate the candidate `Gd` edges under
     /// the latency threshold `θ` and the "< 5 km" pair sets of Fig. 3.
+    // lint: allow(panic-reach): iterator-based; the only sink is the guarded index
+    // arithmetic inside within_radius
     pub fn pairs_within(&self, radius_km: f64) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        for i in 0..self.points.len() {
-            for j in self.within_radius(self.points[i], radius_km) {
+        for (i, &p) in self.points.iter().enumerate() {
+            for j in self.within_radius(p, radius_km) {
                 if j > i {
                     out.push((i, j));
                 }
             }
         }
         out
+    }
+}
+
+/// Replaces `best` when `(i, d)` is closer, breaking distance ties toward
+/// the lower point index.
+fn update_best(best: &mut Option<(usize, f64)>, i: usize, d: f64) {
+    let better = match *best {
+        None => true,
+        Some((bi, bd)) => d < bd || (d == bd && i < bi),
+    };
+    if better {
+        *best = Some((i, d));
     }
 }
 
@@ -303,6 +438,23 @@ mod tests {
         let idx = GridIndex::build(region(), 2.0, pts);
         assert_eq!(idx.nearest(Point::new(0.0, 0.0)).unwrap().0, 0);
         assert_eq!(idx.nearest(Point::new(17.0, 11.0)).unwrap().0, 1);
+        assert_eq!(idx.within_radius(Point::new(-5.0, -5.0), 0.1), vec![0]);
+        assert_eq!(idx.within_radius(Point::new(0.0, 0.0), 100.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn far_outside_point_is_found_beyond_any_cell_window() {
+        // A point far outside bounds together with an in-bounds decoy: the
+        // ring/window scan alone would stop at the decoy, so this only
+        // passes if the outside list is really consulted.
+        let pts = vec![Point::new(500.0, 500.0), Point::new(8.0, 6.0)];
+        let idx = GridIndex::build(region(), 1.0, pts);
+        let q = Point::new(480.0, 500.0);
+        assert_eq!(idx.nearest(q).unwrap().0, 0);
+        assert_eq!(idx.within_radius(q, 25.0), vec![0]);
+        // Pairs: the two are ~695 km apart; only a huge radius links them.
+        assert!(idx.pairs_within(100.0).is_empty());
+        assert_eq!(idx.pairs_within(1000.0), vec![(0, 1)]);
     }
 
     #[test]
@@ -310,6 +462,17 @@ mod tests {
         let p = Point::new(4.0, 4.0);
         let idx = GridIndex::build(region(), 1.0, vec![p, p, p]);
         assert_eq!(idx.nearest(Point::new(4.1, 4.0)).unwrap().0, 0);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_inputs_with_typed_errors() {
+        let err = GridIndex::try_build(region(), 0.0, vec![Point::origin()]).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        let err = GridIndex::try_build(region(), f64::NAN, vec![Point::origin()]).unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        let err = GridIndex::try_build(region(), 1.0, vec![Point::new(f64::NAN, 1.0)]).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(GridIndex::try_build(region(), 1.0, vec![Point::origin()]).is_ok());
     }
 
     #[test]
@@ -331,43 +494,88 @@ mod tests {
         assert_eq!(idx.within_radius(Point::new(1.0, 1.0), 0.0), vec![0]);
     }
 
+    #[test]
+    fn degenerate_radii_are_total() {
+        let pts = vec![Point::new(1.0, 1.0), Point::new(-40.0, 90.0)];
+        let idx = GridIndex::build(region(), 1.0, pts.clone());
+        assert!(idx.within_radius(Point::origin(), -1.0).is_empty());
+        assert!(idx.within_radius(Point::origin(), f64::NAN).is_empty());
+        assert_eq!(idx.within_radius(Point::origin(), f64::INFINITY), vec![0, 1]);
+    }
+
+    #[test]
+    fn cell_of_partitions_every_point() {
+        let idx = GridIndex::build(region(), 4.0, std::iter::empty());
+        assert_eq!(idx.cols(), 5);
+        assert_eq!(idx.rows(), 3);
+        assert_eq!(idx.cell_count(), 15);
+        assert_eq!(idx.cell_of(Point::origin()), 0);
+        assert_eq!(idx.cell_of(Point::new(17.0, 11.0)), 14);
+        // Out-of-bounds points clamp onto boundary tiles.
+        assert_eq!(idx.cell_of(Point::new(-100.0, -100.0)), 0);
+        assert_eq!(idx.cell_of(Point::new(100.0, 100.0)), 14);
+    }
+
+    /// Point sets mixing in-bounds and far out-of-bounds coordinates.
+    fn wild_points() -> impl Strategy<Value = Vec<Point>> {
+        (
+            prop::collection::vec((0.0f64..17.0, 0.0f64..11.0), 0..25),
+            prop::collection::vec((-600.0f64..600.0, -600.0f64..600.0), 1..25),
+        )
+            .prop_map(|(inside, outside)| {
+                inside.into_iter().chain(outside).map(Point::from).collect()
+            })
+    }
+
+    /// Queries drawn from the evaluation region half the time, from far
+    /// outside it the other half.
+    fn wild_query() -> impl Strategy<Value = Point> {
+        (0.0f64..1.0, (0.0f64..17.0, 0.0f64..11.0), (-600.0f64..600.0, -600.0f64..600.0)).prop_map(
+            |(pick, inside, outside)| {
+                if pick < 0.5 {
+                    Point::from(inside)
+                } else {
+                    Point::from(outside)
+                }
+            },
+        )
+    }
+
     proptest! {
         #[test]
         fn prop_nearest_agrees_with_brute_force(
-            pts in prop::collection::vec((0.0f64..17.0, 0.0f64..11.0), 1..60),
-            q in (-1.0f64..18.0, -1.0f64..12.0),
+            pts in wild_points(),
+            q in wild_query(),
+            cell in prop::sample::select(vec![0.3, 1.5, 9.0]),
         ) {
-            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
-            let idx = GridIndex::build(region(), 1.5, pts.iter().copied());
-            let q = Point::from(q);
-            let (gi, _) = idx.nearest(q).unwrap();
-            let (bi, _) = pts
+            let idx = GridIndex::build(region(), cell, pts.iter().copied());
+            let (gi, gd) = idx.nearest(q).unwrap();
+            let (bi, bd) = pts
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (i, p.distance(q)))
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
                 .unwrap();
             prop_assert_eq!(gi, bi);
+            prop_assert!((gd - bd).abs() <= 1e-12);
         }
 
         #[test]
         fn prop_radius_query_is_sound_and_complete(
-            pts in prop::collection::vec((0.0f64..17.0, 0.0f64..11.0), 0..60),
-            q in (0.0f64..17.0, 0.0f64..11.0),
-            r in 0.0f64..8.0,
+            pts in wild_points(),
+            q in wild_query(),
+            r in 0.0f64..700.0,
+            cell in prop::sample::select(vec![0.3, 1.5, 9.0]),
         ) {
-            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
-            let idx = GridIndex::build(region(), 1.0, pts.iter().copied());
-            let q = Point::from(q);
+            let idx = GridIndex::build(region(), cell, pts.iter().copied());
             let got = idx.within_radius(q, r);
-            for &i in &got {
-                prop_assert!(pts[i].distance(q) <= r);
-            }
-            for (i, p) in pts.iter().enumerate() {
-                if p.distance(q) <= r {
-                    prop_assert!(got.contains(&i));
-                }
-            }
+            let want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
         }
     }
 }

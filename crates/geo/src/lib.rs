@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod grid;
 mod kdtree;
 mod point;
 mod rect;
 
+pub use error::GeoError;
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use point::Point;

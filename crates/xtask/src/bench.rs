@@ -43,7 +43,7 @@ pub const BASELINE_FILE: &str = "BENCH_baseline.json";
 
 /// Fixed-seed workloads the `ratchet` bench binary knows how to run, in
 /// the order they are measured and serialised.
-pub const WORKLOADS: &[&str] = &["dinic", "mcmf-dial", "mcmf-float", "planner"];
+pub const WORKLOADS: &[&str] = &["dinic", "mcmf-dial", "mcmf-float", "planner", "sharded-planner"];
 
 /// Default multiplicative band for per-span `total_ns` comparisons.
 /// Wide because span totals sum worker time: on parallel stages,
