@@ -130,6 +130,8 @@ pub(crate) fn content_aggregation_replication(
             decision.place(j, video);
             obs_placements += 1;
             if let Some(b) = &mut budget {
+                #[cfg(feature = "strict-invariants")]
+                debug_assert!(*b > 0, "strict-invariants: placement budget decrement saturated");
                 *b = b.saturating_sub(1);
                 obs_budget_spent += 1;
             }
@@ -193,6 +195,11 @@ pub(crate) fn content_aggregation_replication(
                 decision.place(j, video);
                 obs_placements += 1;
                 if let Some(b) = &mut budget {
+                    #[cfg(feature = "strict-invariants")]
+                    debug_assert!(
+                        *b > 0,
+                        "strict-invariants: placement budget decrement saturated"
+                    );
                     *b = b.saturating_sub(1);
                     obs_budget_spent += 1;
                 }

@@ -574,7 +574,8 @@ fn border_reconcile(
         if under_of.is_empty() {
             continue;
         }
-        let mut net = FlowNetwork::with_nodes(2 + overs.len() + under_of.len());
+        let nodes = 2usize.saturating_add(overs.len()).saturating_add(under_of.len());
+        let mut net = FlowNetwork::with_nodes(nodes);
         let (source, sink) = (0, 1);
         let under_node = |k: usize| 2 + overs.len() + k;
         let mut pair_edges = Vec::new();

@@ -157,9 +157,10 @@ impl FlowNetwork {
 
     /// Adds a node, returning its id.
     pub fn add_node(&mut self) -> usize {
+        let id = self.head.len();
         self.head.push(NO_ARC);
         self.tail.push(NO_ARC);
-        self.head.len() - 1
+        id
     }
 
     /// Number of nodes.

@@ -206,7 +206,7 @@ impl GridIndex {
         let mut best: Option<(usize, f64)> = None;
         // Out-of-bounds points are never bucketed — scan them all first.
         for &i in &self.outside {
-            if let Some(p) = self.points.get(i) {
+            if let Some(p) = self.points.iter().nth(i) {
                 update_best(&mut best, i, p.distance(query));
             }
         }
@@ -225,9 +225,9 @@ impl GridIndex {
                 }
             }
             for (col, row) in ring_cells(qc, qr, ring, self.cols, self.rows) {
-                let Some(cell) = self.cells.get(row * self.cols + col) else { continue };
+                let Some(cell) = self.cells.iter().nth(row * self.cols + col) else { continue };
                 for &i in cell {
-                    if let Some(p) = self.points.get(i) {
+                    if let Some(p) = self.points.iter().nth(i) {
                         update_best(&mut best, i, p.distance(query));
                     }
                 }
@@ -265,9 +265,9 @@ impl GridIndex {
         let r_hi = qr.saturating_add(reach).min(self.rows - 1);
         for row in r_lo..=r_hi {
             for col in c_lo..=c_hi {
-                let Some(cell) = self.cells.get(row * self.cols + col) else { continue };
+                let Some(cell) = self.cells.iter().nth(row * self.cols + col) else { continue };
                 for &i in cell {
-                    if let Some(p) = self.points.get(i) {
+                    if let Some(p) = self.points.iter().nth(i) {
                         if p.distance_squared(query) <= r2 {
                             out.push(i);
                         }
@@ -277,7 +277,7 @@ impl GridIndex {
         }
         // Out-of-bounds points: always scanned in full.
         for &i in &self.outside {
-            if let Some(p) = self.points.get(i) {
+            if let Some(p) = self.points.iter().nth(i) {
                 if p.distance_squared(query) <= r2 {
                     out.push(i);
                 }

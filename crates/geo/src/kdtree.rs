@@ -168,8 +168,12 @@ impl KdTree {
         r: f64,
         out: &mut Vec<usize>,
     ) {
-        let node = &self.nodes[node_id];
-        let p = self.points[node.point];
+        let Some(node) = self.nodes.iter().nth(node_id) else {
+            return;
+        };
+        let Some(&p) = self.points.iter().nth(node.point) else {
+            return;
+        };
         if p.distance_squared(query) <= r2 {
             out.push(node.point);
         }

@@ -336,9 +336,9 @@ fn simplex_min(
 
 #[allow(clippy::needless_range_loop)] // index loops mirror the tableau algebra
 fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let total = tableau[row].len() - 1;
+    let total = tableau[row].len();
     let p = tableau[row][col];
-    for c in 0..=total {
+    for c in 0..total {
         tableau[row][c] /= p;
     }
     for r in 0..tableau.len() {
@@ -346,7 +346,7 @@ fn pivot(tableau: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) 
             let factor = tableau[r][col];
             // lint: allow(float-eq): exact-zero sparsity skip, not a tolerance comparison
             if factor != 0.0 {
-                for c in 0..=total {
+                for c in 0..total {
                     tableau[r][c] -= factor * tableau[row][c];
                 }
             }
@@ -363,11 +363,11 @@ fn pivot_with_obj(
     col: usize,
 ) {
     pivot(tableau, basis, row, col);
-    let total = obj_row.len() - 1;
+    let total = obj_row.len();
     let factor = obj_row[col];
     // lint: allow(float-eq): exact-zero sparsity skip, not a tolerance comparison
     if factor != 0.0 {
-        for c in 0..=total {
+        for c in 0..total {
             obj_row[c] -= factor * tableau[row][c];
         }
     }

@@ -407,6 +407,33 @@ mod tests {
         assert_eq!(v.get("k").and_then(Value::as_u64), Some(2));
     }
 
+    /// The pretty-printed `lint-baseline.json` layout (nested pass
+    /// objects, one ratchet key per line) must stay inside this parser's
+    /// strict grammar — ccdn-analyze round-trips the file through here.
+    #[test]
+    fn parses_pretty_printed_ratchet_layout() {
+        let text = "{\n  \"tool\": \"ccdn-analyze\",\n  \"version\": 3,\n  \"passes\": {\n    \
+                    \"panic-reach\": {\n      \"keys\": [\n        \"panic-reach|a::b|c::d\",\n        \
+                    \"panic-reach|a::e|c::d\"\n      ]\n    },\n    \"overflow-risk\": {\n      \
+                    \"keys\": [\n      ]\n    }\n  }\n}\n";
+        let v = parse(text).unwrap();
+        let keys = v
+            .get("passes")
+            .and_then(|p| p.get("panic-reach"))
+            .and_then(|p| p.get("keys"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].as_str(), Some("panic-reach|a::b|c::d"));
+        let empty = v
+            .get("passes")
+            .and_then(|p| p.get("overflow-risk"))
+            .and_then(|p| p.get("keys"))
+            .and_then(Value::as_array)
+            .unwrap();
+        assert!(empty.is_empty());
+    }
+
     #[test]
     fn number_edge_cases() {
         assert_eq!(parse("0").unwrap().as_u64(), Some(0));

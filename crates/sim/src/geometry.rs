@@ -92,10 +92,14 @@ impl HotspotGeometry {
     }
 
     /// Hotspots within `radius_km` of hotspot `h`, **excluding** `h`
-    /// itself, in ascending id order.
+    /// itself, in ascending id order. An out-of-range id yields no
+    /// matches.
     pub fn within_radius(&self, h: HotspotId, radius_km: f64) -> Vec<HotspotId> {
+        let Some(&p) = self.locations.iter().nth(h.0) else {
+            return Vec::new();
+        };
         self.grid
-            .within_radius(self.locations[h.0], radius_km)
+            .within_radius(p, radius_km)
             .into_iter()
             .filter(|&i| i != h.0)
             .map(HotspotId)

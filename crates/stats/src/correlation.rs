@@ -96,23 +96,31 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, CorrelationError> {
 /// assert_eq!(rank_average(&[10.0, 30.0, 20.0, 30.0]), vec![1.0, 3.5, 2.0, 3.5]);
 /// ```
 pub fn rank_average(values: &[f64]) -> Vec<f64> {
-    let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-    let mut ranks = vec![0.0; values.len()];
-    let mut i = 0;
-    while i < order.len() {
-        let mut j = i;
-        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
-            j += 1;
+    let mut order: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+    // Walk tie runs over the sorted pairs. A run occupying 0-based sorted
+    // positions start..pos shares the mean of 1-based ranks start+1..=pos,
+    // which is (start + pos + 1) / 2.
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(order.len());
+    let mut run: Vec<usize> = Vec::new();
+    let mut start = 0.0f64;
+    let mut prev = 0.0f64;
+    for (pos, (idx, v)) in order.into_iter().enumerate() {
+        // Exact equality is deliberate here: tie detection, not a tolerance.
+        if !run.is_empty() && v != prev {
+            let mean_rank = (start + pos as f64 + 1.0) / 2.0;
+            out.extend(run.drain(..).map(|k| (k, mean_rank)));
+            start = pos as f64;
         }
-        // Positions i..=j (0-based) share the mean of ranks i+1..=j+1.
-        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &order[i..=j] {
-            ranks[k] = mean_rank;
-        }
-        i = j + 1;
+        run.push(idx);
+        prev = v;
     }
-    ranks
+    if !run.is_empty() {
+        let mean_rank = (start + values.len() as f64 + 1.0) / 2.0;
+        out.extend(run.drain(..).map(|k| (k, mean_rank)));
+    }
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Spearman rank correlation coefficient of two equal-length series.

@@ -59,6 +59,9 @@ pub struct RootSite {
     pub line: usize,
     /// What the occurrence is (`Instant`, `.unwrap()`, `a[i]`, ...).
     pub what: String,
+    /// Token index of the occurrence, relative to the fn body slice —
+    /// lets the interval engine relocate the exact operator to probe.
+    pub tok: usize,
 }
 
 /// Per-fn facts derived from its body tokens.
@@ -182,16 +185,18 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
         if tok.kind == TokKind::Ident {
             match tok.text.as_str() {
                 "Instant" | "SystemTime" => {
-                    facts
-                        .nondet
-                        .entry(NondetKind::Clock)
-                        .or_insert_with(|| RootSite { line, what: format!("`{}`", tok.text) });
+                    facts.nondet.entry(NondetKind::Clock).or_insert_with(|| RootSite {
+                        line,
+                        what: format!("`{}`", tok.text),
+                        tok: i,
+                    });
                 }
                 "HashMap" | "HashSet" => {
-                    facts
-                        .nondet
-                        .entry(NondetKind::HashIter)
-                        .or_insert_with(|| RootSite { line, what: format!("`{}`", tok.text) });
+                    facts.nondet.entry(NondetKind::HashIter).or_insert_with(|| RootSite {
+                        line,
+                        what: format!("`{}`", tok.text),
+                        tok: i,
+                    });
                 }
                 "thread" => {
                     if toks.get(i + 1).is_some_and(|t| t.text == "::")
@@ -200,6 +205,7 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                         facts.nondet.entry(NondetKind::Thread).or_insert_with(|| RootSite {
                             line,
                             what: format!("`thread::{}`", toks[i + 2].text),
+                            tok: i,
                         });
                     }
                 }
@@ -210,12 +216,17 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                         facts.nondet.entry(NondetKind::Env).or_insert_with(|| RootSite {
                             line,
                             what: format!("`env::{}`", toks[i + 2].text),
+                            tok: i,
                         });
                     }
                 }
                 "panic" | "unreachable" | "todo" | "unimplemented" => {
                     if toks.get(i + 1).is_some_and(|t| t.text == "!") {
-                        facts.panics.push(RootSite { line, what: format!("`{}!`", tok.text) });
+                        facts.panics.push(RootSite {
+                            line,
+                            what: format!("`{}!`", tok.text),
+                            tok: i,
+                        });
                     }
                 }
                 "unwrap" | "expect" => {
@@ -225,7 +236,7 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                     {
                         let what =
                             if tok.text == "unwrap" { "`.unwrap()`" } else { "`.expect(..)`" };
-                        facts.panics.push(RootSite { line, what: what.into() });
+                        facts.panics.push(RootSite { line, what: what.into(), tok: i });
                     }
                 }
                 _ => {}
@@ -242,9 +253,11 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                     || prev.text == ")"
                     || prev.text == "]";
                 if expr_end {
-                    facts
-                        .panics
-                        .push(RootSite { line, what: format!("`{}[..]` indexing", prev.text) });
+                    facts.panics.push(RootSite {
+                        line,
+                        what: format!("`{}[..]` indexing", prev.text),
+                        tok: i,
+                    });
                 }
             }
             // Unguarded integer `+` / `-` / `*` (binary or compound
@@ -266,7 +279,11 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                         || matches!(t.text.as_str(), "(" | "=")
                 });
                 if lhs && rhs && !float_context(toks, i) {
-                    facts.arith.push(RootSite { line, what: format!("`{}` arith", tok.text) });
+                    facts.arith.push(RootSite {
+                        line,
+                        what: format!("`{}` arith", tok.text),
+                        tok: i,
+                    });
                 }
             }
             // Integer division / remainder (`/`, `%`, `/=`, `%=`):
@@ -279,7 +296,11 @@ fn scan_roots(facts: &mut FnFacts, toks: &[Tok]) {
                     || prev.text == ")"
                     || prev.text == "]";
                 if arith && !float_context(toks, i) && !nonzero_literal_divisor(toks, i + 1) {
-                    facts.panics.push(RootSite { line, what: format!("`{}` div/rem", tok.text) });
+                    facts.panics.push(RootSite {
+                        line,
+                        what: format!("`{}` div/rem", tok.text),
+                        tok: i,
+                    });
                 }
             }
         }

@@ -141,6 +141,17 @@ pub fn cost_events(tokens: &[Tok], body: &Range<usize>) -> Vec<CostEvent> {
     events
 }
 
+/// One declared fn parameter the interval engine can seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnParam {
+    /// The binding name (`self` for receivers; complex patterns are
+    /// skipped entirely).
+    pub name: String,
+    /// Declared type text with references/`mut` stripped (`usize`,
+    /// `[f64;24]`, `Point`, ...; empty for untyped `self`).
+    pub ty: String,
+}
+
 /// One indexed function.
 #[derive(Debug, Clone)]
 pub struct FnItem {
@@ -173,6 +184,8 @@ pub struct FnItem {
     pub in_test: bool,
     /// Allocation / clone events in the body, in token order.
     pub costs: Vec<CostEvent>,
+    /// Declared parameters in order (simple `name: Type` bindings only).
+    pub params: Vec<FnParam>,
 }
 
 /// One indexed file: its token stream plus the fns defined in it.
@@ -201,6 +214,11 @@ pub struct Index {
     pub by_type_method: BTreeMap<(String, String), Vec<usize>>,
     /// crate name → fn ids.
     pub by_crate: BTreeMap<String, Vec<usize>>,
+    /// Struct / enum field types: type name → field name → type text.
+    /// Tuple-struct fields are named `0`, `1`, ...; enum struct-variant
+    /// fields merge into the enum's own map. A field declared with
+    /// conflicting types across same-named items maps to `"?"`.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
 }
 
 /// An I/O failure while building the index.
@@ -373,6 +391,14 @@ pub fn index_file(index: &mut Index, rel: PathBuf, text: &str) {
                 }
                 i += 1;
             }
+            "struct" | "enum" => {
+                if let Some((name, fields, next)) = parse_type_def(&tokens, i) {
+                    merge_fields(index.structs.entry(name).or_default(), fields);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
             "fn" => {
                 if let Some(item) =
                     parse_fn(&tokens, i, &crate_name, &rel, &module, &scopes, in_bin)
@@ -471,6 +497,222 @@ fn find_open_brace(tokens: &[Tok], at: usize) -> Option<usize> {
     (at..tokens.len()).find(|&i| tokens[i].text == "{" && tokens[i].kind == TokKind::Punct)
 }
 
+/// Merges newly scanned fields into a type's field map; a re-declared
+/// field with a different type degrades to `"?"` (unknown).
+fn merge_fields(into: &mut BTreeMap<String, String>, fields: BTreeMap<String, String>) {
+    for (name, ty) in fields {
+        match into.get(&name) {
+            Some(prev) if *prev != ty => {
+                into.insert(name, "?".to_string());
+            }
+            Some(_) => {}
+            None => {
+                into.insert(name, ty);
+            }
+        }
+    }
+}
+
+/// Public wrapper over [`type_text`] for sibling analyses (the interval
+/// engine normalizes declared types the same way the indexer does).
+pub fn type_text_of(tokens: &[Tok], range: Range<usize>) -> String {
+    type_text(tokens, range)
+}
+
+/// Builds normalized type text from `tokens[range]`: lifetimes, leading
+/// `&` / `mut` and spaces-around-punct are dropped (`[f64; 24]` →
+/// `[f64;24]`, `&'a mut Vec<u64>` → `Vec<u64>`).
+fn type_text(tokens: &[Tok], range: Range<usize>) -> String {
+    let mut out = String::new();
+    let mut prev_ident = false;
+    let mut i = range.start;
+    while i < range.end {
+        let tok = &tokens[i];
+        if tok.kind == TokKind::Lifetime {
+            i += 1;
+            continue;
+        }
+        if out.is_empty() && (tok.text == "&" || tok.text == "mut") {
+            i += 1;
+            continue;
+        }
+        let is_ident = tok.kind != TokKind::Punct;
+        if prev_ident && is_ident {
+            out.push(' ');
+        }
+        out.push_str(&tok.text);
+        prev_ident = is_ident;
+        i += 1;
+    }
+    out
+}
+
+/// Parses a `struct` / `enum` definition whose keyword sits at `at`.
+/// Returns the type name, its field → type map (tuple fields named by
+/// ordinal; enum struct-variant fields merged together) and the index to
+/// resume the item walk from (just *inside* braces, so nested items are
+/// still reached — field idents never collide with item keywords).
+fn parse_type_def(tokens: &[Tok], at: usize) -> Option<(String, BTreeMap<String, String>, usize)> {
+    let name = ident_at(tokens, at + 1)?;
+    let mut i = at + 2;
+    if tokens.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_angles(tokens, i)?;
+    }
+    let mut fields = BTreeMap::new();
+    match tokens.get(i).map(|t| t.text.as_str()) {
+        Some("(") => {
+            let next = parse_tuple_fields(tokens, i, &mut fields)?;
+            Some((name, fields, next))
+        }
+        Some("{") => {
+            let open_depth = tokens[i].depth;
+            let close = (i + 1..tokens.len())
+                .find(|&k| tokens[k].text == "}" && tokens[k].depth == open_depth)
+                .unwrap_or(tokens.len());
+            let mut j = i + 1;
+            while j < close {
+                let tok = &tokens[j];
+                // Skip attributes and visibility modifiers.
+                if tok.text == "#" {
+                    j += 1;
+                    if tokens.get(j).is_some_and(|t| t.text == "[") {
+                        let d = tokens[j].depth;
+                        j = (j + 1..close)
+                            .find(|&k| tokens[k].text == "]" && tokens[k].depth == d)
+                            .map_or(close, |k| k + 1);
+                    }
+                    continue;
+                }
+                if tok.text == "pub" {
+                    j += 1;
+                    if tokens.get(j).is_some_and(|t| t.text == "(") {
+                        let d = tokens[j].depth;
+                        j = (j + 1..close)
+                            .find(|&k| tokens[k].text == ")" && tokens[k].depth == d)
+                            .map_or(close, |k| k + 1);
+                    }
+                    continue;
+                }
+                if tok.kind == TokKind::Ident && !matches!(tok.text.as_str(), "where") {
+                    if tokens.get(j + 1).is_some_and(|t| t.text == ":") {
+                        // `field: Type,` — the type runs to the comma at
+                        // this depth, or to whatever closes the enclosing
+                        // block (closers carry the *outer* depth, so a
+                        // variant's `}` shows up as a depth drop).
+                        let d = tok.depth;
+                        let end = (j + 2..close)
+                            .find(|&k| {
+                                (tokens[k].depth == d
+                                    && (tokens[k].text == "," || tokens[k].text == "}"))
+                                    || tokens[k].depth < d
+                            })
+                            .unwrap_or(close);
+                        let ty = type_text(tokens, j + 2..end);
+                        merge_fields(&mut fields, BTreeMap::from([(tok.text.clone(), ty)]));
+                        j = end + 1;
+                        continue;
+                    }
+                    // Enum variant payloads: `Variant { .. }` recurses via
+                    // the outer loop; `Variant(T, ..)` is scanned here.
+                    if tokens.get(j + 1).is_some_and(|t| t.text == "(") {
+                        let mut tup = BTreeMap::new();
+                        if let Some(next) = parse_tuple_fields(tokens, j + 1, &mut tup) {
+                            // Ordinal names are only meaningful for plain
+                            // tuple structs; skip them for variants.
+                            let _ = tup;
+                            j = next;
+                            continue;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            Some((name, fields, i + 1))
+        }
+        _ => Some((name, fields, i)), // unit struct / `struct Name;`
+    }
+}
+
+/// Parses `( T1, T2, .. )` tuple-struct fields starting at the `(`;
+/// fields are named `0`, `1`, ... Returns the index past `)`.
+fn parse_tuple_fields(
+    tokens: &[Tok],
+    open: usize,
+    fields: &mut BTreeMap<String, String>,
+) -> Option<usize> {
+    if !tokens.get(open).is_some_and(|t| t.text == "(") {
+        return None;
+    }
+    let d = tokens[open].depth;
+    let close =
+        (open + 1..tokens.len()).find(|&k| tokens[k].text == ")" && tokens[k].depth == d)?;
+    let mut start = open + 1;
+    let mut ordinal = 0usize;
+    let mut j = open + 1;
+    while j <= close {
+        if j == close || (tokens[j].text == "," && tokens[j].depth == d) {
+            if j > start {
+                let mut s = start;
+                // Visibility on tuple fields.
+                if tokens.get(s).is_some_and(|t| t.text == "pub") {
+                    s += 1;
+                    if tokens.get(s).is_some_and(|t| t.text == "(") {
+                        let pd = tokens[s].depth;
+                        s = (s + 1..j)
+                            .find(|&k| tokens[k].text == ")" && tokens[k].depth == pd)
+                            .map_or(j, |k| k + 1);
+                    }
+                }
+                fields.insert(ordinal.to_string(), type_text(tokens, s..j));
+                ordinal += 1;
+            }
+            start = j + 1;
+        }
+        j += 1;
+    }
+    Some(close + 1)
+}
+
+/// Parses the parameter list starting at the `(` token: simple
+/// `name: Type` bindings (plus `self` receivers) in order. Patterns the
+/// scan cannot name (`(a, b): ..`, `_: ..`) are skipped.
+fn parse_params(tokens: &[Tok], open: usize) -> Vec<FnParam> {
+    let mut params = Vec::new();
+    let Some(opener) = tokens.get(open).filter(|t| t.text == "(") else {
+        return params;
+    };
+    let d = opener.depth;
+    let Some(close) =
+        (open + 1..tokens.len()).find(|&k| tokens[k].text == ")" && tokens[k].depth == d)
+    else {
+        return params;
+    };
+    let mut start = open + 1;
+    let mut j = open + 1;
+    while j <= close {
+        if j == close || (tokens[j].text == "," && tokens[j].depth == d) {
+            if j > start {
+                let mut s = start;
+                while tokens.get(s).is_some_and(|t| {
+                    t.text == "&" || t.text == "mut" || t.kind == TokKind::Lifetime
+                }) {
+                    s += 1;
+                }
+                if let Some(name) = ident_at(tokens, s) {
+                    if name == "self" {
+                        params.push(FnParam { name, ty: String::new() });
+                    } else if tokens.get(s + 1).is_some_and(|t| t.text == ":") {
+                        params.push(FnParam { name, ty: type_text(tokens, s + 2..j) });
+                    }
+                }
+            }
+            start = j + 1;
+        }
+        j += 1;
+    }
+    params
+}
+
 /// Parses the fn whose `fn` keyword sits at `at`. Returns `None` for
 /// tokens that merely look like fns (e.g. `fn` inside a type such as
 /// `fn(&T) -> U`, which is preceded by punctuation other than the item
@@ -525,6 +767,7 @@ fn parse_fn(
     if !tokens.get(i).is_some_and(|t| t.text == "(") {
         return None;
     }
+    let params = parse_params(tokens, i);
     let mut paren = 0i32;
     while let Some(tok) = tokens.get(i) {
         match tok.text.as_str() {
@@ -615,6 +858,7 @@ fn parse_fn(
         in_bin,
         in_test: tokens[at].in_test,
         costs,
+        params,
     })
 }
 

@@ -21,8 +21,10 @@
 
 pub mod analyze;
 pub mod bench;
+pub mod bounds;
 pub mod graph;
 pub mod hotpaths;
 pub mod index;
+pub mod interval;
 pub mod lint;
 pub mod source;

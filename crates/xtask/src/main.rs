@@ -27,13 +27,17 @@ fn usage() {
     eprintln!("  analyze                  run the ccdn-analyze call-graph passes");
     eprintln!("                           (nondet-taint, panic-reach, hot-loop-alloc,");
     eprintln!("                           unchecked-arith-reach, clone-in-loop,");
-    eprintln!("                           unused-waiver, pub-api-error) and diff against");
+    eprintln!("                           unused-waiver, pub-api-error, proven-safe");
+    eprintln!("                           discharge, overflow-risk) and diff against");
     eprintln!("                           the multi-pass lint-baseline.json; hot-loop-");
     eprintln!("                           alloc reads hot-paths.toml and fails on stale");
     eprintln!("                           entries");
     eprintln!("    --json                 print the full findings report as JSON");
     eprintln!("    --write-baseline       regenerate lint-baseline.json (all passes)");
     eprintln!("                           from the current findings");
+    eprintln!("    --explain KEY          print the interval derivation chain behind a");
+    eprintln!("                           panic-reach / unchecked-arith-reach /");
+    eprintln!("                           overflow-risk / proven-safe key");
     eprintln!("  bench-ratchet            run the fixed-seed ccdn-bench workloads and");
     eprintln!("                           diff the ccdn-obs work metrics (exact) and");
     eprintln!("                           timings (noise-banded) against the committed");
@@ -246,11 +250,21 @@ fn main() -> ExitCode {
         Some("analyze") => {
             let mut json = false;
             let mut write_baseline = false;
+            let mut explain: Option<String> = None;
             let mut explicit_root = None;
-            for arg in &args[1..] {
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "--json" => json = true,
                     "--write-baseline" => write_baseline = true,
+                    "--explain" => match rest.next() {
+                        Some(key) => explain = Some(key.clone()),
+                        None => {
+                            eprintln!("ccdn-analyze: error: --explain needs a ratchet KEY");
+                            usage();
+                            return ExitCode::from(2);
+                        }
+                    },
                     other if !other.starts_with('-') && explicit_root.is_none() => {
                         explicit_root = Some(PathBuf::from(other));
                     }
@@ -268,6 +282,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            if let Some(key) = explain {
+                return match analyze::explain(&root, &key) {
+                    Ok(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(err) => {
+                        eprintln!("ccdn-analyze: error: {err}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             run_analyze(&root, json, write_baseline)
         }
         Some("bench-ratchet") => {

@@ -155,3 +155,39 @@ fn taint_chain_reports_full_call_path() {
     assert!(finding.chain[1].starts_with("geo::now_ms ("));
     assert!(finding.chain.iter().all(|hop| hop.contains(".rs:")), "chain: {:#?}", finding.chain);
 }
+
+#[test]
+fn bounded_sites_are_discharged_not_reported() {
+    check_case("interval_safe");
+    // The silence must come from interval discharge, not from the sites
+    // being invisible: both fns appear in the proven-safe report.
+    let analysis = analyze::run(&corpus_case("interval_safe")).expect("analyze");
+    assert!(
+        analysis.discharged.iter().any(|d| d.contains("core::fold_slots")),
+        "fold_slots not discharged: {:#?}",
+        analysis.discharged
+    );
+    assert!(
+        analysis.discharged.iter().any(|d| d.starts_with("proven-safe|panic|core::weight_of")),
+        "weight_of indexing not discharged via value-bounds.toml: {:#?}",
+        analysis.discharged
+    );
+}
+
+#[test]
+fn metro_scale_product_is_flagged_as_overflow_risk() {
+    check_case("interval_overflow");
+}
+
+#[test]
+fn widened_loop_accumulator_stays_open_without_overflow_claim() {
+    check_case("widening_loop");
+}
+
+#[test]
+fn stale_value_bounds_entry_fails_the_run() {
+    let err = analyze::run(&corpus_case("bounds_toml_stale")).expect_err("stale bound must error");
+    let msg = err.to_string();
+    assert!(msg.contains("stale bound declarations"), "unexpected error: {msg}");
+    assert!(msg.contains("core::missing"), "error must name the pattern: {msg}");
+}

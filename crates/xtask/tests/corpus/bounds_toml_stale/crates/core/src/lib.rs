@@ -1,0 +1,5 @@
+//! Minimal crate for the stale value-bounds guard fixture.
+
+pub fn noop(x: u32) -> u32 {
+    x.saturating_add(1)
+}

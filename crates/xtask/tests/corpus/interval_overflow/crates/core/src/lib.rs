@@ -1,0 +1,9 @@
+//! A metro-scale product on the hot path: both operands carry tight
+//! non-type bounds and the raw product escapes `u32`, so the site is a
+//! genuine overflow risk (and the fn stays an unchecked-arith root).
+
+pub fn plan(requests_per_slot: u32, hotspots: u32) -> u32 {
+    let r = requests_per_slot.min(1_073_741_824);
+    let h = hotspots.min(1_048_576);
+    r * h
+}

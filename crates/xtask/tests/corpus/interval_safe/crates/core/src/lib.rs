@@ -1,0 +1,13 @@
+//! Bounded indexing and arithmetic the interval engine proves safe:
+//! every would-be panic/arith root discharges, so no reach finding
+//! survives even though the raw sites are all present.
+
+pub fn fold_slots(table: &[u64; 24], hour: u32) -> u64 {
+    let h = (hour % 24) as usize;
+    let w = table[h].min(1_000_000);
+    w * 4 + h as u64
+}
+
+pub fn weight_of(weights: &[f64; 2048], idx: usize) -> f64 {
+    weights[idx]
+}

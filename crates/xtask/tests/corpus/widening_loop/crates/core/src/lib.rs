@@ -1,0 +1,12 @@
+//! A loop-carried accumulator: widening must havoc `total` to its type
+//! range, so the addition stays Open — reported by the reach pass but
+//! never promoted to an overflow-risk claim (its operands are not
+//! tightly bounded).
+
+pub fn drain(backlog: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for &b in backlog {
+        total = total + b as u64;
+    }
+    total
+}
